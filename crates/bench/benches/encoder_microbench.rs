@@ -1,0 +1,73 @@
+//! Encoder microbenchmark: encode/decode throughput of every scheme.
+//!
+//! This is the software analogue of the paper's Figure 6(c) delay
+//! comparison: how long each scheme takes to pick a codeword for one 64-bit
+//! word, and how VCC's cost scales with the virtual coset count compared to
+//! RCC's.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coset::cost::{BitFlips, WriteEnergy};
+use coset::{Block, Encoder, Flipcy, Fnw, Rcc, Unencoded, Vcc, WriteContext};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use vcc_bench::BENCH_SEED;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let data = Block::random(&mut rng, 64);
+    let old = Block::random(&mut rng, 64);
+
+    let encoders: Vec<(String, Box<dyn Encoder>)> = vec![
+        ("unencoded".into(), Box::new(Unencoded::new(64))),
+        ("dbi".into(), Box::new(Fnw::dbi(64))),
+        ("fnw16".into(), Box::new(Fnw::with_sub_block(64, 16))),
+        ("flipcy".into(), Box::new(Flipcy::new(64))),
+        ("rcc16".into(), Box::new(Rcc::random(64, 16, &mut rng))),
+        ("rcc64".into(), Box::new(Rcc::random(64, 64, &mut rng))),
+        ("rcc256".into(), Box::new(Rcc::random(64, 256, &mut rng))),
+        ("vcc32_stored".into(), Box::new(Vcc::paper_stored(32, &mut rng))),
+        ("vcc256_stored".into(), Box::new(Vcc::paper_stored(256, &mut rng))),
+        ("vcc32_generated".into(), Box::new(Vcc::paper_mlc(32))),
+        ("vcc256_generated".into(), Box::new(Vcc::paper_mlc(256))),
+    ];
+
+    let mut encode_flips = c.benchmark_group("encode_bitflip_objective");
+    for (name, encoder) in &encoders {
+        let ctx = WriteContext::new(old.clone(), 0, encoder.aux_bits());
+        encode_flips.bench_function(name, |b| {
+            b.iter(|| encoder.encode(black_box(&data), black_box(&ctx), &BitFlips))
+        });
+    }
+    encode_flips.finish();
+
+    let mut encode_energy = c.benchmark_group("encode_mlc_energy_objective");
+    for (name, encoder) in &encoders {
+        let ctx = WriteContext::new(old.clone(), 0, encoder.aux_bits());
+        encode_energy.bench_function(name, |b| {
+            b.iter(|| encoder.encode(black_box(&data), black_box(&ctx), &WriteEnergy::mlc()))
+        });
+    }
+    encode_energy.finish();
+
+    let mut decode = c.benchmark_group("decode");
+    for (name, encoder) in &encoders {
+        let ctx = WriteContext::new(old.clone(), 0, encoder.aux_bits());
+        let enc = encoder.encode(&data, &ctx, &BitFlips);
+        decode.bench_function(name, |b| {
+            b.iter(|| encoder.decode(black_box(&enc.codeword), black_box(enc.aux)))
+        });
+    }
+    decode.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

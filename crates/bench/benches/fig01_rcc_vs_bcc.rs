@@ -1,0 +1,37 @@
+//! Figure 1 bench: analytical RCC vs BCC bit-change reduction.
+//!
+//! Prints the reproduced Figure 1 table, then measures the cost of the
+//! closed-form evaluation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coset::analysis::{expected_flips_bcc, expected_flips_rcc, fig1_point};
+use experiments::fig01;
+use vcc_bench::print_figure;
+
+fn bench(c: &mut Criterion) {
+    print_figure("Figure 1 — RCC vs BCC (analytical)", &fig01::run().to_string());
+
+    let mut group = c.benchmark_group("fig01");
+    group.bench_function("fig1_point_n64_N256", |b| {
+        b.iter(|| fig1_point(black_box(64), black_box(256)))
+    });
+    group.bench_function("expected_flips_rcc_n64_N256", |b| {
+        b.iter(|| expected_flips_rcc(black_box(64), black_box(256)))
+    });
+    group.bench_function("expected_flips_bcc_n64_N256", |b| {
+        b.iter(|| expected_flips_bcc(black_box(64), black_box(256)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

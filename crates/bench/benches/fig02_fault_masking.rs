@@ -1,0 +1,48 @@
+//! Figure 2 bench: observed fault rate vs number of coset codes.
+//!
+//! Prints the reproduced Figure 2 sweep, then measures the cost of masking
+//! a faulty word with random cosets (the inner kernel of the sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coset::cost::opt_saw_then_energy;
+use coset::{Block, Encoder, Rcc, StuckBits, WriteContext};
+use experiments::fig02;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_figure(
+        &format!("Figure 2 — fault masking vs coset count ({scale:?} scale)"),
+        &fig02::run(scale, BENCH_SEED).to_string(),
+    );
+
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let cost = opt_saw_then_energy();
+    let mut group = c.benchmark_group("fig02");
+    for n_cosets in [8usize, 32, 128] {
+        let rcc = Rcc::random(64, n_cosets, &mut rng);
+        let data = Block::random(&mut rng, 64);
+        let mut stuck = StuckBits::none(64);
+        stuck.stick_cell(rng.gen_range(0..32), 2, rng.gen_range(0..4));
+        let ctx = WriteContext::new(Block::random(&mut rng, 64), 0, rcc.aux_bits())
+            .with_stuck(stuck);
+        group.bench_function(format!("mask_faulty_word_rcc{n_cosets}"), |b| {
+            b.iter(|| rcc.encode(black_box(&data), black_box(&ctx), &cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6 bench: encoder hardware area / energy / delay model.
+//!
+//! Prints the reproduced Figure 6 table (all five designs across 32–256
+//! cosets), then measures the analytical model evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use experiments::fig06;
+use hwmodel::{fig6_sweep, EncoderHwConfig};
+use vcc_bench::print_figure;
+
+fn bench(c: &mut Criterion) {
+    print_figure(
+        "Figure 6 — encoder hardware (45 nm analytical model)",
+        &fig06::run().to_string(),
+    );
+
+    let mut group = c.benchmark_group("fig06");
+    group.bench_function("full_sweep", |b| b.iter(fig6_sweep));
+    group.bench_function("rcc_256_bill", |b| {
+        b.iter(|| EncoderHwConfig::rcc(black_box(64), black_box(256)).area_um2())
+    });
+    group.bench_function("vcc_256_bill", |b| {
+        b.iter(|| EncoderHwConfig::vcc_generated(black_box(64), black_box(256)).area_um2())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 8 bench: stuck-at-wrong reduction vs coset cardinality.
+//!
+//! Prints the reproduced Figure 8 sweep, then measures the SAW-objective
+//! encode kernel at the sweep's smallest and largest coset counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use coset::cost::opt_saw_then_energy;
+use coset::{Block, Encoder, StuckBits, Vcc, WriteContext};
+use experiments::fig08;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_figure(
+        &format!("Figure 8 — SAW reduction vs coset count ({scale:?} scale)"),
+        &fig08::run(scale, BENCH_SEED).to_string(),
+    );
+
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let cost = opt_saw_then_energy();
+    let mut group = c.benchmark_group("fig08_saw_objective_encode");
+    for n in [32usize, 256] {
+        let vcc = Vcc::paper_stored(n, &mut rng);
+        let data = Block::random(&mut rng, 64);
+        let mut stuck = StuckBits::none(64);
+        stuck.stick_cell(rng.gen_range(0..32), 2, rng.gen_range(0..4));
+        let ctx = WriteContext::new(Block::random(&mut rng, 64), 0, vcc.aux_bits())
+            .with_stuck(stuck);
+        group.bench_function(format!("vcc{n}_stored_faulty_word"), |b| {
+            b.iter(|| vcc.encode(black_box(&data), black_box(&ctx), &cost))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

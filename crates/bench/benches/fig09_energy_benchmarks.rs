@@ -1,0 +1,63 @@
+//! Figure 9 bench: per-benchmark write energy under both cost orders.
+//!
+//! Prints the reproduced Figure 9 table, then measures the encrypted trace
+//! replay throughput (write-backs per second through the whole stack) for
+//! VCC under the two optimization orders.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use coset::cost::{opt_energy_then_saw, opt_saw_then_energy, CostFunction};
+use experiments::common::trace_for;
+use experiments::{fig09, Scale, Technique, TraceReplayer};
+use pcm::FaultMap;
+use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_figure(
+        &format!("Figure 9 — per-benchmark write energy ({scale:?} scale)"),
+        &fig09::run(scale, BENCH_SEED).to_string(),
+    );
+
+    // Throughput of the full encrypted write path on a short trace slice.
+    let profile = &Scale::Tiny.benchmarks()[0];
+    let trace = trace_for(profile, Scale::Tiny, BENCH_SEED);
+    let slice: Vec<_> = trace.iter().take(200).cloned().collect();
+    let encoder = Technique::VccGenerated { cosets: 256 }.encoder(BENCH_SEED);
+
+    let mut group = c.benchmark_group("fig09_trace_replay_200_lines");
+    group.sample_size(10);
+    for (name, cost) in [
+        ("opt_energy", Box::new(opt_energy_then_saw()) as Box<dyn CostFunction>),
+        ("opt_saw", Box::new(opt_saw_then_energy())),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    TraceReplayer::new(
+                        Scale::Tiny.pcm_config(BENCH_SEED),
+                        Some(FaultMap::paper_snapshot(BENCH_SEED)),
+                        BENCH_SEED,
+                    )
+                },
+                |mut replayer| {
+                    for wb in &slice {
+                        replayer.write(wb, encoder.as_ref(), cost.as_ref());
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 10 bench: per-benchmark SAW cells, unencoded vs VCC(64,256,16).
+//!
+//! Prints the reproduced Figure 10 table, then measures the SAW-objective
+//! replay of a short trace slice for the two series it compares.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use coset::cost::opt_saw_then_energy;
+use experiments::common::trace_for;
+use experiments::{fig10, Scale, Technique, TraceReplayer};
+use pcm::FaultMap;
+use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_figure(
+        &format!("Figure 10 — per-benchmark SAW cells ({scale:?} scale)"),
+        &fig10::run(scale, BENCH_SEED).to_string(),
+    );
+
+    let profile = &Scale::Tiny.benchmarks()[0];
+    let trace = trace_for(profile, Scale::Tiny, BENCH_SEED);
+    let slice: Vec<_> = trace.iter().take(200).cloned().collect();
+    let cost = opt_saw_then_energy();
+
+    let mut group = c.benchmark_group("fig10_trace_replay_200_lines");
+    group.sample_size(10);
+    for technique in [Technique::Unencoded, Technique::VccStored { cosets: 256 }] {
+        let encoder = technique.encoder(BENCH_SEED);
+        group.bench_function(technique.name(), |b| {
+            b.iter_batched(
+                || {
+                    TraceReplayer::new(
+                        Scale::Tiny.pcm_config(BENCH_SEED),
+                        Some(FaultMap::paper_snapshot(BENCH_SEED)),
+                        BENCH_SEED,
+                    )
+                },
+                |mut replayer| {
+                    for wb in &slice {
+                        replayer.write(wb, encoder.as_ref(), &cost);
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

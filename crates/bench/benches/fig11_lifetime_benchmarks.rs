@@ -1,0 +1,55 @@
+//! Figure 11 bench: per-benchmark lifetime under every protection technique.
+//!
+//! Prints the reproduced Figure 11 table (all seven techniques at 256
+//! cosets, scaled endurance), then measures the wear-accruing write kernel
+//! that dominates the lifetime simulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use coset::cost::opt_saw_then_energy;
+use experiments::common::trace_for;
+use experiments::{fig11, Scale, Technique, TraceReplayer};
+use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    print_figure(
+        &format!("Figure 11 — lifetime writes to failure ({scale:?} scale, scaled endurance)"),
+        &fig11::run(scale, BENCH_SEED).to_string(),
+    );
+
+    // The lifetime loop is dominated by wear-tracked line writes; measure
+    // that kernel for the cheapest and the most expensive technique.
+    let profile = &Scale::Tiny.benchmarks()[0];
+    let trace = trace_for(profile, Scale::Tiny, BENCH_SEED);
+    let slice: Vec<_> = trace.iter().take(100).cloned().collect();
+    let cost = opt_saw_then_energy();
+
+    let mut group = c.benchmark_group("fig11_wear_tracked_writes_100_lines");
+    group.sample_size(10);
+    for technique in [Technique::Unencoded, Technique::VccStored { cosets: 256 }] {
+        let encoder = technique.encoder(BENCH_SEED);
+        group.bench_function(technique.name(), |b| {
+            b.iter_batched(
+                || TraceReplayer::new(Scale::Tiny.pcm_config(BENCH_SEED), None, BENCH_SEED),
+                |mut replayer| {
+                    for wb in &slice {
+                        replayer.write(wb, encoder.as_ref(), &cost);
+                    }
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

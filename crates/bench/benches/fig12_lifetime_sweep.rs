@@ -1,0 +1,39 @@
+//! Figure 12 bench: mean lifetime vs coset count.
+//!
+//! Prints the reproduced Figure 12 matrix (techniques × coset counts), then
+//! measures a single-benchmark lifetime run at the smallest coset count so
+//! the cost of one sweep cell is visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use experiments::lifetime::lifetime_run;
+use experiments::{fig12, Scale, Technique};
+use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
+
+fn bench(c: &mut Criterion) {
+    let scale = bench_scale();
+    // The full 7×4 matrix is the most expensive figure; at the default Tiny
+    // scale it completes in well under a minute.
+    print_figure(
+        &format!("Figure 12 — mean lifetime vs coset count ({scale:?} scale, scaled endurance)"),
+        &fig12::run(scale, BENCH_SEED).to_string(),
+    );
+
+    let profile = Scale::Tiny.benchmarks()[0].clone();
+    let mut group = c.benchmark_group("fig12_single_cell");
+    group.sample_size(10);
+    group.bench_function("lifetime_run_unencoded_tiny", |b| {
+        b.iter(|| lifetime_run(&profile, Technique::Unencoded, Scale::Tiny, BENCH_SEED))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 13 bench: normalized IPC of each encoding technique.
+//!
+//! Prints the reproduced Figure 13 table over the full benchmark list, then
+//! measures the mechanistic performance model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use experiments::{fig13, Scale};
+use perfmodel::{PerfModel, SystemConfig};
+use vcc_bench::{print_figure, BENCH_SEED};
+use workload::spec_like::all_profiles;
+
+fn bench(c: &mut Criterion) {
+    // The IPC study is cheap, so always print it at full (paper) breadth.
+    print_figure(
+        "Figure 13 — normalized IPC (all benchmarks)",
+        &fig13::run(Scale::Paper, BENCH_SEED).to_string(),
+    );
+
+    let model = PerfModel::new(SystemConfig::table_ii());
+    let profiles = all_profiles();
+    let mut group = c.benchmark_group("fig13");
+    group.bench_function("normalized_ipc_all_benchmarks_rcc", |b| {
+        b.iter(|| {
+            profiles
+                .iter()
+                .map(|p| model.normalized_ipc(p, black_box(2.6)))
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("estimate_single_benchmark", |b| {
+        b.iter(|| model.estimate(black_box(&profiles[0]), black_box(1.9)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Every bench target regenerates one of the paper's tables or figures: it
+//! first prints the reproduced rows/series (so `cargo bench` output can be
+//! compared against the paper directly) and then lets Criterion measure a
+//! representative kernel of that experiment.
+//!
+//! The experiment scale defaults to [`Scale::Tiny`] so the full bench suite
+//! completes quickly; set `VCC_BENCH_SCALE=small` (or `paper`) to rerun the
+//! data-generation step at a larger scale.
+
+use experiments::Scale;
+
+/// Scale used by the figure-regeneration step of each bench, taken from the
+/// `VCC_BENCH_SCALE` environment variable (`tiny`, `small` or `paper`;
+/// default `tiny`).
+pub fn bench_scale() -> Scale {
+    match std::env::var("VCC_BENCH_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
+        "small" => Scale::Small,
+        "paper" => Scale::Paper,
+        _ => Scale::Tiny,
+    }
+}
+
+/// Seed used by all benches so printed figures are reproducible.
+pub const BENCH_SEED: u64 = 0xBE2C;
+
+/// Prints a figure banner followed by its rendered table.
+pub fn print_figure(title: &str, body: &str) {
+    println!();
+    println!("================================================================");
+    println!("{title}");
+    println!("================================================================");
+    println!("{body}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_tiny() {
+        // The environment variable is unset in the test environment.
+        if std::env::var("VCC_BENCH_SCALE").is_err() {
+            assert_eq!(bench_scale(), Scale::Tiny);
+        }
+    }
+}

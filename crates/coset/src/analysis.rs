@@ -1,0 +1,226 @@
+//! Analytical models of coset-coding effectiveness (Section III).
+//!
+//! These closed-form expressions reproduce Figure 1 of the paper: the
+//! expected reduction in changed bits achieved by random coset coding (RCC,
+//! Equation 1) and biased coset coding (BCC, Equation 2) on uniformly random
+//! data, as a function of the number of coset candidates.
+
+/// Natural logarithm of `n!` computed by summation (exact enough for the
+/// block sizes used here, n ≤ 4096).
+fn ln_factorial(n: u64) -> f64 {
+    (2..=n).map(|k| (k as f64).ln()).sum()
+}
+
+/// Binomial coefficient `C(n, k)` as `f64`, computed in log space to avoid
+/// overflow.
+///
+/// # Examples
+///
+/// ```
+/// use coset::analysis::binomial;
+/// assert_eq!(binomial(5, 2), 10.0);
+/// ```
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    (ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)).exp().round()
+}
+
+/// Probability that a Binomial(n, p) variable is at most `m`.
+pub fn binomial_cdf(n: u64, p: f64, m: u64) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..=m.min(n) {
+        let ln_term = ln_factorial(n) - ln_factorial(i) - ln_factorial(n - i)
+            + (i as f64) * p.ln()
+            + ((n - i) as f64) * (1.0 - p).ln();
+        acc += ln_term.exp();
+    }
+    acc.min(1.0)
+}
+
+/// Equation 1: expected number of changed bits in an `n`-bit random block
+/// encoded with the best of `n_cosets` independent random coset candidates
+/// (not counting auxiliary bits).
+///
+/// Uses `E[X] = Σ_m P(X > m)` where `P(X > m)` for the minimum of
+/// `n_cosets` i.i.d. Binomial(n, ½) costs is the product of the individual
+/// tail probabilities.
+pub fn expected_flips_rcc(n: u64, n_cosets: u32) -> f64 {
+    let p = 0.5;
+    let mut expected = 0.0;
+    for m in 0..n {
+        let tail = 1.0 - binomial_cdf(n, p, m);
+        expected += tail.powi(n_cosets as i32);
+    }
+    expected
+}
+
+/// Equation 2: expected number of changed bits in an `n`-bit random block
+/// encoded with biased coset coding over `k = log2(n_cosets)` sections
+/// (Flip-N-Write with `k` sections), including each section's auxiliary flag
+/// bit in the count.
+///
+/// # Panics
+///
+/// Panics if `n_cosets` is not a power of two ≥ 2 or `log2(n_cosets)` does
+/// not divide `n`.
+pub fn expected_flips_bcc(n: u64, n_cosets: u32) -> f64 {
+    assert!(
+        n_cosets.is_power_of_two() && n_cosets >= 2,
+        "BCC requires a power-of-two coset count ≥ 2"
+    );
+    let k = n_cosets.trailing_zeros() as u64;
+    assert!(n % k == 0, "section count {k} must divide block size {n}");
+    let s = n / k; // bits per section (excluding the flag bit)
+    let w = s + 1; // section plus its flag bit
+    let denom = 2f64.powi(w as i32);
+    let mut per_section = 0.0;
+    // Sections with at most half the bits set are written directly (cost i);
+    // heavier sections are inverted (cost w - i).
+    for i in 0..=(s / 2) {
+        per_section += (i as f64) * binomial(w, i) / denom;
+    }
+    for i in (s / 2 + 1)..=w {
+        per_section += ((w - i) as f64) * binomial(w, i) / denom;
+    }
+    per_section * k as f64
+}
+
+/// Expected changed bits for an unencoded random block: `n / 2`.
+pub fn expected_flips_unencoded(n: u64) -> f64 {
+    n as f64 / 2.0
+}
+
+/// A single point of the Figure 1 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig1Point {
+    /// Number of coset candidates.
+    pub n_cosets: u32,
+    /// Percentage reduction in changed bits for RCC (aux bits included).
+    pub rcc_reduction_pct: f64,
+    /// Percentage reduction in changed bits for BCC (aux bits included).
+    pub bcc_reduction_pct: f64,
+}
+
+/// Reproduces one point of Figure 1 for block size `n` and `n_cosets`
+/// candidates: percentage reduction in changed bits relative to the
+/// unencoded block. As in the paper's figure, the RCC curve plots the data
+/// block itself (Equation 1); the BCC curve follows Equation 2, whose
+/// per-section expectation already includes the flag bit.
+///
+/// Use [`expected_flips_rcc_with_aux`] for the variant that charges RCC the
+/// expected `log2(N)/2` auxiliary-bit flips.
+pub fn fig1_point(n: u64, n_cosets: u32) -> Fig1Point {
+    let base = expected_flips_unencoded(n);
+    let rcc = expected_flips_rcc(n, n_cosets);
+    let bcc = expected_flips_bcc(n, n_cosets);
+    Fig1Point {
+        n_cosets,
+        rcc_reduction_pct: 100.0 * (base - rcc) / base,
+        bcc_reduction_pct: 100.0 * (base - bcc) / base,
+    }
+}
+
+/// Equation 1 plus the expected `log2(N)/2` flips of the auxiliary index
+/// bits (the full accounting discussed below Equation 1 in the paper).
+pub fn expected_flips_rcc_with_aux(n: u64, n_cosets: u32) -> f64 {
+    expected_flips_rcc(n, n_cosets) + (n_cosets as f64).log2() / 2.0
+}
+
+/// Computational-complexity model of Section IV: relative number of
+/// kernel-evaluation operations needed by VCC(n, N, r) versus RCC(n, N)
+/// for the same effective coset count.
+///
+/// Returns `(vcc_ops, rcc_ops)` where an "op" is one kernel-width
+/// XOR+cost evaluation (`Δ` in the paper).
+pub fn evaluation_ops(partitions: u32, kernels: u32) -> (u64, u64) {
+    let p = partitions as u64;
+    let r = kernels as u64;
+    let vcc = 2 * p * r;
+    let rcc = p * r * (1u64 << p);
+    (vcc, rcc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(0, 0), 1.0);
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(64, 1), 64.0);
+        assert_eq!(binomial(5, 6), 0.0);
+        // Large values stay finite and sane.
+        let c = binomial(64, 32);
+        assert!(c > 1.8e18 && c < 1.9e18);
+    }
+
+    #[test]
+    fn binomial_cdf_bounds() {
+        assert!((binomial_cdf(64, 0.5, 64) - 1.0).abs() < 1e-9);
+        assert!((binomial_cdf(64, 0.5, 31) - 0.46).abs() < 0.05);
+        assert!(binomial_cdf(64, 0.5, 0) < 1e-15);
+    }
+
+    #[test]
+    fn rcc_expectation_decreases_with_cosets() {
+        let n = 64;
+        let e1 = expected_flips_rcc(n, 1);
+        let e2 = expected_flips_rcc(n, 2);
+        let e16 = expected_flips_rcc(n, 16);
+        let e256 = expected_flips_rcc(n, 256);
+        assert!((e1 - 32.0).abs() < 0.5, "single coset ≈ unencoded, got {e1}");
+        assert!(e2 < e1 && e16 < e2 && e256 < e16);
+        // With 256 cosets the minimum of 256 Binomial(64, ½) draws is ≈ 22-24.
+        assert!(e256 > 20.0 && e256 < 25.0, "e256 = {e256}");
+    }
+
+    #[test]
+    fn bcc_expectation_matches_fnw_intuition() {
+        // With 2 cosets (one section of 64 bits + flag), expected flips just
+        // under 32 (inverting only helps the rare heavy blocks).
+        let e2 = expected_flips_bcc(64, 2);
+        assert!(e2 < 32.0 && e2 > 28.0, "e2 = {e2}");
+        // More sections help further.
+        let e16 = expected_flips_bcc(64, 16);
+        assert!(e16 < e2);
+    }
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        // Figure 1: with few cosets BCC beats RCC; with 16 they are close;
+        // with 256 RCC wins by a wide margin, reaching ~30% reduction.
+        let p2 = fig1_point(64, 2);
+        let p4 = fig1_point(64, 4);
+        let p16 = fig1_point(64, 16);
+        let p256 = fig1_point(64, 256);
+        assert!(p2.bcc_reduction_pct > p2.rcc_reduction_pct);
+        assert!(p16.rcc_reduction_pct > p16.bcc_reduction_pct);
+        assert!(p256.rcc_reduction_pct > p256.bcc_reduction_pct + 5.0);
+        // The full-accounting RCC variant is costlier than the plain one.
+        assert!(
+            expected_flips_rcc_with_aux(64, 4) > expected_flips_rcc(64, 4)
+        );
+        assert!(
+            p256.rcc_reduction_pct > 25.0 && p256.rcc_reduction_pct < 40.0,
+            "RCC-256 reduction = {:.1}%",
+            p256.rcc_reduction_pct
+        );
+        // BCC at 4 cosets is in the paper's ~10% band.
+        assert!(p4.bcc_reduction_pct > 8.0 && p4.bcc_reduction_pct < 16.0);
+        // Monotonic improvement for RCC.
+        assert!(p4.rcc_reduction_pct > p2.rcc_reduction_pct);
+        assert!(p16.rcc_reduction_pct > p4.rcc_reduction_pct);
+        assert!(p256.rcc_reduction_pct > p16.rcc_reduction_pct);
+    }
+
+    #[test]
+    fn evaluation_ops_ratio_is_2_pow_p_minus_1() {
+        let (vcc, rcc) = evaluation_ops(4, 16);
+        assert_eq!(vcc, 2 * 4 * 16);
+        assert_eq!(rcc, 4 * 16 * 16);
+        assert_eq!(rcc / vcc, 1 << 3); // 2^(p-1)
+    }
+}

@@ -1,0 +1,543 @@
+//! Fixed-width bit blocks used throughout the coset coding pipeline.
+//!
+//! A [`Block`] is a little-endian bit container backed by `u64` words. Data
+//! blocks in the paper are 64 bits (one machine word of the protected
+//! memory), cache lines are 512 bits, and coset kernels are 8–32 bits; the
+//! same container serves all of them.
+//!
+//! Bit `0` is the least-significant bit of word `0`. For multi-level cells
+//! (MLC), symbol `s` occupies bits `2s` (right/low digit) and `2s + 1`
+//! (left/high digit); see [`crate::symbol`].
+
+use std::fmt;
+
+/// A fixed-length block of bits backed by `u64` words.
+///
+/// # Examples
+///
+/// ```
+/// use coset::Block;
+///
+/// let mut b = Block::zeros(64);
+/// b.set_bit(3, true);
+/// assert_eq!(b.count_ones(), 1);
+/// assert!(b.bit(3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Block {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Block {
+    /// Creates an all-zero block of `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn zeros(len: usize) -> Self {
+        assert!(len > 0, "block length must be non-zero");
+        let n_words = (len + 63) / 64;
+        Block {
+            words: vec![0u64; n_words],
+            len,
+        }
+    }
+
+    /// Creates an all-one block of `len` bits.
+    pub fn ones(len: usize) -> Self {
+        let mut b = Self::zeros(len);
+        for w in &mut b.words {
+            *w = u64::MAX;
+        }
+        b.mask_tail();
+        b
+    }
+
+    /// Creates a block of `len` bits from the low bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or `len == 0`.
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len > 0 && len <= 64, "from_u64 requires 1..=64 bits");
+        let mut b = Self::zeros(len);
+        b.words[0] = if len == 64 {
+            value
+        } else {
+            value & ((1u64 << len) - 1)
+        };
+        b
+    }
+
+    /// Creates a block from a slice of little-endian `u64` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` does not contain enough bits for `len`.
+    pub fn from_words(words: &[u64], len: usize) -> Self {
+        assert!(len > 0, "block length must be non-zero");
+        assert!(
+            words.len() * 64 >= len,
+            "not enough words ({}) for {} bits",
+            words.len(),
+            len
+        );
+        let n_words = (len + 63) / 64;
+        let mut b = Block {
+            words: words[..n_words].to_vec(),
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    /// Creates a block of `len` bits filled from the random number generator.
+    pub fn random<R: rand::Rng + ?Sized>(rng: &mut R, len: usize) -> Self {
+        let mut b = Self::zeros(len);
+        for w in &mut b.words {
+            *w = rng.gen();
+        }
+        b.mask_tail();
+        b
+    }
+
+    /// Length of the block in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the block holds zero bits. Blocks are never empty,
+    /// so this always returns `false`; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrows the backing words (little-endian bit order).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutably borrows the backing words. The caller must keep bits above
+    /// `len()` zero; use [`Block::mask_tail`] afterwards when unsure.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Clears any bits at positions `>= len` in the last backing word.
+    pub fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] &= (1u64 << rem) - 1;
+        }
+    }
+
+    /// Reads bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn bit(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        (self.words[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// Writes bit `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[inline]
+    pub fn set_bit(&mut self, idx: usize, value: bool) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        let w = idx / 64;
+        let o = idx % 64;
+        if value {
+            self.words[w] |= 1u64 << o;
+        } else {
+            self.words[w] &= !(1u64 << o);
+        }
+    }
+
+    /// Flips bit `idx`.
+    #[inline]
+    pub fn toggle_bit(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index {idx} out of range {}", self.len);
+        self.words[idx / 64] ^= 1u64 << (idx % 64);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Number of positions where `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming_distance(&self, other: &Block) -> u32 {
+        assert_eq!(self.len, other.len, "hamming_distance length mismatch");
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// XORs `other` into `self` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor_assign(&mut self, other: &Block) {
+        assert_eq!(self.len, other.len, "xor length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Returns `self XOR other` as a new block.
+    pub fn xor(&self, other: &Block) -> Block {
+        let mut out = self.clone();
+        out.xor_assign(other);
+        out
+    }
+
+    /// Inverts every bit in place.
+    pub fn invert(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Returns the bitwise complement.
+    pub fn inverted(&self) -> Block {
+        let mut out = self.clone();
+        out.invert();
+        out
+    }
+
+    /// Extracts `width` bits starting at bit `start` into the low bits of a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, `width > 64`, or the range exceeds the block.
+    pub fn extract(&self, start: usize, width: usize) -> u64 {
+        assert!(width > 0 && width <= 64, "extract width must be 1..=64");
+        assert!(
+            start + width <= self.len,
+            "extract range {start}..{} exceeds block length {}",
+            start + width,
+            self.len
+        );
+        let w = start / 64;
+        let o = start % 64;
+        let lo = self.words[w] >> o;
+        let val = if o + width <= 64 {
+            lo
+        } else {
+            lo | (self.words[w + 1] << (64 - o))
+        };
+        if width == 64 {
+            val
+        } else {
+            val & ((1u64 << width) - 1)
+        }
+    }
+
+    /// Writes the low `width` bits of `value` into the block starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, `width > 64`, or the range exceeds the block.
+    pub fn insert(&mut self, start: usize, width: usize, value: u64) {
+        assert!(width > 0 && width <= 64, "insert width must be 1..=64");
+        assert!(
+            start + width <= self.len,
+            "insert range {start}..{} exceeds block length {}",
+            start + width,
+            self.len
+        );
+        let value = if width == 64 {
+            value
+        } else {
+            value & ((1u64 << width) - 1)
+        };
+        let w = start / 64;
+        let o = start % 64;
+        if o + width <= 64 {
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << width) - 1) << o
+            };
+            self.words[w] = (self.words[w] & !mask) | (value << o);
+        } else {
+            let lo_bits = 64 - o;
+            let hi_bits = width - lo_bits;
+            let lo_mask = u64::MAX << o;
+            self.words[w] = (self.words[w] & !lo_mask) | (value << o);
+            let hi_mask = (1u64 << hi_bits) - 1;
+            self.words[w + 1] = (self.words[w + 1] & !hi_mask) | (value >> lo_bits);
+        }
+    }
+
+    /// Returns a new block consisting of bits `start .. start + width`.
+    pub fn slice(&self, start: usize, width: usize) -> Block {
+        assert!(width > 0, "slice width must be non-zero");
+        assert!(
+            start + width <= self.len,
+            "slice range exceeds block length"
+        );
+        let mut out = Block::zeros(width);
+        let mut done = 0;
+        while done < width {
+            let chunk = (width - done).min(64);
+            let v = self.extract(start + done, chunk);
+            out.insert(done, chunk, v);
+            done += chunk;
+        }
+        out
+    }
+
+    /// Overwrites bits `start .. start + other.len()` with `other`.
+    pub fn splice(&mut self, start: usize, other: &Block) {
+        assert!(
+            start + other.len <= self.len,
+            "splice range exceeds block length"
+        );
+        let mut done = 0;
+        while done < other.len {
+            let chunk = (other.len - done).min(64);
+            let v = other.extract(done, chunk);
+            self.insert(start + done, chunk, v);
+            done += chunk;
+        }
+    }
+
+    /// Returns the block as a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is wider than 64 bits.
+    pub fn as_u64(&self) -> u64 {
+        assert!(self.len <= 64, "block wider than 64 bits");
+        self.words[0]
+    }
+
+    /// Iterator over the bits, LSB first.
+    pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.bit(i))
+    }
+
+    /// Concatenates two blocks (`self` occupies the low bits).
+    pub fn concat(&self, other: &Block) -> Block {
+        let mut out = Block::zeros(self.len + other.len);
+        out.splice(0, self);
+        out.splice(self.len, other);
+        out
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block[{}b ", self.len)?;
+        // MSB-first rendering, matching the paper's figures.
+        for i in (0..self.len).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+            if i != 0 && i % 16 == 0 {
+                write!(f, "_")?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in (0..self.len).rev() {
+            write!(f, "{}", if self.bit(i) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Parses a block from an MSB-first string of `0`/`1` characters, ignoring
+/// whitespace and underscores. Used by tests mirroring the paper's Figure 3.
+///
+/// # Examples
+///
+/// ```
+/// use coset::block::parse_bits;
+/// let b = parse_bits("1010");
+/// assert_eq!(b.len(), 4);
+/// assert_eq!(b.as_u64(), 0b1010);
+/// ```
+pub fn parse_bits(s: &str) -> Block {
+    let digits: Vec<bool> = s
+        .chars()
+        .filter(|c| !c.is_whitespace() && *c != '_')
+        .map(|c| match c {
+            '0' => false,
+            '1' => true,
+            other => panic!("invalid bit character {other:?}"),
+        })
+        .collect();
+    assert!(!digits.is_empty(), "empty bit string");
+    let mut b = Block::zeros(digits.len());
+    let n = digits.len();
+    for (i, bit) in digits.iter().enumerate() {
+        // First character is the most significant bit.
+        b.set_bit(n - 1 - i, *bit);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Block::zeros(100);
+        assert_eq!(z.len(), 100);
+        assert_eq!(z.count_ones(), 0);
+        let o = Block::ones(100);
+        assert_eq!(o.count_ones(), 100);
+    }
+
+    #[test]
+    fn from_u64_masks_value() {
+        let b = Block::from_u64(0xFFFF_FFFF_FFFF_FFFF, 10);
+        assert_eq!(b.count_ones(), 10);
+        assert_eq!(b.as_u64(), 0x3FF);
+    }
+
+    #[test]
+    fn set_and_get_bits() {
+        let mut b = Block::zeros(130);
+        b.set_bit(0, true);
+        b.set_bit(64, true);
+        b.set_bit(129, true);
+        assert!(b.bit(0));
+        assert!(b.bit(64));
+        assert!(b.bit(129));
+        assert!(!b.bit(1));
+        assert_eq!(b.count_ones(), 3);
+        b.set_bit(64, false);
+        assert_eq!(b.count_ones(), 2);
+        b.toggle_bit(64);
+        assert!(b.bit(64));
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a = Block::from_u64(0b1100, 4);
+        let b = Block::from_u64(0b1010, 4);
+        assert_eq!(a.hamming_distance(&b), 2);
+        let c = a.xor(&b);
+        assert_eq!(c.as_u64(), 0b0110);
+    }
+
+    #[test]
+    fn invert_respects_length() {
+        let a = Block::from_u64(0b101, 3);
+        let inv = a.inverted();
+        assert_eq!(inv.as_u64(), 0b010);
+        assert_eq!(inv.count_ones(), 1);
+    }
+
+    #[test]
+    fn extract_insert_within_word() {
+        let mut b = Block::zeros(64);
+        b.insert(4, 8, 0xAB);
+        assert_eq!(b.extract(4, 8), 0xAB);
+        assert_eq!(b.extract(0, 4), 0);
+        assert_eq!(b.extract(12, 8), 0x0);
+    }
+
+    #[test]
+    fn extract_insert_across_word_boundary() {
+        let mut b = Block::zeros(128);
+        b.insert(60, 16, 0xBEEF);
+        assert_eq!(b.extract(60, 16), 0xBEEF);
+        // Check bits landed on both words.
+        assert_ne!(b.words()[0], 0);
+        assert_ne!(b.words()[1], 0);
+    }
+
+    #[test]
+    fn slice_and_splice_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = Block::random(&mut rng, 512);
+        let s = b.slice(100, 200);
+        let mut c = Block::zeros(512);
+        c.splice(100, &s);
+        assert_eq!(c.extract(100, 64), b.extract(100, 64));
+        assert_eq!(c.extract(236, 64), b.extract(236, 64));
+    }
+
+    #[test]
+    fn concat_orders_low_then_high() {
+        let lo = Block::from_u64(0b01, 2);
+        let hi = Block::from_u64(0b11, 2);
+        let c = lo.concat(&hi);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.as_u64(), 0b1101);
+    }
+
+    #[test]
+    fn parse_bits_msb_first() {
+        let b = parse_bits("1010_0010 11011011");
+        assert_eq!(b.len(), 16);
+        assert_eq!(b.as_u64(), 0b1010001011011011);
+    }
+
+    #[test]
+    fn display_roundtrips_with_parse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Block::random(&mut rng, 77);
+        let s = format!("{b}");
+        let back = parse_bits(&s);
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn random_respects_tail_mask() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for len in [1usize, 7, 63, 64, 65, 100, 127, 128, 129] {
+            let b = Block::random(&mut rng, len);
+            // No bits above `len` should be set.
+            let total: u32 = b.words().iter().map(|w| w.count_ones()).sum();
+            assert_eq!(total, b.count_ones());
+            assert!(b.count_ones() as usize <= len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        let b = Block::zeros(8);
+        let _ = b.bit(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_length_mismatch_panics() {
+        let mut a = Block::zeros(8);
+        let b = Block::zeros(9);
+        a.xor_assign(&b);
+    }
+}

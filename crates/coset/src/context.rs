@@ -1,0 +1,325 @@
+//! The memory-side context an encoder sees when servicing a write.
+//!
+//! Coset encoding is a read-modify-write scheme (Section II-C): before
+//! writing, the controller reads the current contents of the target word and
+//! consults the fault repository for known stuck cells. [`WriteContext`]
+//! bundles that information for the encoders, and [`StuckBits`] describes
+//! the stuck-at state of a bit range.
+
+use crate::block::Block;
+use crate::cost::{Cost, CostFunction, Field};
+
+/// Stuck-at information for a block-sized region of memory.
+///
+/// Bit `i` of `mask` is `1` when the cell storing bit `i` can no longer be
+/// programmed; `value` then records the value it is frozen at. For MLC
+/// memories a stuck cell freezes both of its bits, so the mask always covers
+/// whole symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckBits {
+    mask: Block,
+    value: Block,
+}
+
+impl StuckBits {
+    /// Creates stuck-at info with no stuck cells for a `len`-bit region.
+    pub fn none(len: usize) -> Self {
+        StuckBits {
+            mask: Block::zeros(len),
+            value: Block::zeros(len),
+        }
+    }
+
+    /// Creates stuck-at info from an explicit mask and value block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two blocks have different lengths.
+    pub fn new(mask: Block, value: Block) -> Self {
+        assert_eq!(mask.len(), value.len(), "mask/value length mismatch");
+        StuckBits { mask, value }
+    }
+
+    /// Length of the region in bits.
+    pub fn len(&self) -> usize {
+        self.mask.len()
+    }
+
+    /// Returns `true` if the region has zero length (never happens for
+    /// well-formed contexts; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.mask.is_empty()
+    }
+
+    /// Marks bit `idx` as stuck at `value`.
+    pub fn stick_bit(&mut self, idx: usize, value: bool) {
+        self.mask.set_bit(idx, true);
+        self.value.set_bit(idx, value);
+    }
+
+    /// Marks the whole `bits_per_cell`-wide cell containing bit `idx` as
+    /// stuck at the given symbol value.
+    pub fn stick_cell(&mut self, cell_idx: usize, bits_per_cell: usize, symbol: u64) {
+        for b in 0..bits_per_cell {
+            let idx = cell_idx * bits_per_cell + b;
+            self.mask.set_bit(idx, true);
+            self.value.set_bit(idx, (symbol >> b) & 1 == 1);
+        }
+    }
+
+    /// Whether bit `idx` is stuck.
+    pub fn is_stuck(&self, idx: usize) -> bool {
+        self.mask.bit(idx)
+    }
+
+    /// Number of stuck bits in the region.
+    pub fn stuck_count(&self) -> u32 {
+        self.mask.count_ones()
+    }
+
+    /// The stuck mask as a block.
+    pub fn mask(&self) -> &Block {
+        &self.mask
+    }
+
+    /// The stuck values as a block.
+    pub fn value(&self) -> &Block {
+        &self.value
+    }
+
+    /// Extracts the stuck mask bits for `width` bits starting at `start`.
+    pub fn mask_bits(&self, start: usize, width: usize) -> u64 {
+        self.mask.extract(start, width)
+    }
+
+    /// Extracts the stuck values for `width` bits starting at `start`.
+    pub fn value_bits(&self, start: usize, width: usize) -> u64 {
+        self.value.extract(start, width)
+    }
+
+    /// Applies the stuck cells to `data`: stuck positions take their frozen
+    /// value. This is what the memory array will actually hold after a write
+    /// of `data`.
+    pub fn apply_to(&self, data: &Block) -> Block {
+        assert_eq!(data.len(), self.len(), "data/stuck length mismatch");
+        let mut out = data.clone();
+        for i in 0..data.len() {
+            if self.mask.bit(i) {
+                out.set_bit(i, self.value.bit(i));
+            }
+        }
+        out
+    }
+
+    /// Counts stuck-at-wrong bits if `data` were written.
+    pub fn saw_count(&self, data: &Block) -> u32 {
+        assert_eq!(data.len(), self.len(), "data/stuck length mismatch");
+        let mut saw = 0;
+        for (w, ((d, m), v)) in data
+            .words()
+            .iter()
+            .zip(self.mask.words())
+            .zip(self.value.words())
+            .enumerate()
+        {
+            let _ = w;
+            saw += ((d ^ v) & m).count_ones();
+        }
+        saw
+    }
+}
+
+/// Everything an encoder knows about the destination of a write.
+#[derive(Debug, Clone)]
+pub struct WriteContext {
+    /// Current contents of the data cells (read before writing).
+    pub old_data: Block,
+    /// Current contents of the auxiliary cells (coset index, flip flags, …).
+    pub old_aux: u64,
+    /// Number of auxiliary bits the destination row provides for this block.
+    pub aux_bits: u32,
+    /// Stuck-at state of the data cells.
+    pub stuck: StuckBits,
+    /// Stuck mask of the auxiliary cells.
+    pub stuck_aux_mask: u64,
+    /// Stuck values of the auxiliary cells.
+    pub stuck_aux_value: u64,
+}
+
+impl WriteContext {
+    /// A pristine context: the destination currently stores `old_data`,
+    /// provides `aux_bits` auxiliary bits currently holding `old_aux`, and
+    /// has no stuck cells.
+    pub fn new(old_data: Block, old_aux: u64, aux_bits: u32) -> Self {
+        let len = old_data.len();
+        WriteContext {
+            old_data,
+            old_aux,
+            aux_bits,
+            stuck: StuckBits::none(len),
+            stuck_aux_mask: 0,
+            stuck_aux_value: 0,
+        }
+    }
+
+    /// A context whose destination is all zeros with no stuck cells — the
+    /// simplified setting of the paper's Figure 3 example.
+    pub fn blank(len: usize, aux_bits: u32) -> Self {
+        Self::new(Block::zeros(len), 0, aux_bits)
+    }
+
+    /// Replaces the stuck-at information for the data cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stuck region length differs from the data length.
+    pub fn with_stuck(mut self, stuck: StuckBits) -> Self {
+        assert_eq!(
+            stuck.len(),
+            self.old_data.len(),
+            "stuck region must match data length"
+        );
+        self.stuck = stuck;
+        self
+    }
+
+    /// Sets the stuck-at state of the auxiliary cells.
+    pub fn with_stuck_aux(mut self, mask: u64, value: u64) -> Self {
+        self.stuck_aux_mask = mask;
+        self.stuck_aux_value = value;
+        self
+    }
+
+    /// Length of the data block in bits.
+    pub fn data_bits(&self) -> usize {
+        self.old_data.len()
+    }
+
+    /// Costs writing `candidate` (data portion only) into this destination.
+    pub fn data_cost(&self, cf: &dyn CostFunction, candidate: &Block) -> Cost {
+        assert_eq!(candidate.len(), self.old_data.len(), "candidate length");
+        cf.region_cost(
+            candidate.words(),
+            self.old_data.words(),
+            self.stuck.mask().words(),
+            self.stuck.value().words(),
+            candidate.len(),
+        )
+    }
+
+    /// Costs a sub-range of a candidate against the same range of the
+    /// destination. `width <= 64`.
+    pub fn range_cost(&self, cf: &dyn CostFunction, new_bits: u64, start: usize, width: usize) -> Cost {
+        cf.field_cost(&Field {
+            new: new_bits,
+            old: self.old_data.extract(start, width),
+            stuck_mask: self.stuck.mask_bits(start, width),
+            stuck_value: self.stuck.value_bits(start, width),
+            bits: width as u32,
+        })
+    }
+
+    /// Costs writing `aux` into the auxiliary cells.
+    pub fn aux_cost(&self, cf: &dyn CostFunction, aux: u64) -> Cost {
+        if self.aux_bits == 0 {
+            return Cost::ZERO;
+        }
+        // MLC cost functions need whole symbols; pad odd aux widths to the
+        // next even width (the extra bit is always zero on both sides).
+        let bits = if self.aux_bits % 2 == 1 {
+            self.aux_bits + 1
+        } else {
+            self.aux_bits
+        };
+        cf.field_cost(&Field {
+            new: aux,
+            old: self.old_aux,
+            stuck_mask: self.stuck_aux_mask,
+            stuck_value: self.stuck_aux_value,
+            bits,
+        })
+    }
+
+    /// Total stuck-at-wrong count if `candidate` + `aux` were written.
+    pub fn total_saw(&self, candidate: &Block, aux: u64) -> u32 {
+        let data_saw = self.stuck.saw_count(candidate);
+        let aux_mask = if self.aux_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.aux_bits) - 1
+        };
+        let aux_saw = ((aux ^ self.stuck_aux_value) & self.stuck_aux_mask & aux_mask).count_ones();
+        data_saw + aux_saw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{BitFlips, OnesCount, SawCount};
+
+    #[test]
+    fn stuck_bits_basics() {
+        let mut s = StuckBits::none(8);
+        assert_eq!(s.stuck_count(), 0);
+        s.stick_bit(3, true);
+        s.stick_bit(5, false);
+        assert!(s.is_stuck(3));
+        assert!(!s.is_stuck(0));
+        assert_eq!(s.stuck_count(), 2);
+        assert_eq!(s.mask_bits(0, 8), 0b0010_1000);
+        assert_eq!(s.value_bits(0, 8), 0b0000_1000);
+    }
+
+    #[test]
+    fn stick_cell_freezes_both_bits() {
+        let mut s = StuckBits::none(8);
+        s.stick_cell(1, 2, 0b10);
+        assert!(s.is_stuck(2));
+        assert!(s.is_stuck(3));
+        assert_eq!(s.value_bits(2, 2), 0b10);
+    }
+
+    #[test]
+    fn apply_and_saw_count() {
+        let mut s = StuckBits::none(4);
+        s.stick_bit(0, true);
+        s.stick_bit(2, false);
+        let data = Block::from_u64(0b0101, 4);
+        // Bit 0: write 1, stuck at 1 -> ok. Bit 2: write 1, stuck at 0 -> SAW.
+        assert_eq!(s.saw_count(&data), 1);
+        let stored = s.apply_to(&data);
+        assert_eq!(stored.as_u64(), 0b0001);
+    }
+
+    #[test]
+    fn context_costs() {
+        let ctx = WriteContext::new(Block::from_u64(0b0000, 4), 0b0, 2);
+        let cand = Block::from_u64(0b0110, 4);
+        assert_eq!(ctx.data_cost(&BitFlips, &cand).primary, 2.0);
+        assert_eq!(ctx.data_cost(&OnesCount, &cand).primary, 2.0);
+        assert_eq!(ctx.aux_cost(&OnesCount, 0b11).primary, 2.0);
+        assert_eq!(ctx.range_cost(&OnesCount, 0b1, 0, 2).primary, 1.0);
+    }
+
+    #[test]
+    fn context_saw_includes_aux() {
+        let mut stuck = StuckBits::none(4);
+        stuck.stick_bit(1, false);
+        let ctx = WriteContext::new(Block::zeros(4), 0, 3)
+            .with_stuck(stuck)
+            .with_stuck_aux(0b100, 0b000);
+        let cand = Block::from_u64(0b0010, 4); // writes 1 into stuck-at-0 bit
+        assert_eq!(ctx.total_saw(&cand, 0b100), 2); // plus aux bit 2 stuck at 0
+        assert_eq!(ctx.data_cost(&SawCount, &cand).primary, 1.0);
+    }
+
+    #[test]
+    fn blank_context_is_zeroed() {
+        let ctx = WriteContext::blank(64, 6);
+        assert_eq!(ctx.data_bits(), 64);
+        assert_eq!(ctx.old_data.count_ones(), 0);
+        assert_eq!(ctx.old_aux, 0);
+        assert_eq!(ctx.stuck.stuck_count(), 0);
+    }
+}

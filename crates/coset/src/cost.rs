@@ -1,0 +1,640 @@
+//! Cost functions driving coset candidate selection.
+//!
+//! Every encoder in this crate evaluates candidate codewords with a
+//! [`CostFunction`] and keeps the cheapest one. The paper uses several
+//! objectives, all reproduced here:
+//!
+//! * number of written `1`s (the worked example of Figure 3),
+//! * number of bit flips relative to the data already in the row
+//!   (Flip-N-Write-style, Section II-C),
+//! * MLC/SLC write energy using the Table I transition energies,
+//! * number of stuck-at-wrong (SAW) cells, i.e. stuck cells whose stored
+//!   value differs from the value being written,
+//! * lexicographic combinations (SAW-first-then-energy and
+//!   energy-first-then-SAW, Section VI-A).
+//!
+//! Cost functions operate on `u64`-sized *fields*: a field is at most 64
+//! bits of new data, the old data occupying those cells, and the stuck-at
+//! state of those cells. Blocks wider than 64 bits are costed by summing
+//! their 64-bit words; partitions narrower than 64 bits (VCC kernels) are
+//! costed directly. MLC symbols are two adjacent bits, so fields must hold
+//! an even number of bits when an MLC energy model is used.
+
+use std::fmt;
+use std::ops::Add;
+
+use crate::symbol::CellKind;
+
+/// A candidate cost. Ordering is lexicographic: `primary` dominates,
+/// `secondary` breaks ties. Plain single-objective cost functions put their
+/// value in `primary` and leave `secondary` at zero.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Cost {
+    /// Dominant component of the objective.
+    pub primary: f64,
+    /// Tie-breaking component of the objective.
+    pub secondary: f64,
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        primary: 0.0,
+        secondary: 0.0,
+    };
+
+    /// Creates a single-objective cost.
+    pub fn new(primary: f64) -> Self {
+        Cost {
+            primary,
+            secondary: 0.0,
+        }
+    }
+
+    /// Creates a two-level lexicographic cost.
+    pub fn with_secondary(primary: f64, secondary: f64) -> Self {
+        Cost { primary, secondary }
+    }
+
+    /// Returns `true` if `self` is strictly cheaper than `other`
+    /// (lexicographic comparison, NaN treated as most expensive).
+    pub fn is_better_than(&self, other: &Cost) -> bool {
+        match self.primary.total_cmp(&other.primary) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => {
+                self.secondary.total_cmp(&other.secondary) == std::cmp::Ordering::Less
+            }
+        }
+    }
+}
+
+impl Default for Cost {
+    fn default() -> Self {
+        Cost::ZERO
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            primary: self.primary + rhs.primary,
+            secondary: self.secondary + rhs.secondary,
+        }
+    }
+}
+
+impl std::iter::Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, Add::add)
+    }
+}
+
+impl PartialOrd for Cost {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(
+            self.primary
+                .total_cmp(&other.primary)
+                .then(self.secondary.total_cmp(&other.secondary)),
+        )
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.secondary == 0.0 {
+            write!(f, "{:.4}", self.primary)
+        } else {
+            write!(f, "({:.4}, {:.4})", self.primary, self.secondary)
+        }
+    }
+}
+
+/// One costing unit: up to 64 bits of candidate data plus the memory state
+/// it would overwrite.
+#[derive(Debug, Clone, Copy)]
+pub struct Field {
+    /// Candidate bits to be written (low `bits` bits are significant).
+    pub new: u64,
+    /// Bits currently stored in the target cells.
+    pub old: u64,
+    /// Mask of cells that are stuck (1 = stuck). For MLC, both bits of a
+    /// stuck cell are expected to be set in the mask.
+    pub stuck_mask: u64,
+    /// The values the stuck cells are frozen at (only meaningful where
+    /// `stuck_mask` is set).
+    pub stuck_value: u64,
+    /// Number of significant bits (1..=64).
+    pub bits: u32,
+}
+
+impl Field {
+    /// Constructs a field with no stuck cells.
+    pub fn new(new: u64, old: u64, bits: u32) -> Self {
+        Field {
+            new,
+            old,
+            stuck_mask: 0,
+            stuck_value: 0,
+            bits,
+        }
+    }
+
+    /// Mask covering the significant bits of this field.
+    #[inline]
+    pub fn bit_mask(&self) -> u64 {
+        if self.bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        }
+    }
+
+    /// The data that will actually end up stored: stuck cells keep their
+    /// frozen value, everything else takes the new value.
+    #[inline]
+    pub fn effective_stored(&self) -> u64 {
+        ((self.new & !self.stuck_mask) | (self.stuck_value & self.stuck_mask)) & self.bit_mask()
+    }
+
+    /// Number of stuck-at-wrong bits: stuck cells whose frozen value differs
+    /// from the value being written.
+    #[inline]
+    pub fn saw_bits(&self) -> u32 {
+        ((self.new ^ self.stuck_value) & self.stuck_mask & self.bit_mask()).count_ones()
+    }
+}
+
+/// Objective evaluated for every candidate codeword.
+///
+/// Implementations must be pure functions of the field contents so that the
+/// encoder may evaluate partitions independently and in any order.
+pub trait CostFunction: Send + Sync {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &str;
+
+    /// Cost of writing one field.
+    fn field_cost(&self, field: &Field) -> Cost;
+
+    /// Cost of writing a multi-word region described by parallel slices.
+    ///
+    /// `bits` is the total number of significant bits; slices must contain
+    /// `ceil(bits / 64)` words.
+    fn region_cost(
+        &self,
+        new: &[u64],
+        old: &[u64],
+        stuck_mask: &[u64],
+        stuck_value: &[u64],
+        bits: usize,
+    ) -> Cost {
+        let words = (bits + 63) / 64;
+        assert!(new.len() >= words && old.len() >= words);
+        assert!(stuck_mask.len() >= words && stuck_value.len() >= words);
+        let mut total = Cost::ZERO;
+        let mut remaining = bits;
+        for w in 0..words {
+            let b = remaining.min(64) as u32;
+            total = total
+                + self.field_cost(&Field {
+                    new: new[w],
+                    old: old[w],
+                    stuck_mask: stuck_mask[w],
+                    stuck_value: stuck_value[w],
+                    bits: b,
+                });
+            remaining -= b as usize;
+        }
+        total
+    }
+}
+
+/// Counts the `1` bits written (the paper's Figure 3 objective).
+///
+/// Writing more `1`s (SET pulses toward intermediate states in MLC) is the
+/// expensive direction, so minimizing ones is a simple proxy for energy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OnesCount;
+
+impl CostFunction for OnesCount {
+    fn name(&self) -> &str {
+        "ones"
+    }
+
+    fn field_cost(&self, field: &Field) -> Cost {
+        Cost::new((field.new & field.bit_mask()).count_ones() as f64)
+    }
+}
+
+/// Counts bits that differ from the data already stored (Flip-N-Write /
+/// differential-write objective).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitFlips;
+
+impl CostFunction for BitFlips {
+    fn name(&self) -> &str {
+        "bit-flips"
+    }
+
+    fn field_cost(&self, field: &Field) -> Cost {
+        Cost::new(((field.new ^ field.old) & field.bit_mask()).count_ones() as f64)
+    }
+}
+
+/// Counts stuck-at-wrong cells only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SawCount;
+
+impl CostFunction for SawCount {
+    fn name(&self) -> &str {
+        "saw"
+    }
+
+    fn field_cost(&self, field: &Field) -> Cost {
+        Cost::new(field.saw_bits() as f64)
+    }
+}
+
+/// Per-transition write energies for a memory cell, in picojoules.
+///
+/// For MLC the matrix is indexed `[old_symbol][new_symbol]` over the four
+/// Gray-coded symbols `00, 01, 11, 10` (using the symbol's numeric value as
+/// the index). For SLC it is indexed `[old_bit][new_bit]`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TransitionEnergy {
+    kind: CellKind,
+    /// `energy[old][new]` in picojoules.
+    table: [[f64; 4]; 4],
+}
+
+/// Energy of a low-cost MLC transition (full SET or RESET toward an extreme
+/// Gray level whose right digit is `0`), in pJ. Calibrated to the prototype
+/// MLC PCM of Bedeschi et al. / Wang et al. used by the paper: intermediate
+/// levels cost roughly an order of magnitude more than the extremes.
+pub const MLC_LOW_TRANSITION_PJ: f64 = 13.0;
+
+/// Energy of a high-cost MLC transition (program-and-verify into an
+/// intermediate level whose right digit is `1`), in pJ.
+pub const MLC_HIGH_TRANSITION_PJ: f64 = 132.0;
+
+/// Energy of flipping an SLC cell (single SET or RESET pulse), in pJ.
+pub const SLC_TRANSITION_PJ: f64 = 13.0;
+
+impl TransitionEnergy {
+    /// The paper's Table I energy model for 2-bit MLC PCM: any transition
+    /// into a symbol whose right digit is `1` is high energy, any transition
+    /// into a symbol whose right digit is `0` is low energy, and rewriting
+    /// the same symbol is free (differential write skips it).
+    pub fn mlc_table_i() -> Self {
+        let mut table = [[0.0f64; 4]; 4];
+        for old in 0..4usize {
+            for new in 0..4usize {
+                if old == new {
+                    table[old][new] = 0.0;
+                } else if new & 1 == 1 {
+                    table[old][new] = MLC_HIGH_TRANSITION_PJ;
+                } else {
+                    table[old][new] = MLC_LOW_TRANSITION_PJ;
+                }
+            }
+        }
+        TransitionEnergy {
+            kind: CellKind::Mlc,
+            table,
+        }
+    }
+
+    /// A symmetric SLC energy model: any bit flip costs
+    /// [`SLC_TRANSITION_PJ`], rewrites are free.
+    pub fn slc_symmetric() -> Self {
+        let mut table = [[0.0f64; 4]; 4];
+        table[0][1] = SLC_TRANSITION_PJ;
+        table[1][0] = SLC_TRANSITION_PJ;
+        TransitionEnergy {
+            kind: CellKind::Slc,
+            table,
+        }
+    }
+
+    /// Builds a custom MLC table. `table[old][new]` is indexed by symbol
+    /// value (0..4).
+    pub fn custom_mlc(table: [[f64; 4]; 4]) -> Self {
+        TransitionEnergy {
+            kind: CellKind::Mlc,
+            table,
+        }
+    }
+
+    /// Builds a custom SLC table from a 2x2 matrix.
+    pub fn custom_slc(table: [[f64; 2]; 2]) -> Self {
+        let mut full = [[0.0f64; 4]; 4];
+        for old in 0..2 {
+            for new in 0..2 {
+                full[old][new] = table[old][new];
+            }
+        }
+        TransitionEnergy {
+            kind: CellKind::Slc,
+            table: full,
+        }
+    }
+
+    /// The cell kind this table describes.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Energy in pJ of programming a cell from `old` to `new`
+    /// (symbol values for MLC, bit values for SLC).
+    #[inline]
+    pub fn energy(&self, old: u8, new: u8) -> f64 {
+        self.table[old as usize][new as usize]
+    }
+
+    /// The largest single-cell transition energy in the table.
+    pub fn max_energy(&self) -> f64 {
+        self.table
+            .iter()
+            .flatten()
+            .copied()
+            .fold(0.0f64, f64::max)
+    }
+}
+
+impl Default for TransitionEnergy {
+    fn default() -> Self {
+        TransitionEnergy::mlc_table_i()
+    }
+}
+
+/// Write energy objective using a [`TransitionEnergy`] table.
+///
+/// Stuck cells consume no programming energy (the write driver skips cells
+/// the fault repository reports as failed), which matches the paper's
+/// accounting where SAW cells are an error/reliability problem rather than
+/// an energy one.
+#[derive(Debug, Clone, Default)]
+pub struct WriteEnergy {
+    energies: TransitionEnergy,
+}
+
+impl WriteEnergy {
+    /// Creates an energy objective from a transition table.
+    pub fn new(energies: TransitionEnergy) -> Self {
+        WriteEnergy { energies }
+    }
+
+    /// The Table I MLC PCM energy objective.
+    pub fn mlc() -> Self {
+        WriteEnergy {
+            energies: TransitionEnergy::mlc_table_i(),
+        }
+    }
+
+    /// The symmetric SLC energy objective.
+    pub fn slc() -> Self {
+        WriteEnergy {
+            energies: TransitionEnergy::slc_symmetric(),
+        }
+    }
+
+    /// Access to the underlying transition table.
+    pub fn energies(&self) -> &TransitionEnergy {
+        &self.energies
+    }
+}
+
+impl CostFunction for WriteEnergy {
+    fn name(&self) -> &str {
+        match self.energies.kind() {
+            CellKind::Mlc => "write-energy-mlc",
+            CellKind::Slc => "write-energy-slc",
+        }
+    }
+
+    fn field_cost(&self, field: &Field) -> Cost {
+        let bits_per_cell = self.energies.kind().bits_per_cell() as u32;
+        assert!(
+            field.bits % bits_per_cell == 0,
+            "field of {} bits is not a whole number of {}-bit cells",
+            field.bits,
+            bits_per_cell
+        );
+        let cells = field.bits / bits_per_cell;
+        let cell_mask = (1u64 << bits_per_cell) - 1;
+        let mut energy = 0.0;
+        for c in 0..cells {
+            let shift = c * bits_per_cell;
+            let stuck = (field.stuck_mask >> shift) & cell_mask;
+            if stuck != 0 {
+                // Cell is (partially) stuck: the driver does not program it.
+                continue;
+            }
+            let old = ((field.old >> shift) & cell_mask) as u8;
+            let new = ((field.new >> shift) & cell_mask) as u8;
+            energy += self.energies.energy(old, new);
+        }
+        Cost::new(energy)
+    }
+}
+
+/// Lexicographic combination of two objectives: minimize `primary` first and
+/// use `secondary` to break ties.
+///
+/// The paper's two evaluation modes are `Lexico::new(SawCount, WriteEnergy::mlc())`
+/// ("Opt. SAW") and `Lexico::new(WriteEnergy::mlc(), SawCount)` ("Opt. Energy").
+#[derive(Debug, Clone)]
+pub struct Lexico<P, S> {
+    primary: P,
+    secondary: S,
+    name: String,
+}
+
+impl<P: CostFunction, S: CostFunction> Lexico<P, S> {
+    /// Combines two objectives lexicographically.
+    pub fn new(primary: P, secondary: S) -> Self {
+        let name = format!("{}-then-{}", primary.name(), secondary.name());
+        Lexico {
+            primary,
+            secondary,
+            name,
+        }
+    }
+}
+
+impl<P: CostFunction, S: CostFunction> CostFunction for Lexico<P, S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn field_cost(&self, field: &Field) -> Cost {
+        let p = self.primary.field_cost(field);
+        let s = self.secondary.field_cost(field);
+        // Fold a two-level lexicographic cost: the secondary objective's own
+        // secondary component is discarded (it is zero for all built-ins).
+        Cost::with_secondary(p.primary, s.primary)
+    }
+}
+
+/// Convenience constructor for the paper's "Opt. SAW" objective:
+/// minimize stuck-at-wrong cells first, then MLC write energy.
+pub fn opt_saw_then_energy() -> Lexico<SawCount, WriteEnergy> {
+    Lexico::new(SawCount, WriteEnergy::mlc())
+}
+
+/// Convenience constructor for the paper's "Opt. Energy" objective:
+/// minimize MLC write energy first, then stuck-at-wrong cells.
+pub fn opt_energy_then_saw() -> Lexico<WriteEnergy, SawCount> {
+    Lexico::new(WriteEnergy::mlc(), SawCount)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_ordering_is_lexicographic() {
+        let a = Cost::with_secondary(1.0, 100.0);
+        let b = Cost::with_secondary(2.0, 0.0);
+        assert!(a.is_better_than(&b));
+        assert!(!b.is_better_than(&a));
+        let c = Cost::with_secondary(1.0, 99.0);
+        assert!(c.is_better_than(&a));
+        assert!(a < b);
+        assert!(c < a);
+    }
+
+    #[test]
+    fn cost_addition_and_sum() {
+        let a = Cost::with_secondary(1.0, 2.0);
+        let b = Cost::with_secondary(3.0, 4.0);
+        let s = a + b;
+        assert_eq!(s.primary, 4.0);
+        assert_eq!(s.secondary, 6.0);
+        let total: Cost = [a, b, Cost::ZERO].into_iter().sum();
+        assert_eq!(total.primary, 4.0);
+    }
+
+    #[test]
+    fn ones_count_masks_width() {
+        let f = Field::new(u64::MAX, 0, 10);
+        assert_eq!(OnesCount.field_cost(&f).primary, 10.0);
+    }
+
+    #[test]
+    fn bit_flips_counts_differences() {
+        let f = Field::new(0b1100, 0b1010, 4);
+        assert_eq!(BitFlips.field_cost(&f).primary, 2.0);
+    }
+
+    #[test]
+    fn saw_counts_only_wrong_stuck_cells() {
+        let f = Field {
+            new: 0b1111,
+            old: 0,
+            stuck_mask: 0b0110,
+            stuck_value: 0b0010,
+            bits: 4,
+        };
+        // Bit 1 stuck at 1 and we write 1: fine. Bit 2 stuck at 0 and we
+        // write 1: stuck-at-wrong.
+        assert_eq!(SawCount.field_cost(&f).primary, 1.0);
+        assert_eq!(f.saw_bits(), 1);
+        assert_eq!(f.effective_stored(), 0b1011);
+    }
+
+    #[test]
+    fn table_i_energy_shape() {
+        let t = TransitionEnergy::mlc_table_i();
+        // Diagonal is free.
+        for s in 0..4u8 {
+            assert_eq!(t.energy(s, s), 0.0);
+        }
+        // New right digit 1 => high energy.
+        assert_eq!(t.energy(0b00, 0b01), MLC_HIGH_TRANSITION_PJ);
+        assert_eq!(t.energy(0b00, 0b11), MLC_HIGH_TRANSITION_PJ);
+        assert_eq!(t.energy(0b10, 0b11), MLC_HIGH_TRANSITION_PJ);
+        // New right digit 0 => low energy.
+        assert_eq!(t.energy(0b00, 0b10), MLC_LOW_TRANSITION_PJ);
+        assert_eq!(t.energy(0b01, 0b00), MLC_LOW_TRANSITION_PJ);
+        assert_eq!(t.energy(0b11, 0b10), MLC_LOW_TRANSITION_PJ);
+        assert!(t.max_energy() >= MLC_HIGH_TRANSITION_PJ);
+    }
+
+    #[test]
+    fn mlc_energy_cost_sums_cells() {
+        let cf = WriteEnergy::mlc();
+        // Two symbols: old 00->new 01 (high), old 00 -> new 10 (low).
+        let f = Field::new(0b10_01, 0b00_00, 4);
+        let c = cf.field_cost(&f);
+        assert!((c.primary - (MLC_HIGH_TRANSITION_PJ + MLC_LOW_TRANSITION_PJ)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mlc_energy_skips_stuck_cells() {
+        let cf = WriteEnergy::mlc();
+        let f = Field {
+            new: 0b01,
+            old: 0b00,
+            stuck_mask: 0b11,
+            stuck_value: 0b00,
+            bits: 2,
+        };
+        assert_eq!(cf.field_cost(&f).primary, 0.0);
+    }
+
+    #[test]
+    fn slc_energy_counts_flips() {
+        let cf = WriteEnergy::slc();
+        let f = Field::new(0b111, 0b001, 3);
+        assert!((cf.field_cost(&f).primary - 2.0 * SLC_TRANSITION_PJ).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lexico_orders_by_primary_then_secondary() {
+        let cf = opt_saw_then_energy();
+        // Candidate A: no SAW, expensive energy.
+        let a = Field {
+            new: 0b01,
+            old: 0b00,
+            stuck_mask: 0,
+            stuck_value: 0,
+            bits: 2,
+        };
+        // Candidate B: one SAW, zero energy (stuck cell skipped).
+        let b = Field {
+            new: 0b01,
+            old: 0b01,
+            stuck_mask: 0b11,
+            stuck_value: 0b00,
+            bits: 2,
+        };
+        let ca = cf.field_cost(&a);
+        let cb = cf.field_cost(&b);
+        assert!(ca.is_better_than(&cb));
+        assert_eq!(cf.name(), "saw-then-write-energy-mlc");
+    }
+
+    #[test]
+    fn region_cost_matches_manual_sum() {
+        let cf = BitFlips;
+        let new = [u64::MAX, 0b1];
+        let old = [0u64, 0b0];
+        let zero = [0u64, 0];
+        let c = cf.region_cost(&new, &old, &zero, &zero, 65);
+        assert_eq!(c.primary, 65.0);
+    }
+
+    #[test]
+    fn custom_tables() {
+        let slc = TransitionEnergy::custom_slc([[0.0, 5.0], [7.0, 0.0]]);
+        assert_eq!(slc.energy(0, 1), 5.0);
+        assert_eq!(slc.energy(1, 0), 7.0);
+        let mut m = [[1.0f64; 4]; 4];
+        m[2][3] = 9.0;
+        let mlc = TransitionEnergy::custom_mlc(m);
+        assert_eq!(mlc.energy(2, 3), 9.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! The [`Encoder`] abstraction shared by every data-transformation scheme.
+//!
+//! All techniques compared in the paper — unencoded writeback, DBI,
+//! Flip-N-Write, Flipcy, biased coset coding, random coset coding and
+//! Virtual Coset Coding — implement the same contract: given the block to
+//! write and the [`WriteContext`] describing the destination, produce a
+//! codeword plus auxiliary bits minimizing a [`CostFunction`], such that the
+//! original data can be recovered from the codeword and the auxiliary bits
+//! alone.
+
+use crate::block::Block;
+use crate::context::WriteContext;
+use crate::cost::{Cost, CostFunction};
+
+/// Result of encoding one data block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Encoded {
+    /// The transformed block that will be written to the data cells.
+    pub codeword: Block,
+    /// Auxiliary bits identifying the transformation (coset index, flags…).
+    pub aux: u64,
+    /// Cost of the selected candidate (data + auxiliary bits) under the
+    /// encoder's cost function.
+    pub cost: Cost,
+}
+
+/// A data transformation scheme protecting writes to an NVM word.
+///
+/// # Contract
+///
+/// For every data block `d` and context `ctx`:
+/// `decode(encode(d, ctx, cf).codeword, encode(d, ctx, cf).aux) == d`.
+///
+/// Encoders never inspect the *data* semantically — they must behave
+/// identically for encrypted (random) and plain data, which is the premise
+/// of the paper.
+pub trait Encoder: Send + Sync {
+    /// Short machine-friendly name ("vcc", "rcc", "fnw", …).
+    fn name(&self) -> &str;
+
+    /// Width of the data blocks this encoder instance operates on, in bits.
+    fn block_bits(&self) -> usize;
+
+    /// Number of auxiliary bits produced for every data block.
+    fn aux_bits(&self) -> u32;
+
+    /// Chooses the cheapest codeword for `data` written into `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `data.len() != self.block_bits()` or the
+    /// context's data length differs.
+    fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded;
+
+    /// Recovers the original data from a stored codeword and its aux bits.
+    fn decode(&self, codeword: &Block, aux: u64) -> Block;
+}
+
+/// Unencoded writeback: the identity transformation (the paper's baseline).
+#[derive(Debug, Clone, Copy)]
+pub struct Unencoded {
+    block_bits: usize,
+}
+
+impl Unencoded {
+    /// Creates an identity "encoder" for `block_bits`-bit words.
+    pub fn new(block_bits: usize) -> Self {
+        assert!(block_bits > 0, "block width must be non-zero");
+        Unencoded { block_bits }
+    }
+}
+
+impl Encoder for Unencoded {
+    fn name(&self) -> &str {
+        "unencoded"
+    }
+
+    fn block_bits(&self) -> usize {
+        self.block_bits
+    }
+
+    fn aux_bits(&self) -> u32 {
+        0
+    }
+
+    fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded {
+        assert_eq!(data.len(), self.block_bits, "data width mismatch");
+        assert_eq!(ctx.data_bits(), self.block_bits, "context width mismatch");
+        let c = ctx.data_cost(cost, data);
+        Encoded {
+            codeword: data.clone(),
+            aux: 0,
+            cost: c,
+        }
+    }
+
+    fn decode(&self, codeword: &Block, _aux: u64) -> Block {
+        codeword.clone()
+    }
+}
+
+/// Checks the encode/decode round-trip property for an encoder on random
+/// data and contexts; used by tests of every scheme and exposed so
+/// downstream crates can validate custom encoders.
+///
+/// Returns the number of trials performed.
+///
+/// # Panics
+///
+/// Panics on the first round-trip failure.
+pub fn check_roundtrip<R: rand::Rng>(
+    encoder: &dyn Encoder,
+    cost: &dyn CostFunction,
+    rng: &mut R,
+    trials: usize,
+) -> usize {
+    for t in 0..trials {
+        let data = Block::random(rng, encoder.block_bits());
+        let old = Block::random(rng, encoder.block_bits());
+        let ctx = WriteContext::new(old, rng.gen(), encoder.aux_bits());
+        let enc = encoder.encode(&data, &ctx, cost);
+        let back = encoder.decode(&enc.codeword, enc.aux);
+        assert_eq!(
+            back, data,
+            "round-trip failure for {} on trial {t}",
+            encoder.name()
+        );
+    }
+    trials
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{BitFlips, OnesCount};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unencoded_is_identity() {
+        let enc = Unencoded::new(64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = Block::random(&mut rng, 64);
+        let ctx = WriteContext::blank(64, 0);
+        let e = enc.encode(&data, &ctx, &OnesCount);
+        assert_eq!(e.codeword, data);
+        assert_eq!(e.aux, 0);
+        assert_eq!(e.cost.primary, data.count_ones() as f64);
+        assert_eq!(enc.decode(&e.codeword, e.aux), data);
+        assert_eq!(enc.aux_bits(), 0);
+        assert_eq!(enc.block_bits(), 64);
+        assert_eq!(enc.name(), "unencoded");
+    }
+
+    #[test]
+    fn unencoded_roundtrip_harness() {
+        let enc = Unencoded::new(32);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(check_roundtrip(&enc, &BitFlips, &mut rng, 50), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "data width mismatch")]
+    fn unencoded_rejects_wrong_width() {
+        let enc = Unencoded::new(64);
+        let data = Block::zeros(32);
+        let ctx = WriteContext::blank(32, 0);
+        enc.encode(&data, &ctx, &OnesCount);
+    }
+}

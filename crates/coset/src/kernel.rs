@@ -1,0 +1,352 @@
+//! Coset kernels and the runtime kernel generator (Algorithm 2).
+//!
+//! A *kernel* is a short random bit string (`m` bits, typically 8–32).
+//! VCC concatenates a kernel or its complement across the partitions of a
+//! data block to form a full-length "virtual" coset candidate, so `r`
+//! kernels stand in for `N = r · 2^p` stored cosets.
+//!
+//! Kernels can either be pre-generated and stored in a small ROM
+//! ("VCC-Stored" in the paper) or derived at run time from the
+//! energy-insensitive left digits of the encrypted MLC data block
+//! (Algorithm 2), which removes the need to protect the kernel ROM from
+//! disclosure.
+
+use rand::Rng;
+
+use crate::block::Block;
+
+/// A set of `m`-bit coset kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSet {
+    kernel_bits: usize,
+    kernels: Vec<u64>,
+}
+
+impl KernelSet {
+    /// Builds a kernel set from explicit kernel values (low `kernel_bits`
+    /// bits of each entry are significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty, `kernel_bits` is 0 or > 64, or the
+    /// kernel count is not a power of two.
+    pub fn new(kernel_bits: usize, kernels: Vec<u64>) -> Self {
+        assert!(!kernels.is_empty(), "at least one kernel required");
+        assert!(
+            kernel_bits > 0 && kernel_bits <= 64,
+            "kernel width must be 1..=64 bits"
+        );
+        assert!(
+            kernels.len().is_power_of_two(),
+            "kernel count must be a power of two"
+        );
+        let mask = Self::mask_for(kernel_bits);
+        let kernels = kernels.into_iter().map(|k| k & mask).collect();
+        KernelSet {
+            kernel_bits,
+            kernels,
+        }
+    }
+
+    /// Generates `count` uniformly random kernels of `kernel_bits` bits
+    /// (the stored-ROM variant).
+    pub fn random<R: Rng + ?Sized>(kernel_bits: usize, count: usize, rng: &mut R) -> Self {
+        let mask = Self::mask_for(kernel_bits);
+        let kernels = (0..count).map(|_| rng.gen::<u64>() & mask).collect();
+        Self::new(kernel_bits, kernels)
+    }
+
+    fn mask_for(bits: usize) -> u64 {
+        if bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        }
+    }
+
+    /// Kernel width in bits (`m`).
+    pub fn kernel_bits(&self) -> usize {
+        self.kernel_bits
+    }
+
+    /// Number of kernels (`r`).
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Kernel `i` (low `kernel_bits` bits).
+    pub fn kernel(&self, i: usize) -> u64 {
+        self.kernels[i]
+    }
+
+    /// The bitwise complement of kernel `i`, masked to the kernel width.
+    pub fn kernel_complement(&self, i: usize) -> u64 {
+        !self.kernels[i] & Self::mask_for(self.kernel_bits)
+    }
+
+    /// All kernels as a slice.
+    pub fn kernels(&self) -> &[u64] {
+        &self.kernels
+    }
+
+    /// Number of auxiliary bits needed to name a kernel.
+    pub fn index_bits(&self) -> u32 {
+        self.kernels.len().trailing_zeros()
+    }
+
+    /// Expands the kernel set into the full list of `r · 2^p` virtual coset
+    /// candidates over `p` partitions, mainly for testing the equivalence
+    /// between VCC and explicit RCC over the virtual candidates.
+    pub fn virtual_cosets(&self, partitions: usize) -> Vec<Block> {
+        let m = self.kernel_bits;
+        let n = m * partitions;
+        let mut out = Vec::with_capacity(self.kernels.len() << partitions);
+        for i in 0..self.kernels.len() {
+            for flags in 0u64..(1u64 << partitions) {
+                let mut v = Block::zeros(n);
+                for j in 0..partitions {
+                    let k = if (flags >> j) & 1 == 1 {
+                        self.kernel_complement(i)
+                    } else {
+                        self.kernel(i)
+                    };
+                    v.insert(j * m, m, k);
+                }
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Configuration of the Algorithm 2 runtime kernel generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorConfig {
+    /// Kernel width `m` in bits.
+    pub kernel_bits: usize,
+    /// Number of kernels `r` to derive.
+    pub num_kernels: usize,
+}
+
+impl GeneratorConfig {
+    /// Creates a generator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero, `kernel_bits > 64`, or
+    /// `num_kernels` is not a power of two.
+    pub fn new(kernel_bits: usize, num_kernels: usize) -> Self {
+        assert!(kernel_bits > 0 && kernel_bits <= 64);
+        assert!(num_kernels.is_power_of_two() && num_kernels >= 1);
+        GeneratorConfig {
+            kernel_bits,
+            num_kernels,
+        }
+    }
+}
+
+/// Algorithm 2: derives `r` `m`-bit kernels from a seed bit vector `L`
+/// (the left digits of the encrypted data block).
+///
+/// The seed is split into `b = L.len() / m` base vectors; `r / b` variants of
+/// each base vector are produced by XORing it with a short unique mask
+/// (`1 + log2(r/b)` bits) repeated across the vector. The extra mask bit
+/// keeps the generated vectors from being complements of one another.
+///
+/// If the seed provides more base vectors than kernels requested, only the
+/// first `r` base vectors are used. If `r` is not a multiple of `b`, the
+/// remainder is filled by continuing the mask sequence on the leading base
+/// vectors.
+///
+/// # Panics
+///
+/// Panics if the seed is shorter than one kernel width.
+pub fn generate_kernels(seed: &Block, config: GeneratorConfig) -> KernelSet {
+    let m = config.kernel_bits;
+    let r = config.num_kernels;
+    assert!(
+        seed.len() >= m,
+        "seed of {} bits cannot produce {m}-bit kernels",
+        seed.len()
+    );
+    let b = (seed.len() / m).max(1);
+    let base: Vec<u64> = (0..b).map(|j| seed.extract(j * m, m)).collect();
+
+    // Number of variants needed per base vector (rounded up), and the mask
+    // width with the extra anti-complement bit.
+    let variants_per_base = (r + b - 1) / b;
+    let mask_bits = 1 + ceil_log2(variants_per_base.max(1));
+
+    let mut kernels = Vec::with_capacity(r);
+    'outer: for i in 0..variants_per_base.max(1) {
+        let mask = repeat_mask(i as u64, mask_bits, m);
+        for basevec in base.iter().take(b) {
+            if kernels.len() == r {
+                break 'outer;
+            }
+            kernels.push(basevec ^ mask);
+        }
+    }
+    KernelSet::new(m, kernels)
+}
+
+/// Repeats the low `mask_bits` bits of `mask` across an `m`-bit word.
+fn repeat_mask(mask: u64, mask_bits: usize, m: usize) -> u64 {
+    let mask = mask & ((1u64 << mask_bits) - 1);
+    let mut out = 0u64;
+    let mut pos = 0;
+    while pos < m {
+        out |= mask << pos;
+        pos += mask_bits;
+    }
+    if m >= 64 {
+        out
+    } else {
+        out & ((1u64 << m) - 1)
+    }
+}
+
+/// Ceiling of log2 for positive integers; `ceil_log2(1) == 0`.
+pub fn ceil_log2(x: usize) -> usize {
+    assert!(x > 0, "ceil_log2 of zero");
+    (usize::BITS - (x - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::parse_bits;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(16), 4);
+        assert_eq!(ceil_log2(17), 5);
+    }
+
+    #[test]
+    fn kernel_set_basics() {
+        let ks = KernelSet::new(8, vec![0xAB, 0xFF, 0x00, 0x12]);
+        assert_eq!(ks.kernel_bits(), 8);
+        assert_eq!(ks.len(), 4);
+        assert!(!ks.is_empty());
+        assert_eq!(ks.kernel(0), 0xAB);
+        assert_eq!(ks.kernel_complement(0), 0x54);
+        assert_eq!(ks.kernel_complement(1), 0x00);
+        assert_eq!(ks.index_bits(), 2);
+    }
+
+    #[test]
+    fn random_kernels_are_masked() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let ks = KernelSet::random(10, 16, &mut rng);
+        for i in 0..ks.len() {
+            assert!(ks.kernel(i) < (1 << 10));
+        }
+    }
+
+    #[test]
+    fn virtual_cosets_enumerate_all_candidates() {
+        let ks = KernelSet::new(4, vec![0b1010, 0b0011]);
+        let cosets = ks.virtual_cosets(2);
+        // 2 kernels × 2^2 flag patterns = 8 candidates of 8 bits.
+        assert_eq!(cosets.len(), 8);
+        assert!(cosets.iter().all(|c| c.len() == 8));
+        // Candidate with flags=00 for kernel 0 is kernel repeated.
+        assert_eq!(cosets[0].as_u64(), 0b1010_1010);
+        // Candidate with flags=01 inverts partition 0 only.
+        assert_eq!(cosets[1].as_u64(), 0b1010_0101);
+        // flags=10 inverts partition 1 only.
+        assert_eq!(cosets[2].as_u64(), 0b0101_1010);
+        // flags=11 inverts both.
+        assert_eq!(cosets[3].as_u64(), 0b0101_0101);
+    }
+
+    #[test]
+    fn paper_section_iv_b_example() {
+        // Section IV-B: 32 left digits divided into two base vectors
+        // '1101101100000100' and '0001000011000011'; with r = 4, m = 16,
+        // b = 2, masks 00 and 01, the four generated vectors are:
+        // '1101101100000100', '1000111001010001',
+        // '0001000011000011', '0100010110010110'.
+        let base0 = parse_bits("1101101100000100");
+        let base1 = parse_bits("0001000011000011");
+        // Seed layout: base vector j occupies bits [j*m, (j+1)*m).
+        let seed = base0.concat(&base1);
+        let ks = generate_kernels(&seed, GeneratorConfig::new(16, 4));
+        assert_eq!(ks.len(), 4);
+        let expect: Vec<u64> = [
+            "1101101100000100",
+            "0001000011000011",
+            "1000111001010001",
+            "0100010110010110",
+        ]
+        .iter()
+        .map(|s| parse_bits(s).as_u64())
+        .collect();
+        // Algorithm 2 emits mask-major order: (M0^base0, M0^base1, M1^base0,
+        // M1^base1).
+        assert_eq!(ks.kernels(), expect.as_slice());
+    }
+
+    #[test]
+    fn generator_handles_more_kernels_than_bases() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let seed = Block::random(&mut rng, 32);
+        let ks = generate_kernels(&seed, GeneratorConfig::new(8, 16));
+        assert_eq!(ks.len(), 16);
+        assert_eq!(ks.kernel_bits(), 8);
+        // All kernels fit the width.
+        assert!(ks.kernels().iter().all(|k| *k < 256));
+    }
+
+    #[test]
+    fn generator_is_deterministic_in_seed() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let seed = Block::random(&mut rng, 32);
+        let a = generate_kernels(&seed, GeneratorConfig::new(8, 8));
+        let b = generate_kernels(&seed, GeneratorConfig::new(8, 8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_kernels_avoid_complement_pairs() {
+        // The extra mask bit guarantees no two kernels derived from the same
+        // base vector are complements of each other.
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..20 {
+            let seed = Block::random(&mut rng, 32);
+            let ks = generate_kernels(&seed, GeneratorConfig::new(16, 4));
+            let b = 2; // two base vectors of 16 bits
+            for i in 0..ks.len() {
+                for j in (i + 1)..ks.len() {
+                    if i % b == j % b {
+                        assert_ne!(
+                            ks.kernel(i),
+                            ks.kernel_complement(j),
+                            "kernels {i} and {j} are complements"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot produce")]
+    fn generator_rejects_short_seed() {
+        let seed = Block::zeros(4);
+        generate_kernels(&seed, GeneratorConfig::new(8, 2));
+    }
+}

@@ -1,0 +1,110 @@
+//! Coset coding for encrypted non-volatile memories.
+//!
+//! This crate implements the data-transformation layer of *Virtual Coset
+//! Coding for Encrypted Non-Volatile Memories with Multi-Level Cells*
+//! (HPCA 2022): the VCC encoder itself (Algorithm 1), its runtime kernel
+//! generator (Algorithm 2), and every baseline the paper compares against —
+//! random coset coding (RCC), biased coset coding / Flip-N-Write / DBI, and
+//! Flipcy — together with the cost functions (bit flips, MLC write energy,
+//! stuck-at-wrong cells, lexicographic combinations) used to select coset
+//! candidates, and the analytical effectiveness models of Section III.
+//!
+//! # Quick start
+//!
+//! ```
+//! use coset::{Vcc, Block, WriteContext, Encoder, cost::WriteEnergy};
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! // The paper's canonical configuration: VCC(64, 256, 16) with kernels
+//! // generated from the encrypted block's left digits.
+//! let vcc = Vcc::paper_mlc(256);
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let encrypted = Block::random(&mut rng, 64);          // counter-mode ciphertext
+//! let current = Block::random(&mut rng, 64);            // what the row holds now
+//! let ctx = WriteContext::new(current, 0, vcc.aux_bits());
+//!
+//! let enc = vcc.encode(&encrypted, &ctx, &WriteEnergy::mlc());
+//! assert_eq!(vcc.decode(&enc.codeword, enc.aux), encrypted);
+//! ```
+//!
+//! # Crate layout
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`block`] | [`Block`], the bit container every encoder operates on |
+//! | [`symbol`] | MLC Gray-code helpers, left/right digit extraction |
+//! | [`cost`] | [`cost::CostFunction`] and the paper's objectives |
+//! | [`context`] | [`WriteContext`] and [`StuckBits`] (read-modify-write state) |
+//! | [`encoder`] | the [`Encoder`] trait and unencoded baseline |
+//! | [`fnw`] | Flip-N-Write, DBI and BCC |
+//! | [`flipcy`] | Flipcy (identity / one's / two's complement) |
+//! | [`rcc`] | random coset coding with stored candidates |
+//! | [`kernel`] | coset kernels and the Algorithm 2 generator |
+//! | [`vcc`] | Virtual Coset Coding (Algorithm 1) |
+//! | [`analysis`] | Equations 1 and 2 (Figure 1 analytical model) |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod analysis;
+pub mod block;
+pub mod context;
+pub mod cost;
+pub mod encoder;
+pub mod flipcy;
+pub mod fnw;
+pub mod kernel;
+pub mod rcc;
+pub mod symbol;
+pub mod vcc;
+
+pub use block::Block;
+pub use context::{StuckBits, WriteContext};
+pub use cost::{Cost, CostFunction};
+pub use encoder::{check_roundtrip, Encoded, Encoder, Unencoded};
+pub use flipcy::Flipcy;
+pub use fnw::Fnw;
+pub use kernel::{generate_kernels, GeneratorConfig, KernelSet};
+pub use rcc::Rcc;
+pub use symbol::CellKind;
+pub use vcc::{Vcc, VccMode};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+    use cost::{BitFlips, OnesCount};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Cross-encoder smoke test: every scheme round-trips under multiple
+    /// cost functions.
+    #[test]
+    fn all_encoders_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let encoders: Vec<Box<dyn Encoder>> = vec![
+            Box::new(Unencoded::new(64)),
+            Box::new(Fnw::with_sub_block(64, 16)),
+            Box::new(Fnw::dbi(64)),
+            Box::new(Flipcy::new(64)),
+            Box::new(Rcc::random(64, 16, &mut rng)),
+            Box::new(Vcc::paper_stored(256, &mut rng)),
+            Box::new(Vcc::paper_mlc(256)),
+        ];
+        for e in &encoders {
+            check_roundtrip(e.as_ref(), &BitFlips, &mut rng, 30);
+            check_roundtrip(e.as_ref(), &OnesCount, &mut rng, 30);
+        }
+    }
+
+    #[test]
+    fn aux_budget_matches_secded_overhead() {
+        // Section IV-A: VCC(64, 256, 16) and RCC(64, 256) both need 8
+        // auxiliary bits per 64-bit word — the 12.5% overhead budget of a
+        // SECDED-protected memory.
+        let mut rng = StdRng::seed_from_u64(100);
+        assert_eq!(Vcc::paper_stored(256, &mut rng).aux_bits(), 8);
+        assert_eq!(Vcc::paper_mlc(256).aux_bits(), 8);
+        assert_eq!(Rcc::random(64, 256, &mut rng).aux_bits(), 8);
+    }
+}

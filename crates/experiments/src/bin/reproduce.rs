@@ -1,0 +1,40 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin reproduce -- [tiny|small|paper] [fast|all]
+//! ```
+//!
+//! The rendered report (one section per figure, in paper order) is printed
+//! to stdout; redirect it to a file to refresh EXPERIMENTS.md data.
+
+use experiments::{reproduce, Scale, Selection};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = match args.get(1).map(String::as_str) {
+        Some("tiny") => Scale::Tiny,
+        Some("paper") => Scale::Paper,
+        _ => Scale::Small,
+    };
+    let selection = match args.get(2).map(String::as_str) {
+        Some("fast") => Selection::fast_only(),
+        Some("nolifetime") => Selection {
+            lifetime: false,
+            ..Selection::all()
+        },
+        Some("lifetime") => Selection {
+            analytical: false,
+            energy_and_reliability: false,
+            performance: false,
+            lifetime: true,
+        },
+        _ => Selection::all(),
+    };
+    let seed = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED_u64);
+    eprintln!("running reproduction at {scale:?} scale (seed {seed}) ...");
+    let report = reproduce(scale, seed, selection);
+    println!("{report}");
+}

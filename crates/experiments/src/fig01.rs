@@ -1,0 +1,88 @@
+//! Figure 1: analytical reduction in changed bits, RCC vs BCC.
+//!
+//! Reproduces the motivation figure: for uniformly random (encrypted) data
+//! and a 64-bit block, biased coset coding wins with very few candidates
+//! but random coset coding pulls far ahead as the candidate count grows.
+
+use std::fmt;
+
+use coset::analysis::{fig1_point, Fig1Point};
+
+/// The coset counts plotted in Figure 1.
+pub const FIG1_COSET_COUNTS: [u32; 4] = [2, 4, 16, 256];
+
+/// Result of the Figure 1 reproduction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig1Result {
+    /// Block size in bits.
+    pub block_bits: u64,
+    /// One point per coset count.
+    pub points: Vec<Fig1Point>,
+}
+
+/// Computes Figure 1 for the paper's 64-bit block.
+pub fn run() -> Fig1Result {
+    run_for_block(64)
+}
+
+/// Computes Figure 1 for an arbitrary block size.
+pub fn run_for_block(block_bits: u64) -> Fig1Result {
+    Fig1Result {
+        block_bits,
+        points: FIG1_COSET_COUNTS
+            .iter()
+            .map(|n| fig1_point(block_bits, *n))
+            .collect(),
+    }
+}
+
+impl fmt::Display for Fig1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 1 — reduction in changed bits vs unencoded, n = {} (analytical)",
+            self.block_bits
+        )?;
+        writeln!(f, "| cosets | BCC reduction (%) | RCC reduction (%) |")?;
+        writeln!(f, "|-------:|------------------:|------------------:|")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "| {:>6} | {:>17.1} | {:>17.1} |",
+                p.n_cosets, p.bcc_reduction_pct, p.rcc_reduction_pct
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_figure_1_crossover() {
+        let r = run();
+        assert_eq!(r.points.len(), 4);
+        let p2 = &r.points[0];
+        let p256 = &r.points[3];
+        // BCC leads with 2 candidates; RCC leads decisively with 256.
+        assert!(p2.bcc_reduction_pct > p2.rcc_reduction_pct);
+        assert!(p256.rcc_reduction_pct > p256.bcc_reduction_pct + 5.0);
+        assert!(p256.rcc_reduction_pct > 25.0);
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let s = run().to_string();
+        for n in FIG1_COSET_COUNTS {
+            assert!(s.contains(&format!("| {n:>6} |")), "missing row for {n}");
+        }
+    }
+
+    #[test]
+    fn works_for_32_bit_blocks_too() {
+        let r = run_for_block(32);
+        assert!(r.points[3].rcc_reduction_pct > r.points[0].rcc_reduction_pct);
+    }
+}

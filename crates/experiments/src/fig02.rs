@@ -1,0 +1,129 @@
+//! Figure 2: observed fault rate vs number of coset codes.
+//!
+//! The motivation experiment: a memory snapshot with a 10⁻² per-cell fault
+//! incidence is written with benchmark data; applying the best of `N`
+//! random cosets to each faulty word lowers the *observed* (post-masking)
+//! fault rate monotonically with `N`.
+
+use std::fmt;
+
+use coset::cost::opt_saw_then_energy;
+use pcm::FaultMap;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::common::{trace_for, Scale, Technique, TraceReplayer};
+
+/// One point of the Figure 2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig2Point {
+    /// Number of coset candidates applied.
+    pub cosets: usize,
+    /// Mean observed fault rate (stuck-at-wrong bits per written bit).
+    pub observed_fault_rate: f64,
+}
+
+/// Result of the Figure 2 reproduction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig2Result {
+    /// Nominal per-cell fault incidence of the snapshot.
+    pub nominal_fault_rate: f64,
+    /// Observed fault rate with unencoded writeback (0 cosets).
+    pub unencoded_rate: f64,
+    /// Sweep over coset counts.
+    pub points: Vec<Fig2Point>,
+}
+
+/// The coset counts swept in Figure 2.
+pub const FIG2_COSET_COUNTS: [usize; 6] = [2, 4, 8, 32, 64, 128];
+
+/// Runs the Figure 2 experiment at a scale.
+pub fn run(scale: Scale, seed: u64) -> Fig2Result {
+    let cost = opt_saw_then_energy();
+    let benchmarks = scale.benchmarks();
+    let rate = 1e-2;
+
+    let observed = |cosets: Option<usize>| -> f64 {
+        let mut total_saw = 0u64;
+        let mut total_bits = 0u64;
+        for (b_idx, profile) in benchmarks.iter().enumerate() {
+            let trace = trace_for(profile, scale, seed + b_idx as u64);
+            let map = FaultMap::paper_snapshot(seed ^ 0xFA17 ^ b_idx as u64);
+            let mut replayer =
+                TraceReplayer::new(scale.pcm_config(seed), Some(map), seed + 17 + b_idx as u64);
+            let encoder = match cosets {
+                None => Technique::Unencoded.encoder(seed),
+                Some(n) => {
+                    let mut rng = StdRng::seed_from_u64(seed ^ n as u64);
+                    Box::new(coset::Rcc::random(64, n, &mut rng))
+                }
+            };
+            let stats = replayer.replay(&trace, encoder.as_ref(), &cost);
+            total_saw += stats.saw_cells;
+            // Each MLC SAW cell corrupts up to 2 bits; rate is per data bit
+            // written.
+            total_bits += stats.word_writes * 64;
+        }
+        total_saw as f64 * 2.0 / total_bits as f64
+    };
+
+    let unencoded_rate = observed(None);
+    let points = FIG2_COSET_COUNTS
+        .iter()
+        .map(|n| Fig2Point {
+            cosets: *n,
+            observed_fault_rate: observed(Some(*n)),
+        })
+        .collect();
+
+    Fig2Result {
+        nominal_fault_rate: rate,
+        unencoded_rate,
+        points,
+    }
+}
+
+impl fmt::Display for Fig2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 2 — mean observed fault rate vs coset count (nominal incidence {:.0e})",
+            self.nominal_fault_rate
+        )?;
+        writeln!(f, "| cosets | observed fault rate |")?;
+        writeln!(f, "|-------:|--------------------:|")?;
+        writeln!(f, "| {:>6} | {:>19.3e} |", 0, self.unencoded_rate)?;
+        for p in &self.points {
+            writeln!(f, "| {:>6} | {:>19.3e} |", p.cosets, p.observed_fault_rate)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_rate_falls_with_more_cosets() {
+        let r = run(Scale::Tiny, 7);
+        assert_eq!(r.points.len(), FIG2_COSET_COUNTS.len());
+        // Coset masking must improve on unencoded writeback.
+        assert!(r.unencoded_rate > 0.0);
+        let first = r.points.first().unwrap().observed_fault_rate;
+        let last = r.points.last().unwrap().observed_fault_rate;
+        assert!(first < r.unencoded_rate, "2 cosets should already help");
+        assert!(
+            last < first,
+            "128 cosets ({last:.3e}) should beat 2 cosets ({first:.3e})"
+        );
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let r = run(Scale::Tiny, 3);
+        let s = r.to_string();
+        assert!(s.contains("Figure 2"));
+        assert!(s.contains("| 128 |") || s.contains("|    128 |"));
+    }
+}

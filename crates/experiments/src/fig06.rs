@@ -1,0 +1,102 @@
+//! Figure 6: encoder hardware area, energy and delay vs coset count.
+//!
+//! A thin driver over the [`hwmodel`] gate-level model that renders the
+//! three panels of Figure 6 (area in µm², per-operation energy in pJ and
+//! critical-path delay in ps) for RCC, VCC-64, VCC-64-Stored, VCC-32 and
+//! VCC-32-Stored across 32–256 equivalent cosets.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use hwmodel::{fig6_sweep, Fig6Point};
+
+/// Result of the Figure 6 reproduction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig6Result {
+    /// All (design, coset count) points.
+    pub points: Vec<Fig6Point>,
+}
+
+/// Computes the Figure 6 sweep.
+pub fn run() -> Fig6Result {
+    Fig6Result {
+        points: fig6_sweep(),
+    }
+}
+
+impl Fig6Result {
+    /// The distinct design labels in legend order.
+    pub fn labels(&self) -> Vec<String> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for p in &self.points {
+            if seen.insert(p.label.clone()) {
+                out.push(p.label.clone());
+            }
+        }
+        out
+    }
+
+    /// The point for a (label, coset count) pair.
+    pub fn point(&self, label: &str, cosets: usize) -> Option<&Fig6Point> {
+        self.points
+            .iter()
+            .find(|p| p.label == label && p.coset_count == cosets)
+    }
+}
+
+impl fmt::Display for Fig6Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 6 — coset encoder hardware (45 nm analytical model)")?;
+        writeln!(
+            f,
+            "| design | cosets | area (µm²) | energy (pJ) | delay (ps) |"
+        )?;
+        writeln!(f, "|--------|-------:|-----------:|------------:|-----------:|")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "| {} | {:>6} | {:>10.0} | {:>11.3} | {:>10.0} |",
+                p.label, p.coset_count, p.area_um2, p.energy_pj, p.delay_ps
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_five_designs_and_four_coset_counts() {
+        let r = run();
+        assert_eq!(r.labels().len(), 5);
+        assert_eq!(r.points.len(), 20);
+        assert!(r.point("RCC", 256).is_some());
+        assert!(r.point("VCC-64-Stored", 32).is_some());
+        assert!(r.point("NOPE", 32).is_none());
+    }
+
+    #[test]
+    fn rcc_dominates_every_vcc_point() {
+        let r = run();
+        for cosets in [32usize, 64, 128, 256] {
+            let rcc = r.point("RCC", cosets).unwrap();
+            for label in ["VCC-64", "VCC-64-Stored", "VCC-32", "VCC-32-Stored"] {
+                let vcc = r.point(label, cosets).unwrap();
+                assert!(rcc.area_um2 > vcc.area_um2, "{label} at {cosets}");
+                assert!(rcc.energy_pj > vcc.energy_pj, "{label} at {cosets}");
+                assert!(rcc.delay_ps > vcc.delay_ps, "{label} at {cosets}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_lists_all_designs() {
+        let s = run().to_string();
+        for label in ["RCC", "VCC-64", "VCC-64-Stored", "VCC-32", "VCC-32-Stored"] {
+            assert!(s.contains(label));
+        }
+    }
+}

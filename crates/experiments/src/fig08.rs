@@ -1,0 +1,141 @@
+//! Figure 8: stuck-at-wrong cell reduction vs coset cardinality.
+//!
+//! A memory snapshot with a 10⁻² fault incidence is written with benchmark
+//! traces; VCC masks the overwhelming majority of stuck-at-wrong cells, and
+//! the residual count keeps shrinking as the virtual coset count grows from
+//! 32 to 256 (the paper reports 88.5 % → 95.6 % reduction).
+
+use std::fmt;
+
+use coset::cost::opt_saw_then_energy;
+use pcm::FaultMap;
+
+use crate::common::{trace_for, Scale, Technique, TraceReplayer};
+
+/// One coset-count point of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig8Point {
+    /// Virtual coset count.
+    pub cosets: usize,
+    /// Residual stuck-at-wrong cells with VCC.
+    pub vcc_saw_cells: u64,
+    /// Reduction relative to unencoded writeback, in percent.
+    pub reduction_pct: f64,
+}
+
+/// Result of the Figure 8 reproduction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig8Result {
+    /// Stuck-at-wrong cells with unencoded writeback.
+    pub unencoded_saw_cells: u64,
+    /// Sweep over coset counts.
+    pub points: Vec<Fig8Point>,
+    /// Number of fault-map permutations averaged.
+    pub permutations: usize,
+}
+
+/// The coset counts swept in Figure 8.
+pub const FIG8_COSET_COUNTS: [usize; 4] = [32, 64, 128, 256];
+
+fn saw_cells_for(technique: Technique, scale: Scale, seed: u64, permutations: usize) -> u64 {
+    let cost = opt_saw_then_energy();
+    let benchmarks = scale.benchmarks();
+    let mut total = 0u64;
+    for perm in 0..permutations {
+        for (b_idx, profile) in benchmarks.iter().enumerate() {
+            let trace = trace_for(profile, scale, seed + b_idx as u64);
+            let map = FaultMap::paper_snapshot(seed ^ (perm as u64) << 32 ^ b_idx as u64);
+            let mut replayer = TraceReplayer::new(
+                scale.pcm_config(seed),
+                Some(map),
+                seed + 31 + b_idx as u64,
+            );
+            let encoder = technique.encoder(seed + perm as u64);
+            let stats = replayer.replay(&trace, encoder.as_ref(), &cost);
+            total += stats.saw_cells;
+        }
+    }
+    total / permutations as u64
+}
+
+/// Runs the Figure 8 experiment. The "VCC" series uses stored kernels,
+/// which the paper notes "effectively matches RCC"; see EXPERIMENTS.md for
+/// the generated-kernel variant and the discussion of the difference.
+pub fn run(scale: Scale, seed: u64) -> Fig8Result {
+    let permutations = scale.fault_map_permutations();
+    let unencoded = saw_cells_for(Technique::Unencoded, scale, seed, permutations);
+    let points = FIG8_COSET_COUNTS
+        .iter()
+        .map(|&n| {
+            let vcc = saw_cells_for(Technique::VccStored { cosets: n }, scale, seed, permutations);
+            Fig8Point {
+                cosets: n,
+                vcc_saw_cells: vcc,
+                reduction_pct: 100.0 * (unencoded.saturating_sub(vcc)) as f64
+                    / (unencoded.max(1)) as f64,
+            }
+        })
+        .collect();
+    Fig8Result {
+        unencoded_saw_cells: unencoded,
+        points,
+        permutations,
+    }
+}
+
+impl fmt::Display for Fig8Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8 — SAW cells, unencoded vs VCC (fault incidence 1e-2, {} fault-map permutation(s))",
+            self.permutations
+        )?;
+        writeln!(f, "| cosets | unencoded SAW | VCC SAW | reduction |")?;
+        writeln!(f, "|-------:|--------------:|--------:|----------:|")?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "| {:>6} | {:>13} | {:>7} | {:>8.1}% |",
+                p.cosets, self.unencoded_saw_cells, p.vcc_saw_cells, p.reduction_pct
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcc_masks_the_great_majority_of_saw_cells() {
+        let r = run(Scale::Tiny, 9);
+        assert!(r.unencoded_saw_cells > 0);
+        for p in &r.points {
+            assert!(
+                p.reduction_pct > 40.0,
+                "VCC-{} reduction only {:.1}%",
+                p.cosets,
+                p.reduction_pct
+            );
+        }
+        // More cosets mask substantially more cells, reaching the ≥ 85-95 %
+        // band at 256 virtual cosets (the paper reports 88.5 % → 95.6 %).
+        let first = r.points.first().unwrap().reduction_pct;
+        let last = r.points.last().unwrap().reduction_pct;
+        assert!(
+            last > 85.0,
+            "VCC-256 reduction only {last:.1}% (expected the ≥85% band)"
+        );
+        assert!(
+            last >= first,
+            "reduction should not degrade with more cosets ({first:.1}% -> {last:.1}%)"
+        );
+    }
+
+    #[test]
+    fn display_has_one_row_per_coset_count() {
+        let s = run(Scale::Tiny, 4).to_string();
+        assert_eq!(s.matches('%').count(), FIG8_COSET_COUNTS.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 10: per-benchmark stuck-at-wrong cell counts, unencoded vs VCC.
+//!
+//! Same methodology as Figure 8 but broken out per benchmark at the
+//! paper's headline configuration (256 virtual cosets): VCC reduces the
+//! SAW cell count by at least ~95 % on every benchmark.
+
+use std::fmt;
+
+use coset::cost::opt_saw_then_energy;
+use pcm::FaultMap;
+
+use crate::common::{trace_for, Scale, Technique, TraceReplayer};
+
+/// One benchmark's Figure 10 bar pair.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig10Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// SAW cells with unencoded writeback.
+    pub unencoded_saw: u64,
+    /// SAW cells with VCC(64, 256, 16).
+    pub vcc_saw: u64,
+    /// Reduction in percent.
+    pub reduction_pct: f64,
+}
+
+/// Result of the Figure 10 reproduction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig10Result {
+    /// Per-benchmark rows.
+    pub rows: Vec<Fig10Row>,
+}
+
+impl Fig10Result {
+    /// The minimum reduction across benchmarks (the paper quotes "at least
+    /// 95 %").
+    pub fn min_reduction_pct(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.reduction_pct)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Runs the Figure 10 experiment with 256 virtual cosets.
+pub fn run(scale: Scale, seed: u64) -> Fig10Result {
+    let cost = opt_saw_then_energy();
+    let mut rows = Vec::new();
+    for (b_idx, profile) in scale.benchmarks().iter().enumerate() {
+        let trace = trace_for(profile, scale, seed + b_idx as u64);
+        let run_one = |technique: Technique| -> u64 {
+            let map = FaultMap::paper_snapshot(seed ^ 0x1010 ^ b_idx as u64);
+            let mut replayer = TraceReplayer::new(
+                scale.pcm_config(seed),
+                Some(map),
+                seed + 53 + b_idx as u64,
+            );
+            let encoder = technique.encoder(seed);
+            replayer.replay(&trace, encoder.as_ref(), &cost).saw_cells
+        };
+        let unencoded = run_one(Technique::Unencoded);
+        let vcc = run_one(Technique::VccStored { cosets: 256 });
+        rows.push(Fig10Row {
+            benchmark: profile.name.clone(),
+            unencoded_saw: unencoded,
+            vcc_saw: vcc,
+            reduction_pct: 100.0 * unencoded.saturating_sub(vcc) as f64 / unencoded.max(1) as f64,
+        });
+    }
+    Fig10Result { rows }
+}
+
+impl fmt::Display for Fig10Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 10 — SAW cells per benchmark, unencoded vs VCC(64,256,16), fault incidence 1e-2"
+        )?;
+        writeln!(f, "| benchmark | unencoded SAW | VCC SAW | reduction |")?;
+        writeln!(f, "|-----------|--------------:|--------:|----------:|")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "| {} | {:>13} | {:>7} | {:>8.1}% |",
+                r.benchmark, r.unencoded_saw, r.vcc_saw, r.reduction_pct
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vcc_reduces_saw_on_every_benchmark() {
+        let r = run(Scale::Tiny, 17);
+        assert!(!r.rows.is_empty());
+        for row in &r.rows {
+            assert!(row.unencoded_saw > 0, "{} has no faults at all", row.benchmark);
+            assert!(
+                row.reduction_pct > 70.0,
+                "{}: only {:.1}% reduction",
+                row.benchmark,
+                row.reduction_pct
+            );
+        }
+        assert!(r.min_reduction_pct() > 70.0);
+    }
+
+    #[test]
+    fn display_lists_every_benchmark() {
+        let r = run(Scale::Tiny, 2);
+        let s = r.to_string();
+        for row in &r.rows {
+            assert!(s.contains(&row.benchmark));
+        }
+    }
+}

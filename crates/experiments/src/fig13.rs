@@ -1,0 +1,157 @@
+//! Figure 13: normalized IPC of each encoding technique.
+//!
+//! Combines the hardware model's encode latencies with the mechanistic
+//! performance model: even RCC's 2.6 ns encoder costs only a few percent of
+//! IPC against the 84 ns PCM access, VCC costs less, and DBI/Flipcy are
+//! negligible.
+
+use std::fmt;
+
+use perfmodel::{PerfModel, SystemConfig};
+
+use crate::common::{Scale, Technique};
+
+/// Normalized IPC of one benchmark under one technique.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig13Cell {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Technique label.
+    pub technique: String,
+    /// IPC normalized to unencoded writeback.
+    pub normalized_ipc: f64,
+}
+
+/// Result of the Figure 13 reproduction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig13Result {
+    /// All (benchmark, technique) cells.
+    pub cells: Vec<Fig13Cell>,
+}
+
+/// The techniques plotted in Figure 13 (DBI and Flipcy share a curve in the
+/// paper because their latencies are indistinguishable).
+pub fn fig13_techniques(cosets: usize) -> Vec<Technique> {
+    vec![
+        Technique::DbiFnw,
+        Technique::VccGenerated { cosets },
+        Technique::Rcc { cosets },
+    ]
+}
+
+impl Fig13Result {
+    /// Normalized IPC for a benchmark and technique label.
+    pub fn normalized_ipc(&self, benchmark: &str, technique: &str) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.technique == technique)
+            .map(|c| c.normalized_ipc)
+    }
+
+    /// Mean normalized IPC of a technique across benchmarks.
+    pub fn mean(&self, technique: &str) -> f64 {
+        let v: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.technique == technique)
+            .map(|c| c.normalized_ipc)
+            .collect();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    }
+}
+
+/// Runs the Figure 13 study with 256 cosets.
+pub fn run(scale: Scale, _seed: u64) -> Fig13Result {
+    let model = PerfModel::new(SystemConfig::table_ii());
+    let mut cells = Vec::new();
+    for profile in scale.benchmarks() {
+        for technique in fig13_techniques(256) {
+            let normalized = model.normalized_ipc(&profile, technique.encode_delay_ns());
+            cells.push(Fig13Cell {
+                benchmark: profile.name.clone(),
+                technique: technique.name(),
+                normalized_ipc: normalized,
+            });
+        }
+    }
+    Fig13Result { cells }
+}
+
+impl fmt::Display for Fig13Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 13 — IPC normalized to unencoded writeback (256 cosets)")?;
+        let techniques: Vec<String> = {
+            let mut seen = std::collections::BTreeSet::new();
+            self.cells
+                .iter()
+                .filter(|c| seen.insert(c.technique.clone()))
+                .map(|c| c.technique.clone())
+                .collect()
+        };
+        write!(f, "| benchmark |")?;
+        for t in &techniques {
+            write!(f, " {t} |")?;
+        }
+        writeln!(f)?;
+        write!(f, "|-----------|")?;
+        for _ in &techniques {
+            write!(f, "---:|")?;
+        }
+        writeln!(f)?;
+        let benchmarks: std::collections::BTreeSet<&str> =
+            self.cells.iter().map(|c| c.benchmark.as_str()).collect();
+        for b in benchmarks {
+            write!(f, "| {b} |")?;
+            for t in &techniques {
+                write!(f, " {:.4} |", self.normalized_ipc(b, t).unwrap_or(0.0))?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f)?;
+        for t in &techniques {
+            writeln!(f, "mean {t}: {:.4}", self.mean(t))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impacts_are_small_and_ordered() {
+        let r = run(Scale::Small, 1);
+        let dbi = r.mean("DBI/FNW");
+        let vcc = r.mean("VCC-256");
+        let rcc = r.mean("RCC-256");
+        // Figure 13: all within a few percent of unencoded; DBI best, then
+        // VCC, then RCC.
+        assert!(rcc > 0.92 && rcc <= 1.0, "RCC mean {rcc}");
+        assert!(vcc >= rcc, "VCC {vcc} should not be slower than RCC {rcc}");
+        assert!(dbi >= vcc, "DBI {dbi} should not be slower than VCC {vcc}");
+        assert!(dbi > 0.995, "DBI impact should be negligible ({dbi})");
+    }
+
+    #[test]
+    fn every_benchmark_covered() {
+        let r = run(Scale::Tiny, 1);
+        let expected = Scale::Tiny.benchmarks().len() * 3;
+        assert_eq!(r.cells.len(), expected);
+        assert!(r
+            .cells
+            .iter()
+            .all(|c| c.normalized_ipc > 0.8 && c.normalized_ipc <= 1.0));
+    }
+
+    #[test]
+    fn display_has_mean_lines() {
+        let s = run(Scale::Tiny, 1).to_string();
+        assert!(s.contains("mean RCC-256"));
+        assert!(s.contains("mean VCC-256"));
+    }
+}

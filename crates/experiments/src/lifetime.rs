@@ -1,0 +1,147 @@
+//! The lifetime (writes-to-failure) simulation shared by Figures 11 and 12.
+//!
+//! Methodology (Section VI-A): every cell draws an endurance limit from a
+//! normal distribution; the benchmark's encrypted write-back trace is
+//! replayed over and over; once a cell exceeds its limit it sticks at its
+//! final value; a row write whose residual stuck-at-wrong cells exceed the
+//! technique's correction capacity marks that row failed; the memory's
+//! lifetime is the number of row writes performed before four rows have
+//! failed.
+//!
+//! Absolute lifetimes scale linearly with the configured endurance mean, so
+//! scaled-down runs preserve the relative ordering between techniques that
+//! Figures 11 and 12 compare.
+
+use std::collections::HashSet;
+
+use coset::cost::opt_saw_then_energy;
+
+use crate::common::{trace_for, Scale, Technique, TraceReplayer};
+use workload::BenchmarkProfile;
+
+/// Outcome of one lifetime run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LifetimeOutcome {
+    /// Row writes performed before the failure criterion was met.
+    pub writes_to_failure: u64,
+    /// Whether the run actually reached the failure criterion (false means
+    /// the safety cap was hit first — treat the value as a lower bound).
+    pub reached_failure: bool,
+    /// Number of rows that had failed when the run stopped.
+    pub failed_rows: usize,
+}
+
+/// Runs one (benchmark, technique) lifetime simulation.
+pub fn lifetime_run(
+    profile: &BenchmarkProfile,
+    technique: Technique,
+    scale: Scale,
+    seed: u64,
+) -> LifetimeOutcome {
+    let trace = trace_for(profile, scale, seed);
+    let encoder = technique.encoder(seed ^ 0x11FE);
+    let correction = technique.correction();
+    let cost = opt_saw_then_energy();
+    let mut replayer = TraceReplayer::new(scale.pcm_config(seed), None, seed ^ 0xC0DE);
+
+    let target_failures = scale.rows_to_failure();
+    let cap = scale.lifetime_write_cap();
+    let mut failed_rows: HashSet<u64> = HashSet::new();
+    let mut row_writes = 0u64;
+
+    if trace.is_empty() {
+        return LifetimeOutcome {
+            writes_to_failure: 0,
+            reached_failure: false,
+            failed_rows: 0,
+        };
+    }
+
+    loop {
+        for wb in &trace {
+            let (row, outcome) = replayer.write(wb, encoder.as_ref(), &cost);
+            row_writes += 1;
+            if !failed_rows.contains(&row) && !correction.can_correct(&outcome.saw_per_word()) {
+                failed_rows.insert(row);
+                if failed_rows.len() >= target_failures {
+                    return LifetimeOutcome {
+                        writes_to_failure: row_writes,
+                        reached_failure: true,
+                        failed_rows: failed_rows.len(),
+                    };
+                }
+            }
+            if row_writes >= cap {
+                return LifetimeOutcome {
+                    writes_to_failure: row_writes,
+                    reached_failure: false,
+                    failed_rows: failed_rows.len(),
+                };
+            }
+        }
+    }
+}
+
+/// Averages the lifetime of a technique over a set of benchmarks.
+pub fn mean_lifetime(
+    profiles: &[BenchmarkProfile],
+    technique: Technique,
+    scale: Scale,
+    seed: u64,
+) -> f64 {
+    if profiles.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = profiles
+        .iter()
+        .enumerate()
+        .map(|(i, p)| lifetime_run(p, technique, scale, seed + i as u64).writes_to_failure)
+        .sum();
+    total as f64 / profiles.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coset_coding_extends_lifetime_over_unencoded() {
+        let profile = &Scale::Tiny.benchmarks()[0];
+        let unencoded = lifetime_run(profile, Technique::Unencoded, Scale::Tiny, 3);
+        let vcc = lifetime_run(
+            profile,
+            Technique::VccStored { cosets: 32 },
+            Scale::Tiny,
+            3,
+        );
+        assert!(unencoded.writes_to_failure > 0);
+        assert!(
+            vcc.writes_to_failure > unencoded.writes_to_failure,
+            "VCC {} should outlive unencoded {}",
+            vcc.writes_to_failure,
+            unencoded.writes_to_failure
+        );
+    }
+
+    #[test]
+    fn secded_extends_lifetime_over_unencoded() {
+        let profile = &Scale::Tiny.benchmarks()[0];
+        let unencoded = lifetime_run(profile, Technique::Unencoded, Scale::Tiny, 5);
+        let secded = lifetime_run(profile, Technique::Secded, Scale::Tiny, 5);
+        assert!(
+            secded.writes_to_failure >= unencoded.writes_to_failure,
+            "SECDED {} should not underperform unencoded {}",
+            secded.writes_to_failure,
+            unencoded.writes_to_failure
+        );
+    }
+
+    #[test]
+    fn mean_lifetime_averages_runs() {
+        let profiles = Scale::Tiny.benchmarks();
+        let m = mean_lifetime(&profiles[..1], Technique::Unencoded, Scale::Tiny, 7);
+        let single = lifetime_run(&profiles[0], Technique::Unencoded, Scale::Tiny, 7);
+        assert_eq!(m, single.writes_to_failure as f64);
+        assert_eq!(mean_lifetime(&[], Technique::Unencoded, Scale::Tiny, 7), 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Runs every experiment and assembles a combined report.
+//!
+//! `cargo run --release -p experiments --bin reproduce` (or the
+//! `reproduce_all` function from code) regenerates every table and figure
+//! at the chosen scale and renders them in the order they appear in the
+//! paper, ready to be pasted into EXPERIMENTS.md.
+
+use std::fmt;
+
+use crate::common::Scale;
+use crate::{fig01, fig02, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13};
+
+/// Which experiments to include in a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Selection {
+    /// Analytical and hardware-model experiments (fast).
+    pub analytical: bool,
+    /// Trace-driven energy / SAW experiments (minutes at Small scale).
+    pub energy_and_reliability: bool,
+    /// Lifetime experiments (the slowest part).
+    pub lifetime: bool,
+    /// Performance (IPC) study.
+    pub performance: bool,
+}
+
+impl Selection {
+    /// Everything.
+    pub fn all() -> Self {
+        Selection {
+            analytical: true,
+            energy_and_reliability: true,
+            lifetime: true,
+            performance: true,
+        }
+    }
+
+    /// Only the fast analytical / hardware-model experiments.
+    pub fn fast_only() -> Self {
+        Selection {
+            analytical: true,
+            energy_and_reliability: false,
+            lifetime: false,
+            performance: true,
+        }
+    }
+}
+
+/// The combined output of a reproduction run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Scale the experiments were run at.
+    pub scale: Scale,
+    /// Rendered sections in paper order.
+    pub sections: Vec<(String, String)>,
+}
+
+impl Report {
+    /// Looks up a section by its title prefix.
+    pub fn section(&self, title_prefix: &str) -> Option<&str> {
+        self.sections
+            .iter()
+            .find(|(t, _)| t.starts_with(title_prefix))
+            .map(|(_, body)| body.as_str())
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# VCC reproduction report (scale: {:?})\n", self.scale)?;
+        for (title, body) in &self.sections {
+            writeln!(f, "## {title}\n")?;
+            writeln!(f, "{body}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the selected experiments at the given scale.
+pub fn reproduce(scale: Scale, seed: u64, selection: Selection) -> Report {
+    let mut sections: Vec<(String, String)> = Vec::new();
+    if selection.analytical {
+        sections.push(("Figure 1 (analytical)".into(), fig01::run().to_string()));
+        sections.push(("Figure 6 (hardware model)".into(), fig06::run().to_string()));
+    }
+    if selection.energy_and_reliability {
+        sections.push(("Figure 2 (fault masking)".into(), fig02::run(scale, seed).to_string()));
+        sections.push(("Figure 7 (random-data energy)".into(), fig07::run(scale, seed).to_string()));
+        sections.push(("Figure 8 (SAW vs coset count)".into(), fig08::run(scale, seed).to_string()));
+        sections.push(("Figure 9 (per-benchmark energy)".into(), fig09::run(scale, seed).to_string()));
+        sections.push(("Figure 10 (per-benchmark SAW)".into(), fig10::run(scale, seed).to_string()));
+    }
+    if selection.lifetime {
+        sections.push(("Figure 11 (per-benchmark lifetime)".into(), fig11::run(scale, seed).to_string()));
+        sections.push(("Figure 12 (lifetime vs coset count)".into(), fig12::run(scale, seed).to_string()));
+    }
+    if selection.performance {
+        sections.push(("Figure 13 (normalized IPC)".into(), fig13::run(scale, seed).to_string()));
+    }
+    Report { scale, sections }
+}
+
+/// Runs everything (paper order) at the given scale.
+pub fn reproduce_all(scale: Scale, seed: u64) -> Report {
+    reproduce(scale, seed, Selection::all())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_selection_produces_analytical_sections() {
+        let report = reproduce(Scale::Tiny, 1, Selection::fast_only());
+        assert!(report.section("Figure 1").is_some());
+        assert!(report.section("Figure 6").is_some());
+        assert!(report.section("Figure 13").is_some());
+        assert!(report.section("Figure 11").is_none());
+        let rendered = report.to_string();
+        assert!(rendered.contains("# VCC reproduction report"));
+        assert!(rendered.contains("## Figure 6"));
+    }
+
+    #[test]
+    fn selection_all_includes_everything_flagged() {
+        let s = Selection::all();
+        assert!(s.analytical && s.energy_and_reliability && s.lifetime && s.performance);
+    }
+}

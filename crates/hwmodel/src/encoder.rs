@@ -1,0 +1,384 @@
+//! Gate-level models of the coset encoder hardware (Figure 6).
+//!
+//! Each encoder style is reduced to gate bills; the resulting area,
+//! per-operation energy and critical-path delay reproduce the trends of
+//! the paper's 45 nm synthesis results: RCC grows steeply with the coset
+//! count (it stores and evaluates full-length candidates in parallel),
+//! while VCC stays an order of magnitude cheaper and nearly flat, with the
+//! stored-kernel variant marginally smaller than the generated-kernel one.
+//!
+//! The VCC datapath follows Figure 5: up to [`VCC_KERNEL_LANES`] kernel
+//! lanes are instantiated in silicon; configurations with more kernels
+//! iterate the lanes in a pipelined fashion, so *area* stays nearly flat
+//! with the virtual coset count while *energy* (total switching work) and
+//! *delay* (extra pipelined iterations) grow gently.
+
+use crate::gates::{
+    ceil_log2_u64, min_tree_comparator_bits, min_tree_depth, popcount_adders, popcount_depth,
+    GateBill,
+};
+
+/// Number of kernel lanes instantiated in the VCC encoder datapath.
+pub const VCC_KERNEL_LANES: u64 = 8;
+
+/// The encoder implementation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum EncoderStyle {
+    /// Random coset coding with a ROM of full-length candidates.
+    Rcc,
+    /// Virtual coset coding with kernels generated from the data
+    /// (Algorithm 2).
+    VccGenerated,
+    /// Virtual coset coding with a small kernel ROM.
+    VccStored,
+}
+
+impl EncoderStyle {
+    /// Display label matching the paper's Figure 6 legend.
+    pub fn label(&self, block_bits: usize) -> String {
+        match self {
+            EncoderStyle::Rcc => "RCC".to_string(),
+            EncoderStyle::VccGenerated => format!("VCC-{block_bits}"),
+            EncoderStyle::VccStored => format!("VCC-{block_bits}-Stored"),
+        }
+    }
+}
+
+/// A hardware configuration to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct EncoderHwConfig {
+    /// Encoder style.
+    pub style: EncoderStyle,
+    /// Data block width in bits (32 or 64 in the paper).
+    pub block_bits: usize,
+    /// Effective (virtual) coset count N.
+    pub coset_count: usize,
+    /// Kernel width in bits (VCC styles only; the paper uses 16).
+    pub kernel_bits: usize,
+}
+
+impl EncoderHwConfig {
+    /// RCC(n, N).
+    pub fn rcc(block_bits: usize, coset_count: usize) -> Self {
+        EncoderHwConfig {
+            style: EncoderStyle::Rcc,
+            block_bits,
+            coset_count,
+            kernel_bits: block_bits,
+        }
+    }
+
+    /// VCC(n, N) with generated kernels and 16-bit kernel width.
+    pub fn vcc_generated(block_bits: usize, coset_count: usize) -> Self {
+        EncoderHwConfig {
+            style: EncoderStyle::VccGenerated,
+            block_bits,
+            coset_count,
+            kernel_bits: 16,
+        }
+    }
+
+    /// VCC(n, N) with stored kernels and 16-bit kernel width.
+    pub fn vcc_stored(block_bits: usize, coset_count: usize) -> Self {
+        EncoderHwConfig {
+            style: EncoderStyle::VccStored,
+            block_bits,
+            coset_count,
+            kernel_bits: 16,
+        }
+    }
+
+    /// Number of partitions (VCC) — `n / m`.
+    pub fn partitions(&self) -> u64 {
+        (self.block_bits / self.kernel_bits).max(1) as u64
+    }
+
+    /// Number of kernels r = N / 2^p (VCC); equals N for RCC.
+    pub fn kernels(&self) -> u64 {
+        match self.style {
+            EncoderStyle::Rcc => self.coset_count as u64,
+            _ => {
+                let p = self.partitions();
+                ((self.coset_count as u64) >> p).max(1)
+            }
+        }
+    }
+
+    /// Kernel lanes physically instantiated (VCC only).
+    pub fn lanes(&self) -> u64 {
+        match self.style {
+            EncoderStyle::Rcc => self.coset_count as u64,
+            _ => self.kernels().min(VCC_KERNEL_LANES),
+        }
+    }
+
+    /// Pipelined iterations needed to cover all kernels with the available
+    /// lanes.
+    pub fn iterations(&self) -> u64 {
+        match self.style {
+            EncoderStyle::Rcc => 1,
+            _ => (self.kernels() + self.lanes() - 1) / self.lanes(),
+        }
+    }
+
+    fn rcc_bill(&self) -> GateBill {
+        let n = self.block_bits as u64;
+        let n_cosets = self.coset_count as u64;
+        let cost_bits = ceil_log2_u64(n) + 1;
+        GateBill {
+            xor2: n_cosets * n,
+            full_adders: n_cosets * popcount_adders(n),
+            mux_bits: n * (n_cosets - 1).max(1),
+            comparator_bits: min_tree_comparator_bits(n_cosets, cost_bits),
+            flip_flops: n_cosets * (cost_bits + ceil_log2_u64(n_cosets)),
+            rom_bits: n_cosets * n,
+            critical_path_stages: 1 + popcount_depth(n) + min_tree_depth(n_cosets, cost_bits),
+        }
+    }
+
+    /// VCC bill with a configurable number of active kernel replicas
+    /// (`replicas = lanes` for silicon area, `replicas = r` for total
+    /// switching activity / energy).
+    fn vcc_bill(&self, replicas: u64) -> GateBill {
+        let n = self.block_bits as u64;
+        let m = self.kernel_bits as u64;
+        let p = self.partitions();
+        let r = self.kernels();
+        let cost_bits = ceil_log2_u64(n) + 1;
+        let part_cost_bits = ceil_log2_u64(m) + 1;
+        let generated = self.style == EncoderStyle::VccGenerated;
+
+        let xor2 = 2 * replicas * p * m + if generated { replicas * m } else { 0 };
+        let full_adders = 2 * replicas * p * popcount_adders(m) + replicas * p * part_cost_bits;
+        let mux_bits = replicas * p * m
+            + n * (r - 1).max(1)
+            + if generated { replicas * m } else { 0 };
+        let comparator_bits =
+            replicas * p * part_cost_bits + min_tree_comparator_bits(r, cost_bits);
+        // Per-kernel best-candidate bookkeeping (cost + index + flags) is
+        // kept for all r kernels regardless of lane count.
+        let flip_flops = r * (cost_bits + ceil_log2_u64(r) + p) + 2 * n;
+        let rom_bits = if self.style == EncoderStyle::VccStored {
+            r * m
+        } else {
+            0
+        };
+        // The winner-selection tree only ever spans the physical lanes; the
+        // results of extra pipelined kernel batches are folded in with one
+        // additional compare stage per batch.
+        let depth = 1
+            + popcount_depth(m)
+            + 2 // per-partition XOR/XNOR selection
+            + ceil_log2_u64(p) + 1 // row-sum adder
+            + min_tree_depth(self.lanes(), cost_bits)
+            + (self.iterations() - 1) // pipelined extra kernel batches
+            + if generated { 2 } else { 0 };
+        GateBill {
+            xor2,
+            full_adders,
+            mux_bits,
+            comparator_bits,
+            flip_flops,
+            rom_bits,
+            critical_path_stages: depth,
+        }
+    }
+
+    /// The silicon-area bill (lane-limited datapath for VCC).
+    pub fn area_bill(&self) -> GateBill {
+        match self.style {
+            EncoderStyle::Rcc => self.rcc_bill(),
+            _ => self.vcc_bill(self.lanes()),
+        }
+    }
+
+    /// The switching-activity bill (every kernel evaluation counted).
+    pub fn activity_bill(&self) -> GateBill {
+        match self.style {
+            EncoderStyle::Rcc => self.rcc_bill(),
+            _ => self.vcc_bill(self.kernels()),
+        }
+    }
+
+    /// Silicon area in µm².
+    pub fn area_um2(&self) -> f64 {
+        self.area_bill().area_um2()
+    }
+
+    /// Energy per encode operation in pJ.
+    pub fn energy_pj(&self) -> f64 {
+        self.activity_bill().energy_pj()
+    }
+
+    /// Critical-path delay in ps (including pipelined kernel iterations).
+    pub fn delay_ps(&self) -> f64 {
+        self.area_bill().delay_ps()
+    }
+}
+
+/// One Figure 6 data point.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Fig6Point {
+    /// Legend label ("RCC", "VCC-64", "VCC-64-Stored", …).
+    pub label: String,
+    /// Coset count.
+    pub coset_count: usize,
+    /// Area in µm².
+    pub area_um2: f64,
+    /// Energy per operation in pJ.
+    pub energy_pj: f64,
+    /// Delay in ps.
+    pub delay_ps: f64,
+}
+
+/// Computes the full Figure 6 sweep: RCC(64, N), VCC-64, VCC-64-Stored,
+/// VCC-32 and VCC-32-Stored for N ∈ {32, 64, 128, 256}.
+pub fn fig6_sweep() -> Vec<Fig6Point> {
+    let mut out = Vec::new();
+    for &n_cosets in &[32usize, 64, 128, 256] {
+        let configs = [
+            EncoderHwConfig::rcc(64, n_cosets),
+            EncoderHwConfig::vcc_generated(64, n_cosets),
+            EncoderHwConfig::vcc_stored(64, n_cosets),
+            EncoderHwConfig::vcc_generated(32, n_cosets),
+            EncoderHwConfig::vcc_stored(32, n_cosets),
+        ];
+        for cfg in configs {
+            out.push(Fig6Point {
+                label: cfg.style.label(cfg.block_bits),
+                coset_count: n_cosets,
+                area_um2: cfg.area_um2(),
+                energy_pj: cfg.energy_pj(),
+                delay_ps: cfg.delay_ps(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure_legend() {
+        assert_eq!(EncoderStyle::Rcc.label(64), "RCC");
+        assert_eq!(EncoderStyle::VccGenerated.label(64), "VCC-64");
+        assert_eq!(EncoderStyle::VccStored.label(32), "VCC-32-Stored");
+    }
+
+    #[test]
+    fn kernel_and_lane_arithmetic() {
+        let v = EncoderHwConfig::vcc_stored(64, 256);
+        assert_eq!(v.partitions(), 4);
+        assert_eq!(v.kernels(), 16);
+        assert_eq!(v.lanes(), 8);
+        assert_eq!(v.iterations(), 2);
+        let small = EncoderHwConfig::vcc_stored(64, 32);
+        assert_eq!(small.kernels(), 2);
+        assert_eq!(small.lanes(), 2);
+        assert_eq!(small.iterations(), 1);
+        let r = EncoderHwConfig::rcc(64, 256);
+        assert_eq!(r.kernels(), 256);
+        assert_eq!(r.iterations(), 1);
+    }
+
+    #[test]
+    fn rcc_dominates_vcc_in_area_energy_delay() {
+        for n_cosets in [32usize, 64, 128, 256] {
+            let rcc = EncoderHwConfig::rcc(64, n_cosets);
+            let vcc = EncoderHwConfig::vcc_generated(64, n_cosets);
+            assert!(
+                rcc.area_um2() > 3.0 * vcc.area_um2(),
+                "N={n_cosets}: RCC area {:.0} vs VCC {:.0}",
+                rcc.area_um2(),
+                vcc.area_um2()
+            );
+            assert!(
+                rcc.energy_pj() > 3.0 * vcc.energy_pj(),
+                "N={n_cosets}: RCC energy should dominate VCC"
+            );
+            assert!(rcc.delay_ps() > vcc.delay_ps());
+        }
+    }
+
+    #[test]
+    fn rcc_area_grows_much_faster_than_vcc_with_coset_count() {
+        let rcc_growth = EncoderHwConfig::rcc(64, 256).area_um2()
+            / EncoderHwConfig::rcc(64, 32).area_um2();
+        let vcc_growth = EncoderHwConfig::vcc_generated(64, 256).area_um2()
+            / EncoderHwConfig::vcc_generated(64, 32).area_um2();
+        assert!(rcc_growth > 4.0, "RCC growth {rcc_growth:.1}");
+        assert!(
+            vcc_growth < 0.7 * rcc_growth,
+            "VCC growth {vcc_growth:.1} vs RCC {rcc_growth:.1}"
+        );
+    }
+
+    #[test]
+    fn delays_are_in_the_paper_band() {
+        // Figure 6(c): VCC holds ~1.8–2 ns at 256 cosets, RCC exceeds 2.6 ns.
+        let vcc = EncoderHwConfig::vcc_generated(64, 256).delay_ps();
+        let rcc = EncoderHwConfig::rcc(64, 256).delay_ps();
+        assert!(vcc > 1400.0 && vcc < 2300.0, "VCC delay {vcc} ps");
+        assert!(rcc > 2400.0 && rcc < 3500.0, "RCC delay {rcc} ps");
+    }
+
+    #[test]
+    fn rcc_area_magnitude_matches_figure() {
+        // Figure 6(a): RCC reaches the 1e5–4e5 µm² band at 256 cosets while
+        // VCC stays below ~5e4 µm².
+        let rcc = EncoderHwConfig::rcc(64, 256).area_um2();
+        let vcc = EncoderHwConfig::vcc_stored(64, 256).area_um2();
+        assert!(rcc > 1.0e5 && rcc < 4.0e5, "RCC area {rcc:.0}");
+        assert!(vcc < 5.0e4, "VCC area {vcc:.0}");
+    }
+
+    #[test]
+    fn stored_vcc_is_no_larger_than_generated() {
+        for n_cosets in [32usize, 128, 256] {
+            let gen = EncoderHwConfig::vcc_generated(64, n_cosets);
+            let sto = EncoderHwConfig::vcc_stored(64, n_cosets);
+            assert!(sto.area_um2() <= gen.area_um2() * 1.05);
+            assert!(sto.delay_ps() <= gen.delay_ps());
+            assert!(sto.energy_pj() <= gen.energy_pj() * 1.05);
+        }
+    }
+
+    #[test]
+    fn vcc32_energy_exceeds_vcc64() {
+        // Section V-A: VCC-32 energy is monotonically larger than VCC-64
+        // (the same effective coset count needs more kernels at the smaller
+        // block size, so more total switching work per 64 bits encoded).
+        for n_cosets in [64usize, 128, 256] {
+            let v32 = EncoderHwConfig::vcc_generated(32, n_cosets);
+            let v64 = EncoderHwConfig::vcc_generated(64, n_cosets);
+            assert!(
+                v32.energy_pj() > v64.energy_pj(),
+                "N={n_cosets}: VCC-32 {:.3} pJ vs VCC-64 {:.3} pJ",
+                v32.energy_pj(),
+                v64.energy_pj()
+            );
+        }
+    }
+
+    #[test]
+    fn vcc_energy_grows_with_coset_count() {
+        let e32 = EncoderHwConfig::vcc_generated(64, 32).energy_pj();
+        let e256 = EncoderHwConfig::vcc_generated(64, 256).energy_pj();
+        assert!(e256 > e32, "more virtual cosets must cost more energy");
+    }
+
+    #[test]
+    fn fig6_sweep_has_20_points() {
+        let sweep = fig6_sweep();
+        assert_eq!(sweep.len(), 20);
+        assert!(sweep
+            .iter()
+            .all(|p| p.area_um2 > 0.0 && p.energy_pj > 0.0 && p.delay_ps > 0.0));
+        let mut labels: Vec<&str> = sweep.iter().map(|p| p.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

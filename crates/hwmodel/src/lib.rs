@@ -1,0 +1,25 @@
+//! Analytical 45 nm hardware model of the coset encoder (Figure 6).
+//!
+//! The paper synthesizes its encoder designs with a commercial ASIC flow;
+//! this crate substitutes an analytical gate-level model ([`gates`]) and a
+//! per-configuration bill of cells ([`encoder`]) that reproduces the area,
+//! energy and delay trends of Figure 6 — RCC an order of magnitude larger
+//! and steeply growing, VCC small and nearly flat, stored kernels slightly
+//! cheaper than generated ones.
+//!
+//! ```
+//! use hwmodel::EncoderHwConfig;
+//!
+//! let rcc = EncoderHwConfig::rcc(64, 256);
+//! let vcc = EncoderHwConfig::vcc_generated(64, 256);
+//! assert!(rcc.area_um2() > 3.0 * vcc.area_um2());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod encoder;
+pub mod gates;
+
+pub use encoder::{fig6_sweep, EncoderHwConfig, EncoderStyle, Fig6Point, VCC_KERNEL_LANES};
+pub use gates::GateBill;

@@ -1,0 +1,262 @@
+//! A from-scratch AES-128 block cipher (FIPS-197).
+//!
+//! The paper's memory controller encrypts every cache line with
+//! counter-mode AES before it reaches the coset encoder (Figure 4). This is
+//! a straightforward, table-free software implementation: it favours
+//! clarity and testability over speed, and the higher-level
+//! [`crate::ctr`] / [`crate::keystream`] modules provide the throughput the
+//! simulations need by caching keystream blocks.
+//!
+//! This implementation is for simulation purposes only; it makes no attempt
+//! to be constant-time.
+
+/// AES block size in bytes.
+pub const BLOCK_BYTES: usize = 16;
+
+/// AES-128 key size in bytes.
+pub const KEY_BYTES: usize = 16;
+
+/// Number of AES-128 rounds.
+const ROUNDS: usize = 10;
+
+/// The AES S-box, generated at key-schedule time from the finite-field
+/// inverse plus affine transform so no magic tables need auditing.
+fn generate_sbox() -> [u8; 256] {
+    let mut sbox = [0u8; 256];
+    for (i, entry) in sbox.iter_mut().enumerate() {
+        let inv = if i == 0 { 0 } else { gf_inverse(i as u8) };
+        *entry = affine(inv);
+    }
+    sbox
+}
+
+/// Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1B;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Multiplicative inverse in GF(2^8) via exponentiation (a^254).
+fn gf_inverse(a: u8) -> u8 {
+    // a^254 = a^(2+4+8+16+32+64+128)
+    let mut result = 1u8;
+    let mut power = a;
+    // exponent 254 = 0b11111110
+    for bit in 1..8 {
+        power = gf_mul(power, power); // a^(2^bit)
+        let _ = bit;
+        result = gf_mul(result, power);
+    }
+    result
+}
+
+/// The AES affine transformation applied after inversion.
+fn affine(x: u8) -> u8 {
+    let mut y = 0u8;
+    for i in 0..8 {
+        let bit = ((x >> i) & 1)
+            ^ ((x >> ((i + 4) % 8)) & 1)
+            ^ ((x >> ((i + 5) % 8)) & 1)
+            ^ ((x >> ((i + 6) % 8)) & 1)
+            ^ ((x >> ((i + 7) % 8)) & 1)
+            ^ ((0x63 >> i) & 1);
+        y |= bit << i;
+    }
+    y
+}
+
+/// AES-128 cipher with a precomputed key schedule.
+///
+/// # Examples
+///
+/// ```
+/// use memcrypt::aes::Aes128;
+///
+/// let key = [0u8; 16];
+/// let aes = Aes128::new(&key);
+/// let ct = aes.encrypt_block(&[0u8; 16]);
+/// assert_eq!(ct.len(), 16);
+/// ```
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; BLOCK_BYTES]; ROUNDS + 1],
+    sbox: [u8; 256],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128").finish_non_exhaustive()
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the round-key schedule.
+    pub fn new(key: &[u8; KEY_BYTES]) -> Self {
+        let sbox = generate_sbox();
+        let mut round_keys = [[0u8; BLOCK_BYTES]; ROUNDS + 1];
+        round_keys[0].copy_from_slice(key);
+        let mut rcon = 1u8;
+        for r in 1..=ROUNDS {
+            let prev = round_keys[r - 1];
+            let mut word = [prev[12], prev[13], prev[14], prev[15]];
+            // RotWord + SubWord + Rcon.
+            word.rotate_left(1);
+            for b in &mut word {
+                *b = sbox[*b as usize];
+            }
+            word[0] ^= rcon;
+            rcon = gf_mul(rcon, 2);
+            let mut next = [0u8; BLOCK_BYTES];
+            for i in 0..4 {
+                next[i] = prev[i] ^ word[i];
+            }
+            for i in 4..BLOCK_BYTES {
+                next[i] = prev[i] ^ next[i - 4];
+            }
+            round_keys[r] = next;
+        }
+        Aes128 { round_keys, sbox }
+    }
+
+    fn sub_bytes(&self, state: &mut [u8; BLOCK_BYTES]) {
+        for b in state.iter_mut() {
+            *b = self.sbox[*b as usize];
+        }
+    }
+
+    fn shift_rows(state: &mut [u8; BLOCK_BYTES]) {
+        // State is column-major: byte index = 4*col + row.
+        let s = *state;
+        for row in 1..4 {
+            for col in 0..4 {
+                state[4 * col + row] = s[4 * ((col + row) % 4) + row];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; BLOCK_BYTES]) {
+        for col in 0..4 {
+            let a0 = state[4 * col];
+            let a1 = state[4 * col + 1];
+            let a2 = state[4 * col + 2];
+            let a3 = state[4 * col + 3];
+            state[4 * col] = gf_mul(a0, 2) ^ gf_mul(a1, 3) ^ a2 ^ a3;
+            state[4 * col + 1] = a0 ^ gf_mul(a1, 2) ^ gf_mul(a2, 3) ^ a3;
+            state[4 * col + 2] = a0 ^ a1 ^ gf_mul(a2, 2) ^ gf_mul(a3, 3);
+            state[4 * col + 3] = gf_mul(a0, 3) ^ a1 ^ a2 ^ gf_mul(a3, 2);
+        }
+    }
+
+    fn add_round_key(state: &mut [u8; BLOCK_BYTES], rk: &[u8; BLOCK_BYTES]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= *k;
+        }
+    }
+
+    /// Encrypts a single 16-byte block.
+    pub fn encrypt_block(&self, plaintext: &[u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
+        let mut state = *plaintext;
+        Self::add_round_key(&mut state, &self.round_keys[0]);
+        for r in 1..ROUNDS {
+            self.sub_bytes(&mut state);
+            Self::shift_rows(&mut state);
+            Self::mix_columns(&mut state);
+            Self::add_round_key(&mut state, &self.round_keys[r]);
+        }
+        self.sub_bytes(&mut state);
+        Self::shift_rows(&mut state);
+        Self::add_round_key(&mut state, &self.round_keys[ROUNDS]);
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sbox_known_values() {
+        let sbox = generate_sbox();
+        // FIPS-197 Figure 7 spot checks.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x01], 0x7c);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(sbox[0xff], 0x16);
+        assert_eq!(sbox[0x9a], 0xb8);
+    }
+
+    #[test]
+    fn gf_math() {
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe); // FIPS-197 example
+        assert_eq!(gf_mul(0x57, 0x02), 0xae);
+        // Inverse property.
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inverse(a)), 1, "inverse failed for {a:#x}");
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // Key and plaintext from FIPS-197 Appendix B.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expect);
+    }
+
+    #[test]
+    fn fips197_appendix_c1_vector() {
+        // AES-128 test vector from FIPS-197 Appendix C.1.
+        let key: [u8; 16] = (0u8..16).collect::<Vec<_>>().try_into().unwrap();
+        let pt: [u8; 16] = (0u8..16)
+            .map(|i| i * 0x11)
+            .collect::<Vec<_>>()
+            .try_into()
+            .unwrap();
+        let expect = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        let aes = Aes128::new(&key);
+        assert_eq!(aes.encrypt_block(&pt), expect);
+    }
+
+    #[test]
+    fn different_plaintexts_give_different_ciphertexts() {
+        let aes = Aes128::new(&[7u8; 16]);
+        let a = aes.encrypt_block(&[0u8; 16]);
+        let mut pt = [0u8; 16];
+        pt[15] = 1;
+        let b = aes.encrypt_block(&pt);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key() {
+        let aes = Aes128::new(&[0xAA; 16]);
+        let s = format!("{aes:?}");
+        assert!(!s.contains("170") && !s.to_lowercase().contains("aa, aa"));
+    }
+}

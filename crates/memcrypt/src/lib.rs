@@ -1,0 +1,40 @@
+//! Memory-encryption substrate for the VCC reproduction.
+//!
+//! The paper assumes the memory controller encrypts every cache line with
+//! counter-mode AES before coset encoding (Figure 4), which is what makes
+//! the written data statistically random and motivates VCC in the first
+//! place. This crate provides:
+//!
+//! * [`aes`] — a from-scratch, test-vector-verified AES-128 block cipher,
+//! * [`ctr`] — counter-mode line encryption and the per-line counter table,
+//! * [`keystream`] — the [`MemoryEncryption`] front-end used by the
+//!   simulators, with both an AES-backed and a fast keyed-PRNG pad source,
+//! * [`prng`] — deterministic generators for memory initialization.
+//!
+//! ```
+//! use memcrypt::{CtrEngine, MemoryEncryption};
+//!
+//! let mut enc = MemoryEncryption::new(CtrEngine::new([0x42; 16]));
+//! let plaintext = [0u64; 8];                      // a highly biased line
+//! let (ciphertext, counter) = enc.encrypt_writeback(0x80, &plaintext);
+//! // The ciphertext is unbiased: roughly half the bits are ones.
+//! let ones: u32 = ciphertext.iter().map(|w| w.count_ones()).sum();
+//! assert!(ones > 180 && ones < 330);
+//! assert_eq!(enc.decrypt_read(0x80, counter, &ciphertext), plaintext);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aes;
+pub mod ctr;
+pub mod keystream;
+pub mod prng;
+
+pub use aes::Aes128;
+pub use ctr::{CounterTable, CtrEngine, LINE_BYTES, LINE_WORDS};
+pub use keystream::{
+    simulation_encryption, AesMemoryEncryption, FastPad, MemoryEncryption, PadSource,
+    SimulationEncryption,
+};
+pub use prng::{initial_row_contents, SplitMix64, XoshiroPad};

@@ -1,0 +1,139 @@
+//! Device-level write-energy model (the paper's Table I).
+//!
+//! The numbers are calibrated to the prototype MLC PCM devices cited by the
+//! paper (Bedeschi et al. JSSC'09, Wang et al. ICCD'11): programming a cell
+//! into an intermediate Gray level (new right digit `1`) requires a full
+//! SET + RESET preamble followed by program-and-verify and costs roughly an
+//! order of magnitude more energy than driving it to one of the extreme
+//! levels. Re-writing the same symbol is skipped by differential write and
+//! costs nothing.
+//!
+//! The actual transition matrix lives in [`coset::cost::TransitionEnergy`]
+//! so the encoders can optimize against it; this module re-exports the
+//! calibrated constants, provides the [`table_i`] constructor used by the
+//! simulator, and renders the table in the paper's format for reports.
+
+pub use coset::cost::{
+    MLC_HIGH_TRANSITION_PJ as HIGH_TRANSITION_PJ, MLC_LOW_TRANSITION_PJ as LOW_TRANSITION_PJ,
+    SLC_TRANSITION_PJ,
+};
+use coset::cost::TransitionEnergy;
+use coset::symbol::CellKind;
+
+/// The Table-I MLC transition-energy model.
+pub fn table_i() -> TransitionEnergy {
+    TransitionEnergy::mlc_table_i()
+}
+
+/// The symmetric SLC energy model.
+pub fn slc_energy() -> TransitionEnergy {
+    TransitionEnergy::slc_symmetric()
+}
+
+/// The energy model matching a cell kind.
+pub fn for_cell_kind(kind: CellKind) -> TransitionEnergy {
+    match kind {
+        CellKind::Mlc => table_i(),
+        CellKind::Slc => slc_energy(),
+    }
+}
+
+/// Classification of a symbol transition, mirroring Table I's entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionClass {
+    /// Old and new symbols are identical: skipped by differential write.
+    NoChange,
+    /// The new symbol sits at an extreme Gray level (right digit `0`).
+    Low,
+    /// The new symbol sits at an intermediate Gray level (right digit `1`).
+    High,
+}
+
+/// Classifies an MLC transition per Table I.
+pub fn classify_mlc(old_symbol: u8, new_symbol: u8) -> TransitionClass {
+    if old_symbol == new_symbol {
+        TransitionClass::NoChange
+    } else if new_symbol & 1 == 1 {
+        TransitionClass::High
+    } else {
+        TransitionClass::Low
+    }
+}
+
+/// Renders Table I (old state rows × new state columns, values "-", "low",
+/// "high") exactly as the paper lays it out, for reports and documentation.
+pub fn render_table_i() -> String {
+    let order = [0b00u8, 0b01, 0b11, 0b10];
+    let mut out = String::from("        N(00)  N(01)  N(11)  N(10)\n");
+    for old in order {
+        out.push_str(&format!("O({:02b})", old));
+        for new in order {
+            let cell = match classify_mlc(old, new) {
+                TransitionClass::NoChange => "-",
+                TransitionClass::Low => "low",
+                TransitionClass::High => "high",
+            };
+            out.push_str(&format!("{cell:>7}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_an_order_of_magnitude_apart() {
+        assert!(HIGH_TRANSITION_PJ / LOW_TRANSITION_PJ >= 8.0);
+        assert!(LOW_TRANSITION_PJ > 0.0);
+        assert_eq!(SLC_TRANSITION_PJ, LOW_TRANSITION_PJ);
+    }
+
+    #[test]
+    fn classification_matches_paper_table() {
+        use TransitionClass::*;
+        // Row O(00) of Table I: -, high, high, low.
+        assert_eq!(classify_mlc(0b00, 0b00), NoChange);
+        assert_eq!(classify_mlc(0b00, 0b01), High);
+        assert_eq!(classify_mlc(0b00, 0b11), High);
+        assert_eq!(classify_mlc(0b00, 0b10), Low);
+        // Row O(10): low, high, high, -.
+        assert_eq!(classify_mlc(0b10, 0b00), Low);
+        assert_eq!(classify_mlc(0b10, 0b01), High);
+        assert_eq!(classify_mlc(0b10, 0b11), High);
+        assert_eq!(classify_mlc(0b10, 0b10), NoChange);
+    }
+
+    #[test]
+    fn table_matches_classification() {
+        let t = table_i();
+        for old in 0..4u8 {
+            for new in 0..4u8 {
+                let expect = match classify_mlc(old, new) {
+                    TransitionClass::NoChange => 0.0,
+                    TransitionClass::Low => LOW_TRANSITION_PJ,
+                    TransitionClass::High => HIGH_TRANSITION_PJ,
+                };
+                assert_eq!(t.energy(old, new), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let s = render_table_i();
+        for row in ["O(00)", "O(01)", "O(11)", "O(10)"] {
+            assert!(s.contains(row), "missing {row} in:\n{s}");
+        }
+        assert_eq!(s.matches("high").count(), 6);
+        assert_eq!(s.matches("low").count(), 6);
+    }
+
+    #[test]
+    fn for_cell_kind_selects_table() {
+        assert_eq!(for_cell_kind(CellKind::Mlc), table_i());
+        assert_eq!(for_cell_kind(CellKind::Slc), slc_energy());
+    }
+}

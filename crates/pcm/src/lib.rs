@@ -1,0 +1,41 @@
+//! Multi-level-cell phase-change memory simulator.
+//!
+//! This crate is the device/array substrate of the VCC reproduction: a
+//! sparse, lazily materialized PCM module with Gray-coded MLC (or SLC)
+//! cells, Table-I programming energies, normally distributed per-cell
+//! endurance, wear-induced stuck-at faults, and optional pre-generated
+//! fault maps for the paper's fixed-incidence "snapshot" experiments.
+//! Writes go through any [`coset::Encoder`], so the same memory model
+//! serves unencoded writeback, DBI/FNW, Flipcy, RCC and VCC.
+//!
+//! ```
+//! use pcm::{PcmConfig, PcmMemory};
+//! use coset::{Vcc, cost::WriteEnergy};
+//!
+//! let mut mem = PcmMemory::new(PcmConfig::scaled(1 << 20, 1e6));
+//! let vcc = Vcc::paper_mlc(256);
+//! let line = [0xDEAD_BEEF_u64; 8];
+//! let outcome = mem.write_line(0x40, &line, &vcc, &WriteEnergy::mlc());
+//! assert!(outcome.total().energy_pj >= 0.0);
+//! assert_eq!(mem.read_line(0x40, &vcc), line);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod endurance;
+pub mod energy;
+pub mod fault;
+pub mod memory;
+pub mod row;
+pub mod stats;
+pub mod wearlevel;
+
+pub use config::PcmConfig;
+pub use endurance::EnduranceModel;
+pub use fault::FaultMap;
+pub use memory::PcmMemory;
+pub use row::Row;
+pub use stats::{LineWriteOutcome, MemoryStats, WordWriteOutcome};
+pub use wearlevel::StartGap;

@@ -1,0 +1,291 @@
+//! Per-row cell state: stored values, wear counters, endurance limits and
+//! stuck-at status.
+
+use coset::block::Block;
+use coset::symbol::CellKind;
+use coset::StuckBits;
+
+use crate::config::PcmConfig;
+use crate::endurance::EnduranceModel;
+
+/// The mutable state of one memory row (cache line) and its cells.
+///
+/// Cells are indexed row-locally: word `w` owns data cells
+/// `[w · cpw_total, w · cpw_total + cells_per_word)` followed by its
+/// auxiliary cells, where `cpw_total = cells_per_word + aux_cells_per_word`.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Stored data words (one entry per 64-bit word of the row).
+    data: Vec<u64>,
+    /// Stored auxiliary bits per word.
+    aux: Vec<u64>,
+    /// Programming events endured by each cell.
+    wear: Vec<u64>,
+    /// Endurance limit of each cell.
+    limit: Vec<u64>,
+    /// Whether each cell is stuck.
+    stuck: Vec<bool>,
+    /// The symbol a stuck cell is frozen at (valid only where `stuck`).
+    stuck_value: Vec<u8>,
+    cells_per_word: usize,
+    aux_cells_per_word: usize,
+    bits_per_cell: usize,
+}
+
+impl Row {
+    /// Materializes a fresh row: data cells take `initial` contents, aux
+    /// cells start at zero, wear starts at zero, and every cell's endurance
+    /// limit is sampled from the endurance model.
+    pub fn new(
+        config: &PcmConfig,
+        endurance: &EnduranceModel,
+        row_addr: u64,
+        initial: &[u64],
+    ) -> Self {
+        let words = config.words_per_row();
+        assert_eq!(initial.len(), words, "initial contents word count");
+        let cpw = config.cells_per_word();
+        let acw = config.aux_cells_per_word();
+        let total_cells = (cpw + acw) * words;
+        let mut limit = Vec::with_capacity(total_cells);
+        for c in 0..total_cells {
+            limit.push(endurance.cell_limit(row_addr, c));
+        }
+        Row {
+            data: initial.to_vec(),
+            aux: vec![0u64; words],
+            wear: vec![0u64; total_cells],
+            limit,
+            stuck: vec![false; total_cells],
+            stuck_value: vec![0u8; total_cells],
+            cells_per_word: cpw,
+            aux_cells_per_word: acw,
+            bits_per_cell: config.cell_kind.bits_per_cell(),
+        }
+    }
+
+    /// Number of words in the row.
+    pub fn words(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total cells (data + aux) per word.
+    pub fn cells_per_word_total(&self) -> usize {
+        self.cells_per_word + self.aux_cells_per_word
+    }
+
+    /// Row-local index of the first (data) cell of word `w`.
+    pub fn first_cell_of_word(&self, w: usize) -> usize {
+        w * self.cells_per_word_total()
+    }
+
+    /// Row-local index of the first auxiliary cell of word `w`.
+    pub fn first_aux_cell_of_word(&self, w: usize) -> usize {
+        self.first_cell_of_word(w) + self.cells_per_word
+    }
+
+    /// Currently stored data word `w`.
+    pub fn data_word(&self, w: usize) -> u64 {
+        self.data[w]
+    }
+
+    /// Currently stored auxiliary bits of word `w`.
+    pub fn aux_word(&self, w: usize) -> u64 {
+        self.aux[w]
+    }
+
+    /// The stored data of word `w` as a [`Block`].
+    pub fn data_block(&self, w: usize, word_bits: usize) -> Block {
+        Block::from_u64(self.data[w], word_bits)
+    }
+
+    /// Overwrites the stored data and aux of word `w` (used by the write
+    /// path after stuck-cell masking has been applied).
+    pub fn store_word(&mut self, w: usize, data: u64, aux: u64) {
+        self.data[w] = data;
+        self.aux[w] = aux;
+    }
+
+    /// Whether a cell is stuck.
+    pub fn is_stuck(&self, cell: usize) -> bool {
+        self.stuck[cell]
+    }
+
+    /// The symbol a stuck cell is frozen at.
+    pub fn stuck_symbol(&self, cell: usize) -> u8 {
+        self.stuck_value[cell]
+    }
+
+    /// Marks a cell stuck at `symbol`.
+    pub fn stick_cell(&mut self, cell: usize, symbol: u8) {
+        self.stuck[cell] = true;
+        self.stuck_value[cell] = symbol;
+    }
+
+    /// Wear endured by a cell.
+    pub fn wear(&self, cell: usize) -> u64 {
+        self.wear[cell]
+    }
+
+    /// Endurance limit of a cell.
+    pub fn limit(&self, cell: usize) -> u64 {
+        self.limit[cell]
+    }
+
+    /// Adds `amount` programming events of wear to a cell. Returns `true`
+    /// if this pushed the cell past its endurance limit (the caller then
+    /// marks it stuck at its final value).
+    pub fn add_wear(&mut self, cell: usize, amount: u64) -> bool {
+        self.wear[cell] = self.wear[cell].saturating_add(amount);
+        self.wear[cell] >= self.limit[cell] && !self.stuck[cell]
+    }
+
+    /// Number of stuck cells in the whole row.
+    pub fn stuck_cells(&self) -> usize {
+        self.stuck.iter().filter(|s| **s).count()
+    }
+
+    /// Builds the [`StuckBits`] view (wear-induced faults only) for the data
+    /// portion of word `w`.
+    pub fn stuck_bits_for_data(&self, w: usize, word_bits: usize) -> StuckBits {
+        let mut out = StuckBits::none(word_bits);
+        let base = self.first_cell_of_word(w);
+        for c in 0..self.cells_per_word {
+            if self.stuck[base + c] {
+                out.stick_cell(c, self.bits_per_cell, self.stuck_value[base + c] as u64);
+            }
+        }
+        out
+    }
+
+    /// Builds the stuck mask/value pair for the auxiliary cells of word `w`
+    /// as packed bit fields.
+    pub fn stuck_bits_for_aux(&self, w: usize) -> (u64, u64) {
+        let base = self.first_aux_cell_of_word(w);
+        let mut mask = 0u64;
+        let mut value = 0u64;
+        for c in 0..self.aux_cells_per_word {
+            if self.stuck[base + c] {
+                let shift = c * self.bits_per_cell;
+                let cell_mask = (1u64 << self.bits_per_cell) - 1;
+                mask |= cell_mask << shift;
+                value |= (self.stuck_value[base + c] as u64) << shift;
+            }
+        }
+        (mask, value)
+    }
+
+    /// Cell kind width in bits.
+    pub fn bits_per_cell(&self) -> usize {
+        self.bits_per_cell
+    }
+
+    /// Number of data cells per word.
+    pub fn data_cells_per_word(&self) -> usize {
+        self.cells_per_word
+    }
+
+    /// Number of auxiliary cells per word.
+    pub fn aux_cells_per_word(&self) -> usize {
+        self.aux_cells_per_word
+    }
+}
+
+/// Splits a stored word into per-cell symbols (LSB-first cell order).
+pub fn word_symbols(word: u64, cells: usize, kind: CellKind) -> Vec<u8> {
+    let bpc = kind.bits_per_cell();
+    let mask = (1u64 << bpc) - 1;
+    (0..cells).map(|c| ((word >> (c * bpc)) & mask) as u8).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> PcmConfig {
+        PcmConfig::scaled(64 * 1024, 1e4)
+    }
+
+    #[test]
+    fn geometry_and_initial_state() {
+        let cfg = small_config();
+        let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
+        let init = vec![0xABCDu64; 8];
+        let row = Row::new(&cfg, &end, 0, &init);
+        assert_eq!(row.words(), 8);
+        assert_eq!(row.cells_per_word_total(), 36);
+        assert_eq!(row.first_cell_of_word(1), 36);
+        assert_eq!(row.first_aux_cell_of_word(0), 32);
+        assert_eq!(row.data_word(3), 0xABCD);
+        assert_eq!(row.aux_word(3), 0);
+        assert_eq!(row.stuck_cells(), 0);
+        assert_eq!(row.data_cells_per_word(), 32);
+        assert_eq!(row.aux_cells_per_word(), 4);
+        assert_eq!(row.bits_per_cell(), 2);
+        assert!(row.limit(0) > 0);
+    }
+
+    #[test]
+    fn store_and_read_back() {
+        let cfg = small_config();
+        let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
+        let mut row = Row::new(&cfg, &end, 1, &vec![0u64; 8]);
+        row.store_word(2, 0xDEADBEEF, 0x3F);
+        assert_eq!(row.data_word(2), 0xDEADBEEF);
+        assert_eq!(row.aux_word(2), 0x3F);
+        assert_eq!(row.data_block(2, 64).as_u64(), 0xDEADBEEF);
+    }
+
+    #[test]
+    fn wear_accumulates_and_triggers_failure() {
+        let cfg = small_config();
+        let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
+        let mut row = Row::new(&cfg, &end, 2, &vec![0u64; 8]);
+        let limit = row.limit(5);
+        let mut failed = false;
+        for _ in 0..limit {
+            failed = row.add_wear(5, 1);
+            if failed {
+                break;
+            }
+        }
+        assert!(failed, "cell should fail at its limit");
+        assert_eq!(row.wear(5), limit);
+        row.stick_cell(5, 0b10);
+        assert!(row.is_stuck(5));
+        assert_eq!(row.stuck_symbol(5), 0b10);
+        // Further wear does not re-trigger the failure edge.
+        assert!(!row.add_wear(5, 1));
+    }
+
+    #[test]
+    fn stuck_bits_views() {
+        let cfg = small_config();
+        let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
+        let mut row = Row::new(&cfg, &end, 3, &vec![0u64; 8]);
+        // Stick data cell 4 of word 1 and aux cell 0 of word 1.
+        let data_cell = row.first_cell_of_word(1) + 4;
+        let aux_cell = row.first_aux_cell_of_word(1);
+        row.stick_cell(data_cell, 0b11);
+        row.stick_cell(aux_cell, 0b01);
+        let stuck = row.stuck_bits_for_data(1, 64);
+        assert!(stuck.is_stuck(8));
+        assert!(stuck.is_stuck(9));
+        assert_eq!(stuck.value_bits(8, 2), 0b11);
+        assert_eq!(stuck.stuck_count(), 2);
+        let (mask, value) = row.stuck_bits_for_aux(1);
+        assert_eq!(mask, 0b11);
+        assert_eq!(value, 0b01);
+        // Word 0 is unaffected.
+        assert_eq!(row.stuck_bits_for_data(0, 64).stuck_count(), 0);
+        assert_eq!(row.stuck_bits_for_aux(0), (0, 0));
+    }
+
+    #[test]
+    fn word_symbols_extraction() {
+        let syms = word_symbols(0b11_01_00_10, 4, CellKind::Mlc);
+        assert_eq!(syms, vec![0b10, 0b00, 0b01, 0b11]);
+        let bits = word_symbols(0b1011, 4, CellKind::Slc);
+        assert_eq!(bits, vec![1, 1, 0, 1]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Aggregate statistics collected by the memory simulator.
+
+use std::ops::AddAssign;
+
+/// Outcome of writing a single word.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WordWriteOutcome {
+    /// Programming energy spent on this word (data + aux cells), in pJ.
+    pub energy_pj: f64,
+    /// Number of cells whose state changed (programming events).
+    pub cells_programmed: u32,
+    /// Programming events that targeted a high-energy (intermediate) level.
+    pub high_energy_programs: u32,
+    /// Number of bit positions that changed value.
+    pub bit_flips: u32,
+    /// Stuck-at-wrong cells after encoding (data + aux).
+    pub saw_cells: u32,
+    /// Cells that exceeded their endurance limit during this write.
+    pub new_dead_cells: u32,
+}
+
+impl AddAssign for WordWriteOutcome {
+    fn add_assign(&mut self, rhs: Self) {
+        self.energy_pj += rhs.energy_pj;
+        self.cells_programmed += rhs.cells_programmed;
+        self.high_energy_programs += rhs.high_energy_programs;
+        self.bit_flips += rhs.bit_flips;
+        self.saw_cells += rhs.saw_cells;
+        self.new_dead_cells += rhs.new_dead_cells;
+    }
+}
+
+/// Outcome of writing a whole row (cache line).
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LineWriteOutcome {
+    /// Per-word outcomes, in word order.
+    pub words: Vec<WordWriteOutcome>,
+}
+
+impl LineWriteOutcome {
+    /// Sum of the per-word outcomes.
+    pub fn total(&self) -> WordWriteOutcome {
+        let mut t = WordWriteOutcome::default();
+        for w in &self.words {
+            t += *w;
+        }
+        t
+    }
+
+    /// Per-word stuck-at-wrong counts (used by correction schemes to decide
+    /// whether the row write is correctable).
+    pub fn saw_per_word(&self) -> Vec<u32> {
+        self.words.iter().map(|w| w.saw_cells).collect()
+    }
+
+    /// Total stuck-at-wrong cells in the row write.
+    pub fn total_saw(&self) -> u32 {
+        self.words.iter().map(|w| w.saw_cells).sum()
+    }
+}
+
+/// Running totals over the lifetime of a simulated memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MemoryStats {
+    /// Row (cache line) writes serviced.
+    pub row_writes: u64,
+    /// Word writes serviced.
+    pub word_writes: u64,
+    /// Total programming energy in pJ.
+    pub energy_pj: f64,
+    /// Total programming events.
+    pub cells_programmed: u64,
+    /// Programming events into high-energy levels.
+    pub high_energy_programs: u64,
+    /// Total bit flips.
+    pub bit_flips: u64,
+    /// Total stuck-at-wrong cell observations.
+    pub saw_cells: u64,
+    /// Word writes that left at least one stuck-at-wrong cell.
+    pub saw_word_events: u64,
+    /// Cells that have exceeded their endurance limit.
+    pub dead_cells: u64,
+}
+
+impl MemoryStats {
+    /// Folds one word outcome into the totals.
+    pub fn absorb(&mut self, w: &WordWriteOutcome) {
+        self.word_writes += 1;
+        self.energy_pj += w.energy_pj;
+        self.cells_programmed += w.cells_programmed as u64;
+        self.high_energy_programs += w.high_energy_programs as u64;
+        self.bit_flips += w.bit_flips as u64;
+        self.saw_cells += w.saw_cells as u64;
+        if w.saw_cells > 0 {
+            self.saw_word_events += 1;
+        }
+        self.dead_cells += w.new_dead_cells as u64;
+    }
+
+    /// Average programming energy per row write, in pJ.
+    pub fn energy_per_row_write(&self) -> f64 {
+        if self.row_writes == 0 {
+            0.0
+        } else {
+            self.energy_pj / self.row_writes as f64
+        }
+    }
+
+    /// Observed stuck-at-wrong rate per word write.
+    pub fn saw_rate_per_word(&self) -> f64 {
+        if self.word_writes == 0 {
+            0.0
+        } else {
+            self.saw_cells as f64 / self.word_writes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_outcomes_accumulate() {
+        let mut a = WordWriteOutcome {
+            energy_pj: 1.5,
+            cells_programmed: 2,
+            high_energy_programs: 1,
+            bit_flips: 3,
+            saw_cells: 0,
+            new_dead_cells: 1,
+        };
+        let b = WordWriteOutcome {
+            energy_pj: 2.5,
+            cells_programmed: 4,
+            high_energy_programs: 2,
+            bit_flips: 5,
+            saw_cells: 2,
+            new_dead_cells: 0,
+        };
+        a += b;
+        assert_eq!(a.energy_pj, 4.0);
+        assert_eq!(a.cells_programmed, 6);
+        assert_eq!(a.bit_flips, 8);
+        assert_eq!(a.saw_cells, 2);
+        assert_eq!(a.new_dead_cells, 1);
+    }
+
+    #[test]
+    fn line_outcome_totals() {
+        let line = LineWriteOutcome {
+            words: vec![
+                WordWriteOutcome {
+                    saw_cells: 1,
+                    energy_pj: 10.0,
+                    ..Default::default()
+                },
+                WordWriteOutcome {
+                    saw_cells: 0,
+                    energy_pj: 5.0,
+                    ..Default::default()
+                },
+            ],
+        };
+        assert_eq!(line.total().energy_pj, 15.0);
+        assert_eq!(line.saw_per_word(), vec![1, 0]);
+        assert_eq!(line.total_saw(), 1);
+    }
+
+    #[test]
+    fn memory_stats_absorb_and_rates() {
+        let mut s = MemoryStats::default();
+        s.row_writes = 2;
+        s.absorb(&WordWriteOutcome {
+            energy_pj: 100.0,
+            saw_cells: 2,
+            ..Default::default()
+        });
+        s.absorb(&WordWriteOutcome {
+            energy_pj: 50.0,
+            saw_cells: 0,
+            ..Default::default()
+        });
+        assert_eq!(s.word_writes, 2);
+        assert_eq!(s.energy_per_row_write(), 75.0);
+        assert_eq!(s.saw_rate_per_word(), 1.0);
+        assert_eq!(s.saw_word_events, 1);
+    }
+
+    #[test]
+    fn empty_stats_rates_are_zero() {
+        let s = MemoryStats::default();
+        assert_eq!(s.energy_per_row_write(), 0.0);
+        assert_eq!(s.saw_rate_per_word(), 0.0);
+    }
+}

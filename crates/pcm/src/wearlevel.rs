@@ -1,0 +1,212 @@
+//! Start-Gap wear leveling (Qureshi et al., MICRO 2009).
+//!
+//! The paper's lifetime methodology cites Start-Gap as the standard way PCM
+//! main memories spread writes across rows; coset coding attacks *intra*-row
+//! wear (fewer and cheaper cell programs) while Start-Gap attacks *inter*-row
+//! wear (hot logical rows migrate over physical rows). This module provides
+//! the address-remapping layer so the two can be composed: the experiment
+//! harness can interpose a [`StartGap`] between logical row addresses and
+//! the [`crate::PcmMemory`] physical rows.
+//!
+//! The algebraic remapping follows the original design: a region of `n`
+//! logical rows is stored in `n + 1` physical rows; one physical row (the
+//! *gap*) is unused; every `gap_write_interval` writes the gap moves down by
+//! one position (rotating one row's contents into the old gap), and after
+//! `n + 1` gap movements the whole mapping has rotated by one (tracked by
+//! `start`).
+
+/// Start-Gap address remapper for one memory region.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StartGap {
+    /// Number of logical rows managed.
+    logical_rows: u64,
+    /// Current gap position within the `logical_rows + 1` physical rows.
+    gap: u64,
+    /// Current rotation of the mapping (0..logical_rows).
+    start: u64,
+    /// Writes observed since the last gap movement.
+    writes_since_move: u64,
+    /// Gap movement interval in writes (the paper's reference uses 100).
+    gap_write_interval: u64,
+    /// Total writes serviced.
+    total_writes: u64,
+    /// Total gap movements performed (each one costs one extra row write).
+    gap_moves: u64,
+}
+
+impl StartGap {
+    /// Creates a remapper for `logical_rows` rows with the classic interval
+    /// of 100 writes per gap movement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_rows` is zero.
+    pub fn new(logical_rows: u64) -> Self {
+        Self::with_interval(logical_rows, 100)
+    }
+
+    /// Creates a remapper with an explicit gap-movement interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical_rows` or `gap_write_interval` is zero.
+    pub fn with_interval(logical_rows: u64, gap_write_interval: u64) -> Self {
+        assert!(logical_rows > 0, "need at least one logical row");
+        assert!(gap_write_interval > 0, "gap interval must be non-zero");
+        StartGap {
+            logical_rows,
+            gap: logical_rows, // the spare row starts as the gap
+            start: 0,
+            writes_since_move: 0,
+            gap_write_interval,
+            total_writes: 0,
+            gap_moves: 0,
+        }
+    }
+
+    /// Number of logical rows managed.
+    pub fn logical_rows(&self) -> u64 {
+        self.logical_rows
+    }
+
+    /// Number of physical rows required (`logical_rows + 1`).
+    pub fn physical_rows(&self) -> u64 {
+        self.logical_rows + 1
+    }
+
+    /// Total writes serviced so far.
+    pub fn total_writes(&self) -> u64 {
+        self.total_writes
+    }
+
+    /// Total gap movements (each implies one extra physical row write of
+    /// migration traffic).
+    pub fn gap_moves(&self) -> u64 {
+        self.gap_moves
+    }
+
+    /// Extra write overhead introduced by gap movements, as a fraction of
+    /// serviced writes.
+    pub fn write_overhead(&self) -> f64 {
+        if self.total_writes == 0 {
+            0.0
+        } else {
+            self.gap_moves as f64 / self.total_writes as f64
+        }
+    }
+
+    /// Maps a logical row address to its current physical row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical >= logical_rows`.
+    pub fn physical_of(&self, logical: u64) -> u64 {
+        assert!(logical < self.logical_rows, "logical row out of range");
+        let rotated = (logical + self.start) % self.logical_rows;
+        if rotated >= self.gap {
+            rotated + 1
+        } else {
+            rotated
+        }
+    }
+
+    /// Records one serviced write and, if the interval elapsed, moves the
+    /// gap. Returns `Some((from_physical, to_physical))` when a migration
+    /// (copy of one row into the gap) must be performed by the caller.
+    pub fn note_write(&mut self) -> Option<(u64, u64)> {
+        self.total_writes += 1;
+        self.writes_since_move += 1;
+        if self.writes_since_move < self.gap_write_interval {
+            return None;
+        }
+        self.writes_since_move = 0;
+        self.gap_moves += 1;
+        let migration = if self.gap == 0 {
+            // Wrap: the gap returns to the top and the mapping rotates.
+            self.gap = self.logical_rows;
+            self.start = (self.start + 1) % self.logical_rows;
+            None
+        } else {
+            // Row just above the gap slides down into it.
+            let from = self.gap - 1;
+            let to = self.gap;
+            self.gap -= 1;
+            Some((from, to))
+        };
+        migration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn construction_and_accessors() {
+        let sg = StartGap::new(16);
+        assert_eq!(sg.logical_rows(), 16);
+        assert_eq!(sg.physical_rows(), 17);
+        assert_eq!(sg.total_writes(), 0);
+        assert_eq!(sg.gap_moves(), 0);
+        assert_eq!(sg.write_overhead(), 0.0);
+    }
+
+    #[test]
+    fn mapping_is_a_bijection_at_all_times() {
+        let mut sg = StartGap::with_interval(8, 3);
+        for _ in 0..200 {
+            let mapped: HashSet<u64> = (0..8).map(|l| sg.physical_of(l)).collect();
+            assert_eq!(mapped.len(), 8, "mapping must stay injective");
+            assert!(mapped.iter().all(|p| *p < sg.physical_rows()));
+            sg.note_write();
+        }
+    }
+
+    #[test]
+    fn gap_moves_at_the_configured_interval() {
+        let mut sg = StartGap::with_interval(4, 10);
+        let mut moves = 0;
+        for _ in 0..100 {
+            if sg.note_write().is_some() || sg.gap_moves() > moves {
+                moves = sg.gap_moves();
+            }
+        }
+        assert_eq!(sg.gap_moves(), 10);
+        assert!((sg.write_overhead() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_changes_the_physical_location_of_a_hot_row() {
+        // Keep writing; eventually logical row 0 must occupy different
+        // physical rows (that is the whole point of start-gap).
+        let mut sg = StartGap::with_interval(8, 1);
+        let mut seen = HashSet::new();
+        for _ in 0..200 {
+            seen.insert(sg.physical_of(0));
+            sg.note_write();
+        }
+        assert!(
+            seen.len() >= 8,
+            "hot logical row should visit many physical rows, saw {}",
+            seen.len()
+        );
+    }
+
+    #[test]
+    fn migration_copies_row_above_gap_into_gap() {
+        let mut sg = StartGap::with_interval(4, 1);
+        // First movement: gap is at position 4 (the spare), row 3 slides in.
+        let mig = sg.note_write();
+        assert_eq!(mig, Some((3, 4)));
+        let mig = sg.note_write();
+        assert_eq!(mig, Some((2, 3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_logical_row_panics() {
+        let sg = StartGap::new(4);
+        sg.physical_of(4);
+    }
+}

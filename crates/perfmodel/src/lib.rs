@@ -1,0 +1,25 @@
+//! Mechanistic performance model — the SNIPER substitute for Figure 13.
+//!
+//! Estimates the normalized IPC of each benchmark when the memory
+//! controller adds an encoding latency to every write's read-modify-write
+//! path, using the Table II system parameters ([`config`]) and a two-ceiling
+//! core/memory-channel model ([`model`]).
+//!
+//! ```
+//! use perfmodel::{PerfModel, SystemConfig};
+//! use workload::spec_like::profile_by_name;
+//!
+//! let model = PerfModel::new(SystemConfig::table_ii());
+//! let lbm = profile_by_name("lbm_like").unwrap();
+//! let normalized = model.normalized_ipc(&lbm, 1.9); // VCC's 1.9 ns encoder
+//! assert!(normalized > 0.95 && normalized <= 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod model;
+
+pub use config::SystemConfig;
+pub use model::{PerfEstimate, PerfModel};

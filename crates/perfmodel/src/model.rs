@@ -1,0 +1,181 @@
+//! Mechanistic performance model (SNIPER substitute).
+//!
+//! The only quantity Figure 13 needs is the *relative* IPC of each encoding
+//! technique versus unencoded writeback, given that encoding adds a fixed
+//! latency to every write's read-modify-write path. We therefore model each
+//! benchmark with two independent throughput ceilings and take the lower:
+//!
+//! * a **core ceiling** — base pipeline CPI plus read-miss stalls (interval
+//!   model with a memory-level-parallelism factor), unaffected by encoding;
+//! * a **memory-channel ceiling** — each read occupies a channel for the
+//!   base access delay, each write-back occupies it for the base delay plus
+//!   the read-modify-write's encode latency; the channels bound attainable
+//!   instruction throughput for the memory-intensive benchmarks.
+//!
+//! Lengthening the write service time lowers only the channel ceiling, so
+//! write-intensive benchmarks see a small IPC loss proportional to the
+//! encoding delay relative to the 84 ns access — exactly the "< 3 %"
+//! behaviour the paper reports.
+
+use crate::config::SystemConfig;
+use workload::BenchmarkProfile;
+
+/// Performance estimate for one benchmark under one encoding latency.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PerfEstimate {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Whether the memory channels (rather than the core) were the
+    /// bottleneck.
+    pub memory_bound: bool,
+    /// Channel utilization at the achieved IPC (0..=1).
+    pub channel_utilization: f64,
+}
+
+/// The mechanistic model.
+#[derive(Debug, Clone, Default)]
+pub struct PerfModel {
+    config: SystemConfig,
+}
+
+impl PerfModel {
+    /// Creates a model over a system configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate();
+        PerfModel { config }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Core-side IPC ceiling (independent of the encoder).
+    pub fn core_ipc(&self, profile: &BenchmarkProfile) -> f64 {
+        let cfg = &self.config;
+        let read_stall_cpi = profile.rpki / 1000.0
+            * cfg.base_access_ns
+            * cfg.freq_ghz
+            / cfg.memory_level_parallelism;
+        1.0 / (cfg.base_cpi + read_stall_cpi)
+    }
+
+    /// Memory-channel IPC ceiling for a given per-write encode delay.
+    ///
+    /// Channel time per instruction =
+    /// `rpki/1000 · t_read + wpki/1000 · (t_read + t_write + t_encode)`,
+    /// where the write term covers the read-modify-write (read the old
+    /// contents, encode, write back). The ceiling is the channel count
+    /// divided by that demand.
+    pub fn channel_ipc(&self, profile: &BenchmarkProfile, encode_delay_ns: f64) -> f64 {
+        let cfg = &self.config;
+        let read_ns = cfg.base_access_ns;
+        let write_service_ns = 2.0 * cfg.base_access_ns + encode_delay_ns;
+        let demand_ns_per_instr =
+            profile.rpki / 1000.0 * read_ns + profile.wpki / 1000.0 * write_service_ns;
+        let cycles_per_instr = demand_ns_per_instr * cfg.freq_ghz / cfg.channels as f64;
+        1.0 / cycles_per_instr.max(1e-12)
+    }
+
+    /// Absolute IPC estimate for a benchmark under a given encode delay.
+    pub fn estimate(&self, profile: &BenchmarkProfile, encode_delay_ns: f64) -> PerfEstimate {
+        let core = self.core_ipc(profile);
+        let channel = self.channel_ipc(profile, encode_delay_ns);
+        let ipc = core.min(channel);
+        PerfEstimate {
+            ipc,
+            memory_bound: channel < core,
+            channel_utilization: (ipc / channel).min(1.0),
+        }
+    }
+
+    /// Normalized IPC: the benchmark's IPC with `encode_delay_ns` of extra
+    /// write latency divided by its IPC with no encoding.
+    pub fn normalized_ipc(&self, profile: &BenchmarkProfile, encode_delay_ns: f64) -> f64 {
+        let base = self.estimate(profile, 0.0).ipc;
+        let enc = self.estimate(profile, encode_delay_ns).ipc;
+        enc / base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::spec_like::{all_profiles, profile_by_name};
+
+    fn model() -> PerfModel {
+        PerfModel::new(SystemConfig::table_ii())
+    }
+
+    #[test]
+    fn zero_delay_is_unity() {
+        let m = model();
+        for p in all_profiles() {
+            assert!((m.normalized_ipc(&p, 0.0) - 1.0).abs() < 1e-12, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn more_delay_never_helps() {
+        let m = model();
+        for p in all_profiles() {
+            let v1 = m.normalized_ipc(&p, 1.0);
+            let v3 = m.normalized_ipc(&p, 3.0);
+            assert!(v1 <= 1.0 + 1e-12);
+            assert!(v3 <= v1 + 1e-12, "{}: {v3} > {v1}", p.name);
+        }
+    }
+
+    #[test]
+    fn slowdowns_are_small_like_figure_13() {
+        // Figure 13: even RCC's 2.6 ns encode delay costs < 8% IPC on every
+        // benchmark and ~1-3% on average.
+        let m = model();
+        let mut worst: f64 = 1.0;
+        let mut sum = 0.0;
+        let profiles = all_profiles();
+        for p in &profiles {
+            let v = m.normalized_ipc(p, 2.6);
+            assert!(v > 0.92, "{}: normalized IPC {v}", p.name);
+            worst = worst.min(v);
+            sum += v;
+        }
+        let avg = sum / profiles.len() as f64;
+        assert!(avg > 0.97, "average normalized IPC {avg}");
+        assert!(worst < 1.0, "at least one benchmark must see an impact");
+    }
+
+    #[test]
+    fn vcc_impact_is_smaller_than_rcc() {
+        let m = model();
+        for p in all_profiles() {
+            let vcc = m.normalized_ipc(&p, 1.9);
+            let rcc = m.normalized_ipc(&p, 2.6);
+            assert!(vcc >= rcc, "{}: VCC {vcc} vs RCC {rcc}", p.name);
+        }
+    }
+
+    #[test]
+    fn write_heavy_streaming_benchmark_is_memory_bound() {
+        let m = model();
+        let lbm = profile_by_name("lbm_like").unwrap();
+        let est = m.estimate(&lbm, 2.0);
+        assert!(est.memory_bound, "lbm-like should saturate the channels");
+        assert!(est.channel_utilization > 0.99);
+        // A compute-bound profile (few misses, few write-backs) stays core
+        // bound — the paper's selection criterion excludes such benchmarks,
+        // so we construct one here.
+        let mut light = profile_by_name("x264_like").unwrap();
+        light.rpki = 1.0;
+        light.wpki = 0.5;
+        assert!(!m.estimate(&light, 2.0).memory_bound);
+    }
+
+    #[test]
+    fn core_ipc_decreases_with_read_intensity() {
+        let m = model();
+        let heavy = profile_by_name("mcf_like").unwrap();
+        let light = profile_by_name("x264_like").unwrap();
+        assert!(m.core_ipc(&heavy) < m.core_ipc(&light));
+    }
+}

@@ -1,0 +1,32 @@
+//! Fault-protection baselines for the VCC reproduction.
+//!
+//! The paper's lifetime study compares coset techniques against the two
+//! conventional hard-fault protections used for main memory:
+//!
+//! * [`secded`] — a full Hamming(72, 64) SECDED codec (encode, syndrome
+//!   decode, single-error correction, double-error detection),
+//! * [`ecp`] — Error-Correcting Pointers with a configurable number of
+//!   repair entries per row,
+//! * [`scheme`] — the [`CorrectionScheme`] capacity abstraction the
+//!   lifetime experiments use to decide whether a row write with residual
+//!   stuck-at-wrong cells is correctable.
+//!
+//! ```
+//! use protect::{Secded, secded::DecodeOutcome};
+//!
+//! let codec = Secded::new();
+//! let cw = codec.encode(42);
+//! let corrupted = cw ^ (1 << 3);
+//! assert!(matches!(codec.decode(corrupted), DecodeOutcome::Corrected { data: 42, .. }));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ecp;
+pub mod scheme;
+pub mod secded;
+
+pub use ecp::{EcpEntry, EcpRow};
+pub use scheme::{CorrectionScheme, EcpScheme, NoCorrection, SecdedScheme};
+pub use secded::Secded;

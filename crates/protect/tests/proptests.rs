@@ -1,0 +1,94 @@
+//! Property-based tests for the SECDED and ECP protection baselines.
+
+use proptest::prelude::*;
+use protect::secded::{DecodeOutcome, CODE_BITS};
+use protect::{CorrectionScheme, EcpRow, EcpScheme, NoCorrection, Secded, SecdedScheme};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Clean codewords decode to the original data.
+    #[test]
+    fn secded_clean_roundtrip(data in any::<u64>()) {
+        let codec = Secded::new();
+        let cw = codec.encode(data);
+        let clean = matches!(codec.decode(cw), DecodeOutcome::Clean { data: d } if d == data);
+        prop_assert!(clean);
+    }
+
+    /// Any single-bit error is corrected back to the original data.
+    #[test]
+    fn secded_corrects_single_errors(data in any::<u64>(), bit in 0usize..CODE_BITS) {
+        let codec = Secded::new();
+        let corrupted = codec.encode(data) ^ (1u128 << bit);
+        match codec.decode(corrupted) {
+            DecodeOutcome::Corrected { data: d, codeword_bit } => {
+                prop_assert_eq!(d, data);
+                prop_assert_eq!(codeword_bit, bit);
+            }
+            other => prop_assert!(false, "expected correction, got {other:?}"),
+        }
+    }
+
+    /// Any double-bit error is detected (never silently mis-corrected).
+    #[test]
+    fn secded_detects_double_errors(data in any::<u64>(), a in 0usize..CODE_BITS, b in 0usize..CODE_BITS) {
+        prop_assume!(a != b);
+        let codec = Secded::new();
+        let corrupted = codec.encode(data) ^ (1u128 << a) ^ (1u128 << b);
+        prop_assert_eq!(codec.decode(corrupted), DecodeOutcome::DoubleError);
+    }
+
+    /// ECP repairs exactly the cells it has entries for, up to capacity, and
+    /// `apply` restores the intended symbols.
+    #[test]
+    fn ecp_repairs_up_to_capacity(
+        capacity in 1usize..8,
+        faults in prop::collection::btree_map(0u16..256, 0u8..4, 0..12),
+    ) {
+        let mut ecp = EcpRow::new(capacity);
+        let mut accepted = Vec::new();
+        for (cell, value) in &faults {
+            if ecp.repair(*cell, *value) {
+                accepted.push((*cell, *value));
+            }
+        }
+        prop_assert!(accepted.len() <= capacity);
+        prop_assert_eq!(ecp.used(), accepted.len());
+        // Apply over a faulty image: accepted cells come back corrected.
+        let mut symbols = vec![0u8; 256];
+        for (cell, _) in &accepted {
+            symbols[*cell as usize] = 0x3; // pretend the raw readout is wrong
+        }
+        let fixed = ecp.apply(&symbols);
+        for (cell, value) in &accepted {
+            prop_assert_eq!(fixed[*cell as usize], *value);
+        }
+    }
+
+    /// Capacity semantics of the correction schemes: NoCorrection accepts
+    /// only clean rows, SECDED accepts at most one SAW per word, ECP-N
+    /// accepts at most N SAW per row.
+    #[test]
+    fn correction_scheme_capacities(saw in prop::collection::vec(0u32..4, 8)) {
+        let total: u32 = saw.iter().sum();
+        let max_per_word = saw.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(NoCorrection.can_correct(&saw), total == 0);
+        prop_assert_eq!(SecdedScheme.can_correct(&saw), max_per_word <= 1);
+        prop_assert_eq!(EcpScheme::ecp3().can_correct(&saw), total <= 3);
+        prop_assert_eq!(EcpScheme::ecp6_iso_area().can_correct(&saw), total <= 6);
+    }
+
+    /// Anything ECP3 can correct, iso-area ECP6 can correct too; anything
+    /// NoCorrection can correct, everyone can correct.
+    #[test]
+    fn correction_strength_ordering(saw in prop::collection::vec(0u32..3, 8)) {
+        if NoCorrection.can_correct(&saw) {
+            prop_assert!(SecdedScheme.can_correct(&saw));
+            prop_assert!(EcpScheme::ecp3().can_correct(&saw));
+        }
+        if EcpScheme::ecp3().can_correct(&saw) {
+            prop_assert!(EcpScheme::ecp6_iso_area().can_correct(&saw));
+        }
+    }
+}

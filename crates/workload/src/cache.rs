@@ -1,0 +1,444 @@
+//! A set-associative write-back, write-allocate cache hierarchy.
+//!
+//! Simulation traces in the paper are the *write-backs* leaving the last
+//! level cache (Section VI-A), so the cache hierarchy is what shapes the
+//! address stream the PCM module sees. This module provides an LRU
+//! set-associative [`Cache`] with line data payloads and a two-level
+//! [`CacheHierarchy`] (private L1 + L2, Table II parameters) that emits
+//! dirty evictions.
+
+/// A 64-byte cache line payload.
+pub type LineData = [u64; 8];
+
+/// Line size in bytes.
+pub const LINE_BYTES: u64 = 64;
+
+/// One cache line's bookkeeping and payload.
+#[derive(Debug, Clone)]
+pub struct CacheLine {
+    /// Address tag (line number divided by the set count).
+    tag: u64,
+    /// Whether the line holds valid data.
+    valid: bool,
+    /// Whether the line is dirty (must be written back on eviction).
+    pub dirty: bool,
+    /// LRU timestamp.
+    lru: u64,
+    /// The 64-byte payload.
+    pub data: LineData,
+}
+
+impl Default for CacheLine {
+    fn default() -> Self {
+        CacheLine {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            lru: 0,
+            data: [0u64; 8],
+        }
+    }
+}
+
+/// A dirty line evicted from a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Byte address of the first byte of the line.
+    pub line_addr: u64,
+    /// The line contents being written back.
+    pub data: LineData,
+}
+
+/// One level of set-associative, write-back, write-allocate cache with LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    lines: Vec<CacheLine>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache of `capacity_bytes` with the given associativity and
+    /// 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is zero-sized.
+    pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        assert!(capacity_bytes > 0 && ways > 0);
+        let lines_total = capacity_bytes / LINE_BYTES;
+        assert!(lines_total as usize % ways == 0, "capacity/associativity mismatch");
+        let sets = lines_total as usize / ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets,
+            ways,
+            lines: vec![CacheLine::default(); sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Hit count so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn index_tag(&self, line_addr: u64) -> (usize, u64) {
+        let line_no = line_addr / LINE_BYTES;
+        ((line_no as usize) & (self.sets - 1), line_no / self.sets as u64)
+    }
+
+    fn set_slice_mut(&mut self, set: usize) -> &mut [CacheLine] {
+        &mut self.lines[set * self.ways..(set + 1) * self.ways]
+    }
+
+    /// Looks up a line; on hit returns a mutable reference to its payload
+    /// and marks it most recently used.
+    pub fn lookup(&mut self, line_addr: u64) -> Option<&mut CacheLine> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index_tag(line_addr);
+        let ways = self.ways;
+        let base = set * ways;
+        for i in 0..ways {
+            let line = &self.lines[base + i];
+            if line.valid && line.tag == tag {
+                self.hits += 1;
+                let line = &mut self.lines[base + i];
+                line.lru = tick;
+                return Some(line);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts a line (after a miss was filled from the next level),
+    /// returning the dirty eviction it displaces, if any.
+    pub fn insert(&mut self, line_addr: u64, data: LineData, dirty: bool) -> Option<Eviction> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.index_tag(line_addr);
+        let sets = self.sets;
+        let ways = self.ways;
+        let victim_idx = {
+            let set_lines = self.set_slice_mut(set);
+            // Prefer an invalid way; otherwise evict the LRU way.
+            let mut victim = 0usize;
+            let mut best_lru = u64::MAX;
+            for (i, l) in set_lines.iter().enumerate() {
+                if !l.valid {
+                    victim = i;
+                    break;
+                }
+                if l.lru < best_lru {
+                    best_lru = l.lru;
+                    victim = i;
+                }
+            }
+            victim
+        };
+        let line = &mut self.lines[set * ways + victim_idx];
+        let evicted = if line.valid && line.dirty {
+            let old_line_no = line.tag * sets as u64 + set as u64;
+            Some(Eviction {
+                line_addr: old_line_no * LINE_BYTES,
+                data: line.data,
+            })
+        } else {
+            None
+        };
+        *line = CacheLine {
+            tag,
+            valid: true,
+            dirty,
+            lru: tick,
+            data,
+        };
+        evicted
+    }
+
+    /// Flushes every dirty line, returning the write-backs.
+    pub fn flush(&mut self) -> Vec<Eviction> {
+        let sets = self.sets;
+        let mut out = Vec::new();
+        for (idx, line) in self.lines.iter_mut().enumerate() {
+            if line.valid && line.dirty {
+                let set = (idx / self.ways) as u64;
+                let line_no = line.tag * sets as u64 + set;
+                out.push(Eviction {
+                    line_addr: line_no * LINE_BYTES,
+                    data: line.data,
+                });
+                line.dirty = false;
+            }
+        }
+        out
+    }
+}
+
+/// Statistics of a hierarchy run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HierarchyStats {
+    /// Accesses presented to the hierarchy.
+    pub accesses: u64,
+    /// L1 misses.
+    pub l1_misses: u64,
+    /// L2 misses (memory reads).
+    pub l2_misses: u64,
+    /// Dirty evictions from L2 (memory write-backs).
+    pub writebacks: u64,
+}
+
+/// Two-level cache hierarchy (Table II: 32 KiB L1 data + 256 KiB L2, both
+/// 8-way, 64-byte lines) that reports L2 dirty evictions.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: Cache,
+    l2: Cache,
+    stats: HierarchyStats,
+}
+
+impl Default for CacheHierarchy {
+    fn default() -> Self {
+        Self::new(32 * 1024, 256 * 1024, 8)
+    }
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy with the given L1/L2 capacities and shared
+    /// associativity.
+    pub fn new(l1_bytes: u64, l2_bytes: u64, ways: usize) -> Self {
+        CacheHierarchy {
+            l1: Cache::new(l1_bytes, ways),
+            l2: Cache::new(l2_bytes, ways),
+            stats: HierarchyStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Services one access. `store_value` is `Some((word_index, value))` for
+    /// stores (the value written into the line) and `None` for loads.
+    /// `fill` provides the line contents on a memory fill. Returns the
+    /// memory write-backs (L2 dirty evictions) this access produced.
+    pub fn access<F>(
+        &mut self,
+        addr: u64,
+        store_value: Option<(usize, u64)>,
+        fill: F,
+    ) -> Vec<Eviction>
+    where
+        F: FnOnce(u64) -> LineData,
+    {
+        self.stats.accesses += 1;
+        let line_addr = addr & !(LINE_BYTES - 1);
+        let mut writebacks = Vec::new();
+
+        // L1 lookup.
+        if let Some(line) = self.l1.lookup(line_addr) {
+            if let Some((w, v)) = store_value {
+                line.data[w & 7] = v;
+                line.dirty = true;
+            }
+            return writebacks;
+        }
+        self.stats.l1_misses += 1;
+
+        // L2 lookup (fills L1 on hit).
+        let (mut data, mut dirty_from_l2) = if let Some(line) = self.l2.lookup(line_addr) {
+            (line.data, false)
+        } else {
+            self.stats.l2_misses += 1;
+            let filled = fill(line_addr);
+            // Install in L2; its victim may be a memory write-back.
+            if let Some(ev) = self.l2.insert(line_addr, filled, false) {
+                self.stats.writebacks += 1;
+                writebacks.push(ev);
+            }
+            (filled, false)
+        };
+
+        if let Some((w, v)) = store_value {
+            data[w & 7] = v;
+            dirty_from_l2 = true;
+        }
+
+        // Install in L1; its dirty victim goes to L2 (possibly displacing an
+        // L2 line to memory).
+        if let Some(l1_victim) = self.l1.insert(line_addr, data, dirty_from_l2) {
+            // Write the victim into L2.
+            if self.l2.lookup(l1_victim.line_addr).is_some() {
+                if let Some(line) = self.l2.lookup(l1_victim.line_addr) {
+                    line.data = l1_victim.data;
+                    line.dirty = true;
+                }
+            } else if let Some(ev) = self.l2.insert(l1_victim.line_addr, l1_victim.data, true) {
+                self.stats.writebacks += 1;
+                writebacks.push(ev);
+            }
+        }
+        writebacks
+    }
+
+    /// Flushes both levels, returning every dirty line ordered L1-then-L2
+    /// (L1 victims are merged into L2's image first).
+    pub fn flush(&mut self) -> Vec<Eviction> {
+        let mut out = Vec::new();
+        for ev in self.l1.flush() {
+            // Merge into L2 if present, otherwise it is a memory write-back.
+            if let Some(line) = self.l2.lookup(ev.line_addr) {
+                line.data = ev.data;
+                line.dirty = true;
+            } else {
+                self.stats.writebacks += 1;
+                out.push(ev);
+            }
+        }
+        let l2_evs = self.l2.flush();
+        self.stats.writebacks += l2_evs.len() as u64;
+        out.extend(l2_evs);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_geometry() {
+        let c = Cache::new(32 * 1024, 8);
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.ways(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        Cache::new(48 * 1024, 8); // 768 lines / 8 ways = 96 sets
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = Cache::new(4 * 1024, 4);
+        assert!(c.lookup(0x1000).is_none());
+        assert!(c.insert(0x1000, [1; 8], false).is_none());
+        assert!(c.lookup(0x1000).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_carries_data_and_address() {
+        // Direct-mapped 2-line cache: two lines mapping to the same set.
+        let mut c = Cache::new(128, 1);
+        assert_eq!(c.sets(), 2);
+        let a = 0u64; // set 0
+        let b = 2 * LINE_BYTES; // also set 0
+        c.insert(a, [7; 8], true);
+        let ev = c.insert(b, [9; 8], false).expect("dirty eviction");
+        assert_eq!(ev.line_addr, a);
+        assert_eq!(ev.data, [7; 8]);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = Cache::new(256, 2); // 2 sets x 2 ways
+        let s0_a = 0u64;
+        let s0_b = 2 * LINE_BYTES;
+        let s0_c = 4 * LINE_BYTES;
+        c.insert(s0_a, [1; 8], true);
+        c.insert(s0_b, [2; 8], true);
+        // Touch A so B becomes LRU.
+        assert!(c.lookup(s0_a).is_some());
+        let ev = c.insert(s0_c, [3; 8], false).expect("eviction");
+        assert_eq!(ev.line_addr, s0_b);
+    }
+
+    #[test]
+    fn flush_returns_all_dirty_lines() {
+        let mut c = Cache::new(1024, 4);
+        c.insert(0, [1; 8], true);
+        c.insert(64, [2; 8], false);
+        c.insert(128, [3; 8], true);
+        let mut evs = c.flush();
+        evs.sort_by_key(|e| e.line_addr);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].line_addr, 0);
+        assert_eq!(evs[1].line_addr, 128);
+        // Second flush returns nothing.
+        assert!(c.flush().is_empty());
+    }
+
+    #[test]
+    fn hierarchy_store_then_capacity_eviction_reaches_memory() {
+        let mut h = CacheHierarchy::new(1024, 4096, 4);
+        // Store into many distinct lines to overflow both levels.
+        let mut writebacks = Vec::new();
+        for i in 0..256u64 {
+            let addr = i * LINE_BYTES;
+            let evs = h.access(addr, Some((0, i + 1)), |_| [0u64; 8]);
+            writebacks.extend(evs);
+        }
+        assert!(
+            !writebacks.is_empty(),
+            "overflowing the hierarchy must produce write-backs"
+        );
+        // Every write-back carries the stored marker value in word 0.
+        for ev in &writebacks {
+            assert_eq!(ev.data[0], ev.line_addr / LINE_BYTES + 1);
+        }
+        let st = h.stats();
+        assert_eq!(st.accesses, 256);
+        assert!(st.l2_misses > 0);
+        assert_eq!(st.writebacks as usize, writebacks.len());
+    }
+
+    #[test]
+    fn hierarchy_flush_recovers_all_dirty_data() {
+        let mut h = CacheHierarchy::default();
+        for i in 0..64u64 {
+            h.access(i * LINE_BYTES, Some((1, 0xAA00 + i)), |_| [0u64; 8]);
+        }
+        let evs = h.flush();
+        assert_eq!(evs.len(), 64, "every dirty line must be written back");
+        for ev in evs {
+            assert_eq!(ev.data[1], 0xAA00 + ev.line_addr / LINE_BYTES);
+        }
+    }
+
+    #[test]
+    fn loads_do_not_produce_writebacks() {
+        let mut h = CacheHierarchy::default();
+        for i in 0..2048u64 {
+            let evs = h.access(i * LINE_BYTES, None, |_| [5u64; 8]);
+            assert!(evs.is_empty(), "clean traffic must not write back");
+        }
+        assert!(h.flush().is_empty());
+    }
+}

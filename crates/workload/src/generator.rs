@@ -1,0 +1,286 @@
+//! Synthetic access-stream generation and trace capture.
+//!
+//! [`AccessGenerator`] turns a [`BenchmarkProfile`] into a deterministic
+//! stream of loads and stores with the profile's locality mix (hot-set
+//! reuse, streaming scans, uniform background). [`generate_trace`] runs
+//! that stream through the [`CacheHierarchy`] and records the dirty L2
+//! evictions — the write-back trace the experiments replay against the PCM
+//! model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use memcrypt::SplitMix64;
+
+use crate::cache::{CacheHierarchy, LineData, LINE_BYTES};
+use crate::profile::{BenchmarkProfile, ValueStyle};
+use crate::trace::{Trace, WriteBack};
+
+/// One processor memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address (8-byte aligned).
+    pub addr: u64,
+    /// `Some(value)` for stores, `None` for loads.
+    pub store_value: Option<u64>,
+}
+
+/// Deterministic generator of profile-shaped access streams.
+#[derive(Debug, Clone)]
+pub struct AccessGenerator {
+    profile: BenchmarkProfile,
+    rng: StdRng,
+    /// Current position of the streaming scan.
+    stream_pos: u64,
+    /// Base address assigned to this benchmark's footprint.
+    base: u64,
+}
+
+impl AccessGenerator {
+    /// Creates a generator for a profile. `base` offsets the benchmark's
+    /// footprint inside the physical address space and `seed` makes the
+    /// stream reproducible.
+    pub fn new(profile: BenchmarkProfile, base: u64, seed: u64) -> Self {
+        AccessGenerator {
+            rng: StdRng::seed_from_u64(seed ^ SplitMix64::mix(base)),
+            stream_pos: 0,
+            base,
+            profile,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    fn value_for(&mut self, addr: u64) -> u64 {
+        match self.profile.value_style {
+            ValueStyle::SmallIntegers => {
+                let v: i64 = self.rng.gen_range(-1024..1024);
+                v as u64
+            }
+            ValueStyle::Pointers => {
+                let off: u64 = self.rng.gen_range(0..self.profile.working_set_bytes);
+                (self.base + off) & !7
+            }
+            ValueStyle::Floats => {
+                let v: f64 = self.rng.gen_range(-1.0e3..1.0e3);
+                v.to_bits()
+            }
+            ValueStyle::Mixed => match self.rng.gen_range(0..4u8) {
+                0 => 0u64,
+                1 => {
+                    let v: i64 = self.rng.gen_range(-1024..1024);
+                    v as u64
+                }
+                2 => (self.base + self.rng.gen_range(0..self.profile.working_set_bytes)) & !7,
+                _ => self.rng.gen(),
+            },
+            ValueStyle::Random => {
+                // Deterministic per address so repeated writes vary slowly.
+                SplitMix64::mix(addr ^ self.rng.gen::<u64>())
+            }
+        }
+    }
+
+    /// Produces the next access.
+    pub fn next_access(&mut self) -> Access {
+        let ws = self.profile.working_set_bytes;
+        let r: f64 = self.rng.gen();
+        let addr = if r < self.profile.hot_fraction {
+            // Hot-set access.
+            self.base + self.rng.gen_range(0..self.profile.hot_set_bytes) / 8 * 8
+        } else if r < self.profile.hot_fraction + self.profile.stream_fraction {
+            // Streaming scan.
+            self.stream_pos = (self.stream_pos + self.profile.stream_stride) % ws;
+            self.base + self.stream_pos / 8 * 8
+        } else {
+            // Uniform background access.
+            self.base + self.rng.gen_range(0..ws) / 8 * 8
+        };
+        let store = self.rng.gen_bool(self.profile.store_fraction);
+        let store_value = if store { Some(self.value_for(addr)) } else { None };
+        Access { addr, store_value }
+    }
+}
+
+/// Deterministic plaintext contents of an untouched line, shaped by the
+/// benchmark's value style.
+pub fn initial_line(profile: &BenchmarkProfile, line_addr: u64, seed: u64) -> LineData {
+    let mut out = [0u64; 8];
+    let style_salt = match profile.value_style {
+        ValueStyle::SmallIntegers => 1u64,
+        ValueStyle::Pointers => 2,
+        ValueStyle::Floats => 3,
+        ValueStyle::Mixed => 4,
+        ValueStyle::Random => 5,
+    };
+    for (i, w) in out.iter_mut().enumerate() {
+        let h = SplitMix64::mix(seed ^ line_addr ^ (i as u64) << 8 ^ style_salt << 56);
+        *w = match profile.value_style {
+            // Mostly-small values: zero the high half.
+            ValueStyle::SmallIntegers => h & 0xFFFF,
+            ValueStyle::Pointers => (h % profile.working_set_bytes) & !7,
+            ValueStyle::Floats => ((h % 2000) as f64 - 1000.0).to_bits(),
+            ValueStyle::Mixed => {
+                if h & 3 == 0 {
+                    0
+                } else {
+                    h & 0xFFFF_FFFF
+                }
+            }
+            ValueStyle::Random => h,
+        };
+    }
+    out
+}
+
+/// Runs `accesses` profile-shaped memory accesses through the cache
+/// hierarchy and collects the LLC write-backs, then flushes the hierarchy so
+/// all dirty state reaches the trace.
+pub fn generate_trace(profile: &BenchmarkProfile, accesses: u64, seed: u64) -> Trace {
+    let mut gen = AccessGenerator::new(profile.clone(), 0, seed);
+    let mut hierarchy = CacheHierarchy::default();
+    let mut writebacks = Vec::new();
+    for _ in 0..accesses {
+        let a = gen.next_access();
+        let store = a.store_value.map(|v| (((a.addr % LINE_BYTES) / 8) as usize, v));
+        let profile_ref = &gen.profile().clone();
+        let evs = hierarchy.access(a.addr, store, |line_addr| {
+            initial_line(profile_ref, line_addr, seed)
+        });
+        for ev in evs {
+            writebacks.push(WriteBack {
+                line_addr: ev.line_addr,
+                data: ev.data,
+            });
+        }
+    }
+    for ev in hierarchy.flush() {
+        writebacks.push(WriteBack {
+            line_addr: ev.line_addr,
+            data: ev.data,
+        });
+    }
+    Trace::new(&profile.name, writebacks, accesses)
+}
+
+/// Generates a trace with a working set scaled down by `scale_factor`
+/// (keeps experiment run times proportional to the scale, not the paper's
+/// full footprint).
+pub fn generate_scaled_trace(
+    profile: &BenchmarkProfile,
+    scale_factor: u64,
+    accesses: u64,
+    seed: u64,
+) -> Trace {
+    let scaled = profile.scaled_down(scale_factor);
+    let mut trace = generate_trace(&scaled, accesses, seed);
+    trace.benchmark = profile.name.clone();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec_like::profile_by_name;
+
+    fn test_profile() -> BenchmarkProfile {
+        profile_by_name("mcf_like").unwrap().scaled_down(256)
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let p = test_profile();
+        let mut a = AccessGenerator::new(p.clone(), 0, 42);
+        let mut b = AccessGenerator::new(p, 0, 42);
+        for _ in 0..100 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn accesses_stay_inside_working_set() {
+        let p = test_profile();
+        let ws = p.working_set_bytes;
+        let mut g = AccessGenerator::new(p, 0x1000_0000, 7);
+        for _ in 0..5000 {
+            let a = g.next_access();
+            assert!(a.addr >= 0x1000_0000);
+            assert!(a.addr < 0x1000_0000 + ws);
+            assert_eq!(a.addr % 8, 0, "accesses must be word aligned");
+        }
+    }
+
+    #[test]
+    fn store_fraction_is_respected() {
+        let p = test_profile();
+        let expect = p.store_fraction;
+        let mut g = AccessGenerator::new(p, 0, 3);
+        let n = 20_000;
+        let stores = (0..n).filter(|_| g.next_access().store_value.is_some()).count();
+        let frac = stores as f64 / n as f64;
+        assert!((frac - expect).abs() < 0.02, "store fraction {frac} vs {expect}");
+    }
+
+    #[test]
+    fn trace_generation_produces_writebacks_with_reuse() {
+        let p = test_profile();
+        let trace = generate_trace(&p, 60_000, 11);
+        assert!(!trace.is_empty(), "memory-intensive profile must write back");
+        let stats = trace.stats();
+        assert!(stats.unique_lines > 10);
+        assert!(
+            stats.mean_writes_per_line > 1.0,
+            "hot-set reuse should revisit lines ({})",
+            stats.mean_writes_per_line
+        );
+        // Line addresses are 64-byte aligned.
+        assert!(trace.iter().all(|wb| wb.line_addr % 64 == 0));
+    }
+
+    #[test]
+    fn plaintext_bias_depends_on_value_style() {
+        // Small-integer benchmarks write heavily biased plaintext; random
+        // payloads do not. (After encryption both look uniform — that is the
+        // paper's point — but the plaintext bias is what legacy schemes
+        // exploit.)
+        let ints = profile_by_name("deepsjeng_like").unwrap().scaled_down(256);
+        let rand = profile_by_name("xz_like").unwrap().scaled_down(256);
+        let t_int = generate_trace(&ints, 40_000, 5);
+        let t_rnd = generate_trace(&rand, 40_000, 5);
+        assert!(
+            t_int.stats().ones_fraction < 0.30,
+            "integer plaintext should be biased ({})",
+            t_int.stats().ones_fraction
+        );
+        assert!(
+            (t_rnd.stats().ones_fraction - 0.5).abs() < 0.05,
+            "random payloads should be unbiased ({})",
+            t_rnd.stats().ones_fraction
+        );
+    }
+
+    #[test]
+    fn scaled_trace_keeps_benchmark_name() {
+        let p = profile_by_name("lbm_like").unwrap();
+        let t = generate_scaled_trace(&p, 1024, 20_000, 9);
+        assert_eq!(t.benchmark, "lbm_like");
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn streaming_profile_touches_more_unique_lines_than_pointer_chasing() {
+        let streaming = profile_by_name("lbm_like").unwrap().scaled_down(256);
+        let chasing = profile_by_name("omnetpp_like").unwrap().scaled_down(256);
+        let t_s = generate_trace(&streaming, 50_000, 13);
+        let t_c = generate_trace(&chasing, 50_000, 13);
+        assert!(
+            t_s.stats().unique_lines > t_c.stats().unique_lines,
+            "streaming should spread writes over more lines ({} vs {})",
+            t_s.stats().unique_lines,
+            t_c.stats().unique_lines
+        );
+    }
+}

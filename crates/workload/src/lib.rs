@@ -1,0 +1,31 @@
+//! Synthetic workload substrate (SPEC CPU 2017 stand-in).
+//!
+//! The paper evaluates VCC on LLC write-back traces captured from the
+//! memory-intensive SPECspeed 2017 benchmarks. This crate replaces those
+//! proprietary traces with a statistical model of each benchmark
+//! ([`profile`], [`spec_like`]), a write-back cache hierarchy ([`cache`],
+//! Table II parameters), and a deterministic trace generator
+//! ([`generator`]) producing the same kind of write-back streams
+//! ([`trace`]).
+//!
+//! ```
+//! use workload::{spec_like, generator};
+//!
+//! let profile = spec_like::profile_by_name("mcf_like").unwrap().scaled_down(1024);
+//! let trace = generator::generate_trace(&profile, 20_000, 42);
+//! assert!(!trace.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cache;
+pub mod generator;
+pub mod profile;
+pub mod spec_like;
+pub mod trace;
+
+pub use cache::{Cache, CacheHierarchy, Eviction, HierarchyStats, LineData};
+pub use generator::{generate_scaled_trace, generate_trace, Access, AccessGenerator};
+pub use profile::{BenchmarkProfile, ValueStyle};
+pub use trace::{Trace, TraceStats, WriteBack};

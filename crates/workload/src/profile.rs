@@ -1,0 +1,171 @@
+//! Benchmark profiles: compact statistical descriptions of memory behaviour.
+//!
+//! The paper drives its evaluation with LLC write-back traces captured from
+//! the memory-intensive subset of SPEC CPU 2017 (Section VI-A). SPEC traces
+//! cannot be redistributed, so this crate models each benchmark as a
+//! [`BenchmarkProfile`]: working-set size, store intensity, locality mix
+//! (hot-set reuse, streaming strides, uniform background) and the value
+//! style of the plaintext data. Because the data is encrypted before
+//! encoding, the experiments' results depend on the *address* behaviour
+//! (row reuse and wear concentration), which these parameters capture.
+
+/// Styles of plaintext values a benchmark writes (only relevant for
+/// experiments that look at unencrypted data; encrypted experiments see
+/// uniformly random ciphertext regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ValueStyle {
+    /// Small signed integers: many leading zeros / ones.
+    SmallIntegers,
+    /// Pointer-like values: aligned addresses inside the working set.
+    Pointers,
+    /// IEEE-754 doubles drawn from a modest dynamic range.
+    Floats,
+    /// A mix of the above plus zero lines.
+    Mixed,
+    /// Already-random payloads (e.g. compressed or encrypted application
+    /// data).
+    Random,
+}
+
+/// A synthetic stand-in for one SPEC-like benchmark.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchmarkProfile {
+    /// Short name used in figures ("mcf_like", "lbm_like", …).
+    pub name: String,
+    /// Touched memory footprint in bytes.
+    pub working_set_bytes: u64,
+    /// Fraction of memory accesses that are stores.
+    pub store_fraction: f64,
+    /// Fraction of accesses that hit a small hot set (temporal locality).
+    pub hot_fraction: f64,
+    /// Size of the hot set in bytes.
+    pub hot_set_bytes: u64,
+    /// Fraction of accesses that belong to streaming (strided) scans.
+    pub stream_fraction: f64,
+    /// Stride of the streaming scans in bytes.
+    pub stream_stride: u64,
+    /// Value style of stored data.
+    pub value_style: ValueStyle,
+    /// Relative memory intensity (LLC write-backs per kilo-instruction),
+    /// used by the performance model.
+    pub wpki: f64,
+    /// Read misses per kilo-instruction, used by the performance model.
+    pub rpki: f64,
+}
+
+impl BenchmarkProfile {
+    /// Creates a profile, validating parameter ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are outside `[0, 1]`, the hot set exceeds the
+    /// working set, or sizes are zero.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: &str,
+        working_set_bytes: u64,
+        store_fraction: f64,
+        hot_fraction: f64,
+        hot_set_bytes: u64,
+        stream_fraction: f64,
+        stream_stride: u64,
+        value_style: ValueStyle,
+        wpki: f64,
+        rpki: f64,
+    ) -> Self {
+        assert!(working_set_bytes >= 4096, "working set too small");
+        assert!((0.0..=1.0).contains(&store_fraction));
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        assert!((0.0..=1.0).contains(&stream_fraction));
+        assert!(hot_fraction + stream_fraction <= 1.0);
+        assert!(hot_set_bytes > 0 && hot_set_bytes <= working_set_bytes);
+        assert!(stream_stride >= 8 && stream_stride.is_power_of_two());
+        assert!(wpki >= 0.0 && rpki >= 0.0);
+        BenchmarkProfile {
+            name: name.to_string(),
+            working_set_bytes,
+            store_fraction,
+            hot_fraction,
+            hot_set_bytes,
+            stream_fraction,
+            stream_stride,
+            value_style,
+            wpki,
+            rpki,
+        }
+    }
+
+    /// Scales the working set (and hot set) down by `factor`, used to keep
+    /// test and benchmark runtimes small while preserving the access shape.
+    pub fn scaled_down(&self, factor: u64) -> BenchmarkProfile {
+        assert!(factor >= 1);
+        let mut p = self.clone();
+        p.working_set_bytes = (self.working_set_bytes / factor).max(4096);
+        p.hot_set_bytes = (self.hot_set_bytes / factor).max(1024).min(p.working_set_bytes);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_scaling() {
+        let p = BenchmarkProfile::new(
+            "test_like",
+            1 << 24,
+            0.4,
+            0.5,
+            1 << 16,
+            0.2,
+            64,
+            ValueStyle::Mixed,
+            12.0,
+            20.0,
+        );
+        assert_eq!(p.name, "test_like");
+        let s = p.scaled_down(16);
+        assert_eq!(s.working_set_bytes, 1 << 20);
+        assert_eq!(s.hot_set_bytes, 1 << 12);
+        // Extreme scaling clamps to the minimum sizes.
+        let tiny = p.scaled_down(1 << 30);
+        assert!(tiny.working_set_bytes >= 4096);
+        assert!(tiny.hot_set_bytes >= 1024);
+        assert!(tiny.hot_set_bytes <= tiny.working_set_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "working set too small")]
+    fn rejects_tiny_working_set() {
+        BenchmarkProfile::new(
+            "bad",
+            1024,
+            0.4,
+            0.5,
+            512,
+            0.2,
+            64,
+            ValueStyle::Mixed,
+            1.0,
+            1.0,
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_fractions_over_one() {
+        BenchmarkProfile::new(
+            "bad",
+            1 << 20,
+            0.4,
+            0.8,
+            1 << 12,
+            0.5,
+            64,
+            ValueStyle::Mixed,
+            1.0,
+            1.0,
+        );
+    }
+}

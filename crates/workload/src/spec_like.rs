@@ -1,0 +1,239 @@
+//! The synthetic stand-ins for the paper's SPEC CPU 2017 benchmark subset.
+//!
+//! The paper uses the most memory-intensive benchmarks of the SPECspeed
+//! 2017 Integer and Floating Point suites (selected following Panda et al.,
+//! HPCA 2018). The profiles below model the published memory behaviour of
+//! those benchmarks — footprint, store intensity, locality — without using
+//! any SPEC code or data. Names carry a `_like` suffix to make the
+//! substitution explicit.
+
+use crate::profile::{BenchmarkProfile, ValueStyle};
+
+/// Builds the full list of benchmark profiles used across the experiments,
+/// mirroring the memory-intensive SPECspeed 2017 subset.
+pub fn all_profiles() -> Vec<BenchmarkProfile> {
+    vec![
+        // Integer benchmarks.
+        BenchmarkProfile::new(
+            "mcf_like", // sparse pointer chasing, large footprint, store heavy
+            512 << 20,
+            0.42,
+            0.35,
+            8 << 20,
+            0.05,
+            64,
+            ValueStyle::Pointers,
+            14.0,
+            38.0,
+        ),
+        BenchmarkProfile::new(
+            "omnetpp_like", // discrete event simulation, scattered heap
+            256 << 20,
+            0.38,
+            0.45,
+            4 << 20,
+            0.05,
+            64,
+            ValueStyle::Pointers,
+            9.0,
+            21.0,
+        ),
+        BenchmarkProfile::new(
+            "xalancbmk_like", // XML transformation, medium locality
+            128 << 20,
+            0.33,
+            0.55,
+            2 << 20,
+            0.10,
+            64,
+            ValueStyle::Mixed,
+            6.0,
+            15.0,
+        ),
+        BenchmarkProfile::new(
+            "gcc_like", // compiler, mixed pointer/integer data
+            192 << 20,
+            0.36,
+            0.50,
+            3 << 20,
+            0.10,
+            128,
+            ValueStyle::Mixed,
+            7.0,
+            14.0,
+        ),
+        BenchmarkProfile::new(
+            "deepsjeng_like", // game tree search, hash tables
+            96 << 20,
+            0.30,
+            0.60,
+            6 << 20,
+            0.02,
+            64,
+            ValueStyle::SmallIntegers,
+            4.0,
+            9.0,
+        ),
+        BenchmarkProfile::new(
+            "xz_like", // compression, dictionary + streaming
+            160 << 20,
+            0.40,
+            0.40,
+            8 << 20,
+            0.30,
+            64,
+            ValueStyle::Random,
+            8.0,
+            16.0,
+        ),
+        // Floating point benchmarks.
+        BenchmarkProfile::new(
+            "lbm_like", // lattice Boltzmann, pure streaming stores
+            384 << 20,
+            0.48,
+            0.10,
+            2 << 20,
+            0.75,
+            64,
+            ValueStyle::Floats,
+            22.0,
+            30.0,
+        ),
+        BenchmarkProfile::new(
+            "cactuBSSN_like", // stencil on structured grid
+            320 << 20,
+            0.44,
+            0.20,
+            4 << 20,
+            0.60,
+            128,
+            ValueStyle::Floats,
+            15.0,
+            27.0,
+        ),
+        BenchmarkProfile::new(
+            "fotonik3d_like", // FDTD solver, streaming with reuse
+            288 << 20,
+            0.45,
+            0.25,
+            4 << 20,
+            0.55,
+            64,
+            ValueStyle::Floats,
+            16.0,
+            29.0,
+        ),
+        BenchmarkProfile::new(
+            "roms_like", // ocean model, large arrays
+            256 << 20,
+            0.41,
+            0.20,
+            4 << 20,
+            0.60,
+            128,
+            ValueStyle::Floats,
+            13.0,
+            25.0,
+        ),
+        BenchmarkProfile::new(
+            "bwaves_like", // implicit CFD, blocked access
+            448 << 20,
+            0.39,
+            0.30,
+            8 << 20,
+            0.45,
+            256,
+            ValueStyle::Floats,
+            12.0,
+            31.0,
+        ),
+        BenchmarkProfile::new(
+            "wrf_like", // weather model, many medium arrays
+            224 << 20,
+            0.37,
+            0.35,
+            4 << 20,
+            0.40,
+            128,
+            ValueStyle::Floats,
+            9.0,
+            18.0,
+        ),
+        BenchmarkProfile::new(
+            "pop2_like", // climate ocean model
+            208 << 20,
+            0.36,
+            0.30,
+            4 << 20,
+            0.45,
+            128,
+            ValueStyle::Floats,
+            8.0,
+            17.0,
+        ),
+        BenchmarkProfile::new(
+            "x264_like", // video encoding, blocked frames + motion search
+            96 << 20,
+            0.34,
+            0.50,
+            4 << 20,
+            0.30,
+            64,
+            ValueStyle::Mixed,
+            5.0,
+            10.0,
+        ),
+    ]
+}
+
+/// Looks a profile up by name.
+pub fn profile_by_name(name: &str) -> Option<BenchmarkProfile> {
+    all_profiles().into_iter().find(|p| p.name == name)
+}
+
+/// The subset of profiles used by quick tests and scaled-down benchmark
+/// runs (a representative integer, pointer-chasing and streaming mix).
+pub fn quick_profiles() -> Vec<BenchmarkProfile> {
+    ["mcf_like", "lbm_like", "gcc_like", "bwaves_like"]
+        .iter()
+        .filter_map(|n| profile_by_name(n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_profiles_with_unique_names() {
+        let all = all_profiles();
+        assert_eq!(all.len(), 14);
+        let mut names: Vec<&str> = all.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14, "duplicate profile names");
+        assert!(all.iter().all(|p| p.name.ends_with("_like")));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(profile_by_name("mcf_like").is_some());
+        assert!(profile_by_name("not_a_benchmark").is_none());
+    }
+
+    #[test]
+    fn quick_subset_is_four_profiles() {
+        let q = quick_profiles();
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn profiles_are_memory_intensive() {
+        // Every profile must write back to memory at a non-trivial rate —
+        // that is the selection criterion the paper applies.
+        for p in all_profiles() {
+            assert!(p.wpki >= 4.0, "{} is not store-intensive", p.name);
+            assert!(p.working_set_bytes >= 64 << 20);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the workload substrate (cache + generator).
+
+use proptest::prelude::*;
+use workload::cache::LINE_BYTES;
+use workload::{Cache, CacheHierarchy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every dirty line inserted into a cache eventually comes back out —
+    /// either as a capacity eviction or at flush time — exactly once, with
+    /// its data intact.
+    #[test]
+    fn cache_conserves_dirty_lines(addrs in prop::collection::vec(0u64..512, 1..200)) {
+        let mut cache = Cache::new(4 * 1024, 4);
+        let mut expected = std::collections::HashMap::new();
+        let mut recovered = std::collections::HashMap::new();
+        for (i, a) in addrs.iter().enumerate() {
+            let line_addr = a * LINE_BYTES;
+            let payload = [i as u64 + 1; 8];
+            if let Some(line) = cache.lookup(line_addr) {
+                line.data = payload;
+                line.dirty = true;
+            } else if let Some(ev) = cache.insert(line_addr, payload, true) {
+                recovered.insert(ev.line_addr, ev.data);
+            }
+            expected.insert(line_addr, payload);
+        }
+        for ev in cache.flush() {
+            recovered.insert(ev.line_addr, ev.data);
+        }
+        // Every line we dirtied is recovered with its most recent payload.
+        for (addr, payload) in expected {
+            prop_assert_eq!(
+                recovered.get(&addr),
+                Some(&payload),
+                "line {:#x} lost or stale",
+                addr
+            );
+        }
+    }
+
+    /// Hit + miss counts always equal the number of lookups.
+    #[test]
+    fn cache_hit_miss_accounting(addrs in prop::collection::vec(0u64..128, 1..300)) {
+        let mut cache = Cache::new(2 * 1024, 2);
+        for a in &addrs {
+            let line_addr = a * LINE_BYTES;
+            if cache.lookup(line_addr).is_none() {
+                cache.insert(line_addr, [0; 8], false);
+            }
+        }
+        prop_assert_eq!(cache.hits() + cache.misses(), addrs.len() as u64);
+    }
+
+    /// Loads alone never generate write-backs from the hierarchy, no matter
+    /// the access pattern.
+    #[test]
+    fn loads_never_write_back(addrs in prop::collection::vec(any::<u32>(), 1..500)) {
+        let mut h = CacheHierarchy::new(1024, 4096, 4);
+        for a in &addrs {
+            let evs = h.access(*a as u64 & !7, None, |_| [1u64; 8]);
+            prop_assert!(evs.is_empty());
+        }
+        prop_assert!(h.flush().is_empty());
+        prop_assert_eq!(h.stats().writebacks, 0);
+    }
+
+    /// The most recent stored value for a word is what reaches memory, even
+    /// across L1→L2→memory movement.
+    #[test]
+    fn stores_are_not_lost(addrs in prop::collection::vec(0u64..256, 1..400)) {
+        let mut h = CacheHierarchy::new(1024, 2048, 2);
+        let mut latest = std::collections::HashMap::new();
+        let mut recovered = std::collections::HashMap::new();
+        for (i, a) in addrs.iter().enumerate() {
+            let line_addr = a * LINE_BYTES;
+            let value = i as u64 + 1;
+            let evs = h.access(line_addr, Some((0, value)), |_| [0u64; 8]);
+            latest.insert(line_addr, value);
+            for ev in evs {
+                recovered.insert(ev.line_addr, ev.data[0]);
+            }
+        }
+        for ev in h.flush() {
+            recovered.insert(ev.line_addr, ev.data[0]);
+        }
+        for (addr, value) in latest {
+            prop_assert_eq!(recovered.get(&addr), Some(&value), "lost store to {:#x}", addr);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Energy study: replay an encrypted benchmark trace against MLC PCM and
+//! compare the write energy of every encoding technique.
+//!
+//! This is a compact version of the paper's Figures 7 and 9: a synthetic
+//! SPEC-like write-back trace is encrypted and written through unencoded
+//! writeback, DBI/FNW, Flipcy, RCC and both VCC variants; the program
+//! prints total energy, high-energy programming events and the savings
+//! relative to unencoded writeback.
+//!
+//! Run with: `cargo run --release --example energy_study [benchmark]`
+
+use vcc_repro::coset::cost::WriteEnergy;
+use vcc_repro::experiments::{Scale, Technique, TraceReplayer};
+use vcc_repro::workload::spec_like;
+
+fn main() {
+    let benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "mcf_like".to_string());
+    let profile = spec_like::profile_by_name(&benchmark).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {benchmark}; available:");
+        for p in spec_like::all_profiles() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    });
+
+    let scale = Scale::Small;
+    let seed = 0xE4E6;
+    println!(
+        "generating write-back trace for {} ({} accesses, working set / {})",
+        profile.name,
+        scale.trace_accesses(),
+        scale.working_set_divisor()
+    );
+    let trace = vcc_repro::experiments::common::trace_for(&profile, scale, seed);
+    println!("trace: {} write-backs, {} unique lines\n", trace.len(), trace.stats().unique_lines);
+
+    let techniques = [
+        Technique::Unencoded,
+        Technique::DbiFnw,
+        Technique::Flipcy,
+        Technique::Rcc { cosets: 256 },
+        Technique::VccGenerated { cosets: 256 },
+        Technique::VccStored { cosets: 256 },
+    ];
+
+    let cost = WriteEnergy::mlc();
+    let mut baseline = None;
+    println!(
+        "{:<18} {:>14} {:>16} {:>10}",
+        "technique", "energy (pJ)", "high-energy ops", "savings"
+    );
+    for technique in techniques {
+        let mut replayer = TraceReplayer::new(scale.pcm_config(seed), None, seed);
+        let encoder = technique.encoder(seed);
+        let stats = replayer.replay(&trace, encoder.as_ref(), &cost);
+        let energy = stats.energy_pj;
+        let savings = match baseline {
+            None => {
+                baseline = Some(energy);
+                0.0
+            }
+            Some(base) => 100.0 * (base - energy) / base,
+        };
+        println!(
+            "{:<18} {:>14.3e} {:>16} {:>9.1}%",
+            technique.name(),
+            energy,
+            stats.high_energy_programs,
+            savings
+        );
+    }
+}

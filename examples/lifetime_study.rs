@@ -1,0 +1,60 @@
+//! Lifetime study: how long does a worn MLC PCM memory survive under each
+//! protection technique?
+//!
+//! Reproduces the shape of the paper's Figure 11 for one benchmark at a
+//! scaled-down endurance: the trace is replayed until four rows become
+//! uncorrectable, and the writes-to-failure of SECDED, ECP3, unencoded
+//! writeback, DBI/FNW, Flipcy, RCC and VCC are compared.
+//!
+//! Run with: `cargo run --release --example lifetime_study [benchmark] [cosets]`
+
+use vcc_repro::experiments::lifetime::lifetime_run;
+use vcc_repro::experiments::{Scale, Technique};
+use vcc_repro::workload::spec_like;
+
+fn main() {
+    let benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "gcc_like".to_string());
+    let cosets: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
+    let profile = spec_like::profile_by_name(&benchmark).unwrap_or_else(|| {
+        eprintln!("unknown benchmark {benchmark}");
+        std::process::exit(1);
+    });
+
+    let scale = Scale::Small;
+    let seed = 0x11FE;
+    println!(
+        "lifetime study for {} with {} cosets (endurance mean {} writes, scaled)",
+        profile.name,
+        cosets,
+        scale.pcm_config(seed).endurance_mean
+    );
+    println!("(relative lifetimes between techniques are scale-invariant)\n");
+
+    let techniques = Technique::lifetime_roster(cosets);
+    let mut unencoded_lifetime = None;
+    println!("{:<18} {:>18} {:>22}", "technique", "writes to failure", "vs unencoded");
+    for technique in techniques {
+        let outcome = lifetime_run(&profile, technique, scale, seed);
+        if matches!(technique, Technique::Unencoded) {
+            unencoded_lifetime = Some(outcome.writes_to_failure);
+        }
+        let improvement = match unencoded_lifetime {
+            Some(base) if base > 0 => {
+                100.0 * (outcome.writes_to_failure as f64 - base as f64) / base as f64
+            }
+            _ => 0.0,
+        };
+        println!(
+            "{:<18} {:>18} {:>20.1}%{}",
+            technique.name(),
+            outcome.writes_to_failure,
+            improvement,
+            if outcome.reached_failure { "" } else { "  (cap reached, lower bound)" }
+        );
+    }
+}

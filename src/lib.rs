@@ -1,0 +1,36 @@
+//! Umbrella crate for the VCC reproduction workspace.
+//!
+//! This facade re-exports the workspace crates so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`coset`] — Virtual Coset Coding and every baseline encoder,
+//! * [`memcrypt`] — counter-mode memory encryption,
+//! * [`pcm`] — the MLC PCM device/array simulator,
+//! * [`protect`] — SECDED and ECP fault protection,
+//! * [`workload`] — synthetic SPEC-like write-back traces,
+//! * [`perfmodel`] — the mechanistic IPC model,
+//! * [`hwmodel`] — the 45 nm encoder hardware model,
+//! * [`experiments`] — the per-figure reproduction harness.
+//!
+//! ```
+//! use vcc_repro::coset::{Vcc, Block, WriteContext, Encoder, cost::WriteEnergy};
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let vcc = Vcc::paper_mlc(256);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let data = Block::random(&mut rng, 64);
+//! let ctx = WriteContext::blank(64, vcc.aux_bits());
+//! let enc = vcc.encode(&data, &ctx, &WriteEnergy::mlc());
+//! assert_eq!(vcc.decode(&enc.codeword, enc.aux), data);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use coset;
+pub use experiments;
+pub use hwmodel;
+pub use memcrypt;
+pub use pcm;
+pub use perfmodel;
+pub use protect;
+pub use workload;

@@ -1,0 +1,124 @@
+//! End-to-end integration tests: workload → encryption → coset encoding →
+//! PCM array → decode → decryption.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vcc_repro::coset::cost::{opt_saw_then_energy, WriteEnergy};
+use vcc_repro::coset::{Encoder, Rcc, Vcc};
+use vcc_repro::memcrypt::simulation_encryption;
+use vcc_repro::pcm::{FaultMap, PcmConfig, PcmMemory};
+use vcc_repro::protect::{CorrectionScheme, SecdedScheme};
+use vcc_repro::workload::{generate_scaled_trace, spec_like};
+
+/// The full write/read path is lossless on a fault-free memory for every
+/// benchmark profile and both VCC variants.
+#[test]
+fn full_pipeline_is_lossless_without_faults() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for profile in spec_like::quick_profiles() {
+        let trace = generate_scaled_trace(&profile, 4096, 20_000, 11);
+        assert!(!trace.is_empty());
+
+        for encoder in [
+            Box::new(Vcc::paper_mlc(64)) as Box<dyn Encoder>,
+            Box::new(Vcc::paper_stored(64, &mut rng)),
+        ] {
+            let mut memory = PcmMemory::new(PcmConfig::scaled(8 << 20, 1e12));
+            let mut encryption = simulation_encryption(7);
+            let cost = WriteEnergy::mlc();
+
+            // Write the first writebacks and remember plaintext + counter.
+            let mut written = Vec::new();
+            for wb in trace.iter().take(200) {
+                let (ct, ctr) = encryption.encrypt_writeback(wb.line_addr, &wb.data);
+                let row = memory.config().row_of_byte_addr(wb.line_addr);
+                memory.write_line(row, &ct, encoder.as_ref(), &cost);
+                written.push((wb.line_addr, row, ctr, wb.data));
+            }
+
+            // Read back the most recent write of every distinct line.
+            let mut latest = std::collections::HashMap::new();
+            for entry in &written {
+                latest.insert(entry.0, *entry);
+            }
+            for (line_addr, row, ctr, plaintext) in latest.values() {
+                let stored: Vec<u64> = memory.read_line(*row, encoder.as_ref());
+                let ct: [u64; 8] = stored.try_into().expect("eight words per line");
+                let recovered = encryption.decrypt_read(*line_addr, *ctr, &ct);
+                assert_eq!(
+                    &recovered, plaintext,
+                    "pipeline corrupted line {line_addr:#x} for {}",
+                    profile.name
+                );
+            }
+        }
+    }
+}
+
+/// With a faulty memory, residual stuck-at-wrong cells after VCC masking are
+/// rare enough that SECDED on top recovers every word in most rows — the
+/// combination the paper suggests for fault tolerance.
+#[test]
+fn vcc_plus_secded_repairs_most_rows_at_high_fault_rates() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let vcc = Vcc::paper_stored(256, &mut rng);
+    let cost = opt_saw_then_energy();
+    let map = FaultMap::uniform(1e-2, vcc_repro::coset::CellKind::Mlc, 99);
+    let mut memory = PcmMemory::new(PcmConfig::scaled(8 << 20, 1e12)).with_fault_map(map);
+    let mut encryption = simulation_encryption(13);
+
+    let profile = spec_like::profile_by_name("mcf_like").unwrap();
+    let trace = generate_scaled_trace(&profile, 4096, 20_000, 5);
+
+    let mut rows_total = 0u32;
+    let mut rows_recoverable = 0u32;
+    for wb in trace.iter().take(400) {
+        let (ct, _ctr) = encryption.encrypt_writeback(wb.line_addr, &wb.data);
+        let row = memory.config().row_of_byte_addr(wb.line_addr);
+        let outcome = memory.write_line(row, &ct, &vcc, &cost);
+        rows_total += 1;
+        if SecdedScheme.can_correct(&outcome.saw_per_word()) {
+            rows_recoverable += 1;
+        }
+    }
+    assert!(rows_total >= 400);
+    let frac = rows_recoverable as f64 / rows_total as f64;
+    assert!(
+        frac > 0.97,
+        "VCC+SECDED should keep ≥97% of row writes correctable at 1e-2 incidence, got {frac:.3}"
+    );
+}
+
+/// RCC and VCC write measurably less energy than unencoded writeback on the
+/// same encrypted trace replayed into identical memories.
+#[test]
+fn encoded_writes_save_energy_end_to_end() {
+    let profile = spec_like::profile_by_name("lbm_like").unwrap();
+    let trace = generate_scaled_trace(&profile, 4096, 20_000, 21);
+    let cost = WriteEnergy::mlc();
+    let mut rng = StdRng::seed_from_u64(17);
+
+    let run = |encoder: &dyn Encoder| -> f64 {
+        let mut memory = PcmMemory::new(PcmConfig::scaled(8 << 20, 1e12));
+        let mut encryption = simulation_encryption(29);
+        for wb in trace.iter().take(500) {
+            let (ct, _) = encryption.encrypt_writeback(wb.line_addr, &wb.data);
+            let row = memory.config().row_of_byte_addr(wb.line_addr);
+            memory.write_line(row, &ct, encoder, &cost);
+        }
+        memory.stats().energy_pj
+    };
+
+    let unencoded = run(&vcc_repro::coset::Unencoded::new(64));
+    let vcc = run(&Vcc::paper_mlc(256));
+    let rcc = run(&Rcc::random(64, 256, &mut rng));
+    assert!(
+        vcc < 0.8 * unencoded,
+        "VCC energy {vcc:.3e} should be well below unencoded {unencoded:.3e}"
+    );
+    assert!(
+        rcc < 0.8 * unencoded,
+        "RCC energy {rcc:.3e} should be well below unencoded {unencoded:.3e}"
+    );
+}

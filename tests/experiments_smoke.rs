@@ -1,0 +1,68 @@
+//! Smoke tests for the experiment harness: every figure driver runs at the
+//! Tiny scale and produces structurally sound output.
+
+use vcc_repro::experiments::{
+    fig01, fig02, fig06, fig07, fig08, fig10, fig11, fig13, reproduce, Scale, Selection, Technique,
+};
+
+#[test]
+fn analytical_figures_render() {
+    let f1 = fig01::run();
+    assert_eq!(f1.points.len(), 4);
+    assert!(f1.to_string().contains("Figure 1"));
+
+    let f6 = fig06::run();
+    assert_eq!(f6.points.len(), 20);
+    assert!(f6.to_string().contains("Figure 6"));
+}
+
+#[test]
+fn trace_driven_figures_run_at_tiny_scale() {
+    let seed = 2024;
+
+    let f2 = fig02::run(Scale::Tiny, seed);
+    assert!(f2.unencoded_rate > 0.0);
+    assert!(f2.points.windows(2).all(|w| w[0].cosets < w[1].cosets));
+
+    let f7 = fig07::run(Scale::Tiny, seed);
+    assert!(f7.point("RCC", 256).unwrap().savings_pct > 30.0);
+
+    let f8 = fig08::run(Scale::Tiny, seed);
+    assert!(f8.points.last().unwrap().reduction_pct > 85.0);
+
+    let f10 = fig10::run(Scale::Tiny, seed);
+    assert!(f10.min_reduction_pct() > 60.0);
+}
+
+#[test]
+fn lifetime_figure_shows_vcc_and_rcc_ahead() {
+    // A reduced roster on one benchmark keeps the integration test quick
+    // while still spanning encoders, the PCM wear model and the correction
+    // schemes.
+    let benchmarks = Scale::Tiny.benchmarks();
+    let techniques = [
+        Technique::Unencoded,
+        Technique::Secded,
+        Technique::VccStored { cosets: 64 },
+        Technique::Rcc { cosets: 64 },
+    ];
+    let r = fig11::run_with(Scale::Tiny, 77, 64, &techniques, &benchmarks[..1]);
+    let unenc = r.mean_lifetime("Unencoded");
+    assert!(unenc > 0.0);
+    assert!(r.mean_lifetime("VCC-64-Stored") > unenc);
+    assert!(r.mean_lifetime("RCC-64") > unenc);
+    assert!(r.mean_lifetime("SECDED") >= unenc);
+    assert!(r.improvement_pct("VCC-64-Stored", "Unencoded") > 20.0);
+}
+
+#[test]
+fn ipc_figure_and_fast_report() {
+    let f13 = fig13::run(Scale::Tiny, 1);
+    assert!(f13.mean("RCC-256") > 0.9);
+
+    let report = reproduce(Scale::Tiny, 1, Selection::fast_only());
+    let rendered = report.to_string();
+    assert!(rendered.contains("Figure 1"));
+    assert!(rendered.contains("Figure 6"));
+    assert!(rendered.contains("Figure 13"));
+}

@@ -1,0 +1,109 @@
+//! Integration tests pinning the paper's key quantitative claims
+//! (at reproduction scale) across crate boundaries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use vcc_repro::coset::analysis::{evaluation_ops, fig1_point};
+use vcc_repro::coset::{Encoder, Rcc, Vcc};
+use vcc_repro::experiments::{fig13, Scale, Technique};
+use vcc_repro::hwmodel::EncoderHwConfig;
+use vcc_repro::perfmodel::{PerfModel, SystemConfig};
+use vcc_repro::workload::spec_like;
+
+/// Section IV: VCC(n, N, r) evaluates 2·p·r kernel-width operations versus
+/// RCC's p·r·2^p — a 2^(p-1) reduction in search complexity.
+#[test]
+fn vcc_reduces_search_complexity_by_two_to_the_p_minus_one() {
+    let (vcc_ops, rcc_ops) = evaluation_ops(4, 16);
+    assert_eq!(rcc_ops / vcc_ops, 1 << 3);
+    let (vcc_ops2, rcc_ops2) = evaluation_ops(2, 64);
+    assert_eq!(rcc_ops2 / vcc_ops2, 1 << 1);
+}
+
+/// Section IV-A: VCC(64, 256, 16) and RCC(64, 256) both spend exactly 8
+/// auxiliary bits per 64-bit word — the SECDED-equivalent 12.5% budget —
+/// and VCC's virtual coset count matches r · 2^p.
+#[test]
+fn aux_budget_and_virtual_coset_arithmetic() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let vcc = Vcc::paper_stored(256, &mut rng);
+    let rcc = Rcc::random(64, 256, &mut rng);
+    assert_eq!(vcc.aux_bits(), 8);
+    assert_eq!(rcc.aux_bits(), 8);
+    assert_eq!(vcc.num_virtual_cosets(), 256);
+    assert_eq!(vcc.num_kernels() << vcc.partitions(), 256);
+    // 8 bits per 64-bit word = 12.5 % capacity overhead.
+    assert!((8.0_f64 / 64.0 - 0.125).abs() < 1e-12);
+}
+
+/// Section III / Figure 1: biased cosets win for tiny candidate sets, random
+/// cosets win decisively for large ones.
+#[test]
+fn figure1_crossover_holds() {
+    let few = fig1_point(64, 2);
+    let many = fig1_point(64, 256);
+    assert!(few.bcc_reduction_pct > few.rcc_reduction_pct);
+    assert!(many.rcc_reduction_pct > many.bcc_reduction_pct);
+    assert!(many.rcc_reduction_pct > 25.0 && many.rcc_reduction_pct < 40.0);
+}
+
+/// Section V-A / Figure 6: the VCC encoder is dramatically cheaper than the
+/// RCC encoder at equal coset counts in area, energy and delay, and VCC's
+/// delay stays under ~2.3 ns at 256 cosets while RCC exceeds 2.4 ns.
+#[test]
+fn hardware_claims_hold() {
+    for n in [32usize, 64, 128, 256] {
+        let rcc = EncoderHwConfig::rcc(64, n);
+        let vcc = EncoderHwConfig::vcc_generated(64, n);
+        assert!(rcc.area_um2() > 3.0 * vcc.area_um2());
+        assert!(rcc.energy_pj() > 3.0 * vcc.energy_pj());
+        assert!(rcc.delay_ps() > vcc.delay_ps());
+    }
+    assert!(EncoderHwConfig::vcc_generated(64, 256).delay_ps() < 2300.0);
+    assert!(EncoderHwConfig::rcc(64, 256).delay_ps() > 2400.0);
+}
+
+/// Section VI-D / Figure 13: the IPC impact of encoding is small — on
+/// average below ~3 % even for RCC — and ordered DBI ≤ VCC ≤ RCC.
+#[test]
+fn performance_claims_hold() {
+    let r = fig13::run(Scale::Paper, 1);
+    let dbi = r.mean("DBI/FNW");
+    let vcc = r.mean("VCC-256");
+    let rcc = r.mean("RCC-256");
+    assert!(rcc >= 0.92 && rcc <= 1.0, "RCC mean normalized IPC {rcc}");
+    assert!(vcc >= rcc);
+    assert!(dbi >= vcc);
+    assert!(1.0 - rcc < 0.03, "average RCC slowdown should be below 3%");
+}
+
+/// The encode latencies fed into the performance model come from the
+/// hardware model and respect the paper's ordering (RCC slowest, DBI
+/// fastest); a hypothetical doubling of the coset count may not reduce any
+/// latency.
+#[test]
+fn encode_latency_ordering_is_consistent() {
+    let model = PerfModel::new(SystemConfig::table_ii());
+    let profile = spec_like::profile_by_name("lbm_like").unwrap();
+    let mut last = 1.1f64;
+    for technique in [
+        Technique::Unencoded,
+        Technique::DbiFnw,
+        Technique::VccStored { cosets: 256 },
+        Technique::Rcc { cosets: 256 },
+    ] {
+        let n = model.normalized_ipc(&profile, technique.encode_delay_ns());
+        assert!(
+            n <= last + 1e-12,
+            "{} should not be faster than the previous, lighter technique",
+            technique.name()
+        );
+        last = n;
+        assert!(n > 0.9 && n <= 1.0 + 1e-12);
+    }
+    assert!(
+        Technique::Rcc { cosets: 256 }.encode_delay_ns()
+            > Technique::Rcc { cosets: 32 }.encode_delay_ns()
+    );
+}
