@@ -9,7 +9,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use coset::cost::{BitFlips, WriteEnergy};
-use coset::{Block, Encoder, Flipcy, Fnw, Rcc, Unencoded, Vcc, WriteContext};
+use coset::{
+    Block, EncodeScratch, Encoded, Encoder, Flipcy, Fnw, Rcc, Unencoded, Vcc, WriteContext,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use vcc_bench::BENCH_SEED;
@@ -27,8 +29,14 @@ fn bench(c: &mut Criterion) {
         ("rcc16".into(), Box::new(Rcc::random(64, 16, &mut rng))),
         ("rcc64".into(), Box::new(Rcc::random(64, 64, &mut rng))),
         ("rcc256".into(), Box::new(Rcc::random(64, 256, &mut rng))),
-        ("vcc32_stored".into(), Box::new(Vcc::paper_stored(32, &mut rng))),
-        ("vcc256_stored".into(), Box::new(Vcc::paper_stored(256, &mut rng))),
+        (
+            "vcc32_stored".into(),
+            Box::new(Vcc::paper_stored(32, &mut rng)),
+        ),
+        (
+            "vcc256_stored".into(),
+            Box::new(Vcc::paper_stored(256, &mut rng)),
+        ),
         ("vcc32_generated".into(), Box::new(Vcc::paper_mlc(32))),
         ("vcc256_generated".into(), Box::new(Vcc::paper_mlc(256))),
     ];
@@ -42,6 +50,27 @@ fn bench(c: &mut Criterion) {
     }
     encode_flips.finish();
 
+    // The zero-allocation session path: scratch and output slots are reused
+    // across iterations, the steady state of the write pipeline.
+    let mut encode_session = c.benchmark_group("encode_into_bitflip_objective");
+    for (name, encoder) in &encoders {
+        let ctx = WriteContext::new(old.clone(), 0, encoder.aux_bits());
+        let mut scratch = EncodeScratch::new();
+        let mut out = Encoded::placeholder(encoder.block_bits());
+        encode_session.bench_function(name, |b| {
+            b.iter(|| {
+                encoder.encode_into(
+                    black_box(&data),
+                    black_box(&ctx),
+                    &BitFlips,
+                    &mut scratch,
+                    &mut out,
+                )
+            })
+        });
+    }
+    encode_session.finish();
+
     let mut encode_energy = c.benchmark_group("encode_mlc_energy_objective");
     for (name, encoder) in &encoders {
         let ctx = WriteContext::new(old.clone(), 0, encoder.aux_bits());
@@ -50,6 +79,25 @@ fn bench(c: &mut Criterion) {
         });
     }
     encode_energy.finish();
+
+    let mut energy_session = c.benchmark_group("encode_into_mlc_energy_objective");
+    for (name, encoder) in &encoders {
+        let ctx = WriteContext::new(old.clone(), 0, encoder.aux_bits());
+        let mut scratch = EncodeScratch::new();
+        let mut out = Encoded::placeholder(encoder.block_bits());
+        energy_session.bench_function(name, |b| {
+            b.iter(|| {
+                encoder.encode_into(
+                    black_box(&data),
+                    black_box(&ctx),
+                    &WriteEnergy::mlc(),
+                    &mut scratch,
+                    &mut out,
+                )
+            })
+        });
+    }
+    energy_session.finish();
 
     let mut decode = c.benchmark_group("decode");
     for (name, encoder) in &encoders {

@@ -11,7 +11,10 @@ use experiments::fig01;
 use vcc_bench::print_figure;
 
 fn bench(c: &mut Criterion) {
-    print_figure("Figure 1 — RCC vs BCC (analytical)", &fig01::run().to_string());
+    print_figure(
+        "Figure 1 — RCC vs BCC (analytical)",
+        &fig01::run().to_string(),
+    );
 
     let mut group = c.benchmark_group("fig01");
     group.bench_function("fig1_point_n64_N256", |b| {

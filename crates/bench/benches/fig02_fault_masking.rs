@@ -28,8 +28,8 @@ fn bench(c: &mut Criterion) {
         let data = Block::random(&mut rng, 64);
         let mut stuck = StuckBits::none(64);
         stuck.stick_cell(rng.gen_range(0..32), 2, rng.gen_range(0..4));
-        let ctx = WriteContext::new(Block::random(&mut rng, 64), 0, rcc.aux_bits())
-            .with_stuck(stuck);
+        let ctx =
+            WriteContext::new(Block::random(&mut rng, 64), 0, rcc.aux_bits()).with_stuck(stuck);
         group.bench_function(format!("mask_faulty_word_rcc{n_cosets}"), |b| {
             b.iter(|| rcc.encode(black_box(&data), black_box(&ctx), &cost))
         });

@@ -28,8 +28,8 @@ fn bench(c: &mut Criterion) {
         let data = Block::random(&mut rng, 64);
         let mut stuck = StuckBits::none(64);
         stuck.stick_cell(rng.gen_range(0..32), 2, rng.gen_range(0..4));
-        let ctx = WriteContext::new(Block::random(&mut rng, 64), 0, vcc.aux_bits())
-            .with_stuck(stuck);
+        let ctx =
+            WriteContext::new(Block::random(&mut rng, 64), 0, vcc.aux_bits()).with_stuck(stuck);
         group.bench_function(format!("vcc{n}_stored_faulty_word"), |b| {
             b.iter(|| vcc.encode(black_box(&data), black_box(&ctx), &cost))
         });

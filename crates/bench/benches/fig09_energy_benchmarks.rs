@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use coset::cost::{opt_energy_then_saw, opt_saw_then_energy, CostFunction};
 use experiments::common::trace_for;
-use experiments::{fig09, Scale, Technique, TraceReplayer};
+use experiments::{fig09, Scale, Technique};
 use pcm::FaultMap;
 use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
 
@@ -23,26 +23,30 @@ fn bench(c: &mut Criterion) {
     let profile = &Scale::Tiny.benchmarks()[0];
     let trace = trace_for(profile, Scale::Tiny, BENCH_SEED);
     let slice: Vec<_> = trace.iter().take(200).cloned().collect();
-    let encoder = Technique::VccGenerated { cosets: 256 }.encoder(BENCH_SEED);
+    let technique = Technique::VccGenerated { cosets: 256 };
 
     let mut group = c.benchmark_group("fig09_trace_replay_200_lines");
     group.sample_size(10);
-    for (name, cost) in [
-        ("opt_energy", Box::new(opt_energy_then_saw()) as Box<dyn CostFunction>),
-        ("opt_saw", Box::new(opt_saw_then_energy())),
-    ] {
+    type CostFactory = fn() -> Box<dyn CostFunction>;
+    let costs: [(&str, CostFactory); 2] = [
+        ("opt_energy", || Box::new(opt_energy_then_saw())),
+        ("opt_saw", || Box::new(opt_saw_then_energy())),
+    ];
+    for (name, make_cost) in costs {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || {
-                    TraceReplayer::new(
+                    technique.pipeline(
                         Scale::Tiny.pcm_config(BENCH_SEED),
                         Some(FaultMap::paper_snapshot(BENCH_SEED)),
                         BENCH_SEED,
+                        BENCH_SEED,
+                        make_cost(),
                     )
                 },
-                |mut replayer| {
+                |mut pipeline| {
                     for wb in &slice {
-                        replayer.write(wb, encoder.as_ref(), cost.as_ref());
+                        pipeline.write_back(wb);
                     }
                 },
                 BatchSize::LargeInput,

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use coset::cost::opt_saw_then_energy;
 use experiments::common::trace_for;
-use experiments::{fig10, Scale, Technique, TraceReplayer};
+use experiments::{fig10, Scale, Technique};
 use pcm::FaultMap;
 use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
 
@@ -21,24 +21,24 @@ fn bench(c: &mut Criterion) {
     let profile = &Scale::Tiny.benchmarks()[0];
     let trace = trace_for(profile, Scale::Tiny, BENCH_SEED);
     let slice: Vec<_> = trace.iter().take(200).cloned().collect();
-    let cost = opt_saw_then_energy();
 
     let mut group = c.benchmark_group("fig10_trace_replay_200_lines");
     group.sample_size(10);
     for technique in [Technique::Unencoded, Technique::VccStored { cosets: 256 }] {
-        let encoder = technique.encoder(BENCH_SEED);
         group.bench_function(technique.name(), |b| {
             b.iter_batched(
                 || {
-                    TraceReplayer::new(
+                    technique.pipeline(
                         Scale::Tiny.pcm_config(BENCH_SEED),
                         Some(FaultMap::paper_snapshot(BENCH_SEED)),
                         BENCH_SEED,
+                        BENCH_SEED,
+                        Box::new(opt_saw_then_energy()),
                     )
                 },
-                |mut replayer| {
+                |mut pipeline| {
                     for wb in &slice {
-                        replayer.write(wb, encoder.as_ref(), &cost);
+                        pipeline.write_back(wb);
                     }
                 },
                 BatchSize::LargeInput,

@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use coset::cost::opt_saw_then_energy;
 use experiments::common::trace_for;
-use experiments::{fig11, Scale, Technique, TraceReplayer};
+use experiments::{fig11, Scale, Technique};
 use vcc_bench::{bench_scale, print_figure, BENCH_SEED};
 
 fn bench(c: &mut Criterion) {
@@ -23,18 +23,24 @@ fn bench(c: &mut Criterion) {
     let profile = &Scale::Tiny.benchmarks()[0];
     let trace = trace_for(profile, Scale::Tiny, BENCH_SEED);
     let slice: Vec<_> = trace.iter().take(100).cloned().collect();
-    let cost = opt_saw_then_energy();
 
     let mut group = c.benchmark_group("fig11_wear_tracked_writes_100_lines");
     group.sample_size(10);
     for technique in [Technique::Unencoded, Technique::VccStored { cosets: 256 }] {
-        let encoder = technique.encoder(BENCH_SEED);
         group.bench_function(technique.name(), |b| {
             b.iter_batched(
-                || TraceReplayer::new(Scale::Tiny.pcm_config(BENCH_SEED), None, BENCH_SEED),
-                |mut replayer| {
+                || {
+                    technique.pipeline(
+                        Scale::Tiny.pcm_config(BENCH_SEED),
+                        None,
+                        BENCH_SEED,
+                        BENCH_SEED,
+                        Box::new(opt_saw_then_energy()),
+                    )
+                },
+                |mut pipeline| {
                     for wb in &slice {
-                        replayer.write(wb, encoder.as_ref(), &cost);
+                        pipeline.write_back(wb);
                     }
                 },
                 BatchSize::LargeInput,

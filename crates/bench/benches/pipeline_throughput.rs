@@ -1,0 +1,78 @@
+//! Headline throughput number: cache lines per second through the full
+//! [`WritePipeline`] — encryption, coset encoding (zero-allocation session
+//! path), MLC PCM programming and correction bookkeeping — for the three
+//! main techniques the paper compares (VCC, RCC, FNW) plus the unencoded
+//! baseline.
+//!
+//! Future PRs optimizing any stage of the write path should watch this
+//! number move.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use controller::WritePipeline;
+use coset::cost::opt_saw_then_energy;
+use experiments::common::trace_for;
+use experiments::{Scale, Technique};
+use vcc_bench::{print_figure, BENCH_SEED};
+
+const LINES_PER_BATCH: usize = 200;
+
+fn pipeline_for(technique: Technique) -> WritePipeline {
+    technique.pipeline(
+        Scale::Tiny.pcm_config(BENCH_SEED),
+        None,
+        BENCH_SEED,
+        BENCH_SEED,
+        Box::new(opt_saw_then_energy()),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let profile = &Scale::Tiny.benchmarks()[0];
+    let trace = trace_for(profile, Scale::Tiny, BENCH_SEED);
+    let slice: Vec<_> = trace.iter().take(LINES_PER_BATCH).cloned().collect();
+
+    print_figure(
+        &format!(
+            "WritePipeline throughput — {} encrypted 512-bit lines per iteration",
+            slice.len()
+        ),
+        "lines/sec = batch size / reported seconds per iteration",
+    );
+
+    let techniques = [
+        ("unencoded", Technique::Unencoded),
+        ("fnw16", Technique::DbiFnw),
+        ("rcc256", Technique::Rcc { cosets: 256 }),
+        ("vcc256_generated", Technique::VccGenerated { cosets: 256 }),
+        ("vcc256_stored", Technique::VccStored { cosets: 256 }),
+    ];
+
+    let mut group = c.benchmark_group("pipeline_throughput_200_lines");
+    group.sample_size(10);
+    for (name, technique) in techniques {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || pipeline_for(technique),
+                |mut pipeline| {
+                    for wb in &slice {
+                        pipeline.write_back(wb);
+                    }
+                    pipeline.stats().lines_written
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! Offline shim for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API this workspace's bench
+//! targets use: [`Criterion`] with `sample_size` / `warm_up_time` /
+//! `measurement_time` builders, `bench_function`, `benchmark_group`,
+//! `Bencher::{iter, iter_batched}`, [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! timed with `std::time::Instant` and reported as a mean ns/iter — enough
+//! to compare encoder variants, without criterion's statistical machinery.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted and ignored by the shim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher<'a> {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    result_ns: &'a mut f64,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, running it repeatedly until the measurement window
+    /// closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: bounded by time, at least one call.
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        // Check the clock only once per batch so the per-iteration cost of
+        // `Instant::elapsed` doesn't pollute nanosecond-scale routines.
+        const BATCH: u64 = 64;
+        let mut iters = 0u64;
+        let start = Instant::now();
+        loop {
+            for _ in 0..BATCH {
+                black_box(routine());
+            }
+            iters += BATCH;
+            if start.elapsed() >= self.measurement_time && iters >= self.sample_size as u64 {
+                break;
+            }
+            if iters >= 10_000_000 {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        *self.result_ns = elapsed.as_nanos() as f64 / iters as f64;
+        *self.iters = iters;
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        black_box(routine(input)); // warm-up call
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+            if measured >= self.measurement_time && iters >= self.sample_size as u64 {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        *self.result_ns = measured.as_nanos() as f64 / iters as f64;
+        *self.iters = iters;
+    }
+}
+
+/// The benchmark driver (shim of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+impl Criterion {
+    /// Sets the minimum number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    fn run_one(&self, label: &str, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+        let mut ns = 0.0f64;
+        let mut iters = 0u64;
+        {
+            let mut b = Bencher {
+                measurement_time: self.measurement_time,
+                warm_up_time: self.warm_up_time,
+                sample_size: self.sample_size,
+                result_ns: &mut ns,
+                iters: &mut iters,
+            };
+            f(&mut b);
+        }
+        println!("{label:<44} {:>12}/iter  ({iters} iters)", format_ns(ns));
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(name.as_ref(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks. The group starts from the
+    /// driver's current settings; overrides apply to this group only.
+    pub fn benchmark_group<N: AsRef<str>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let name = name.as_ref();
+        println!("\n-- {name}");
+        BenchmarkGroup {
+            settings: self.clone(),
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (shim of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    /// Group-local copy of the driver settings, so group overrides do not
+    /// leak past [`BenchmarkGroup::finish`].
+    settings: Criterion,
+    _criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: N,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.as_ref());
+        self.settings.run_one(&label, &mut f);
+        self
+    }
+
+    /// Overrides the sample size for the rest of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Overrides the measurement window for the rest of the group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    /// Closes the group, discarding its setting overrides.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_returns() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        let mut g = c.benchmark_group("group");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+}

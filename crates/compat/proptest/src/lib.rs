@@ -1,0 +1,331 @@
+//! Offline shim for the `proptest` property-testing framework.
+//!
+//! Implements the subset of the proptest API used by this workspace's
+//! `tests/proptests.rs` suites: the [`proptest!`] macro, `prop_assert*!`
+//! macros, [`any`], range strategies, and `prop::collection::{vec,
+//! btree_map}`. Inputs are sampled deterministically (seeded from the test
+//! name), so failures are reproducible run-to-run. Unlike real proptest
+//! there is **no shrinking**: a failing case panics with the assertion
+//! message and the case index.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the offline suite fast
+        // while still exercising plenty of the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values for one property parameter.
+///
+/// The associated type is named `Value` to match proptest's
+/// `impl Strategy<Value = T>` signatures.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy for any [`rand::Standard`]-samplable type; returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Uniformly samples any value of `T` (`any::<u64>()`, `any::<[u8; 16]>()`…).
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample(rng)
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: Copy,
+    core::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::SampleRange;
+        self.clone().sample_from(rng)
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    T: Copy,
+    core::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        use rand::SampleRange;
+        self.clone().sample_from(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value (`Just(x)`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`, `::btree_map`).
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+
+    /// Sizes accepted by the collection strategies: an exact `usize` or a
+    /// `Range<usize>`.
+    pub trait SizeRange: Clone {
+        /// Draws a concrete collection length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `vec(element_strategy, len)` — `len` is an exact size or a range.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeMap`s from key and value strategies.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V, L> {
+        key: K,
+        value: V,
+        len: L,
+    }
+
+    /// `btree_map(key_strategy, value_strategy, len)`; key collisions may
+    /// make the sampled map smaller than the drawn length.
+    pub fn btree_map<K, V, L>(key: K, value: V, len: L) -> BTreeMapStrategy<K, V, L>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        L: SizeRange,
+    {
+        BTreeMapStrategy { key, value, len }
+    }
+
+    impl<K, V, L> Strategy for BTreeMapStrategy<K, V, L>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        L: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+/// Deterministic RNG for one property, derived from the test name so every
+/// run replays the same inputs.
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// block runs its body for `cases` deterministically sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut __pt_rng = $crate::test_rng(stringify!($name));
+            for __pt_case in 0..config.cases {
+                let __pt_case: u32 = __pt_case;
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __pt_rng);)*
+                let run = || -> () { $body };
+                run();
+            }
+        }
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+///
+/// The shim simply abandons the case (the body runs inside a closure, so
+/// `return` exits only the case); unlike real proptest it does not count
+/// rejections against a maximum.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Everything a proptest suite imports with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{any, Any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn word() -> impl Strategy<Value = u64> {
+        any::<u64>()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_anys_sample_in_bounds(
+            a in word(),
+            b in 0usize..64,
+            c in 0.0f64..1.0,
+            d in any::<bool>(),
+            v in prop::collection::vec(0u32..4, 1..12),
+        ) {
+            let _ = (a, d);
+            prop_assert!(b < 64);
+            prop_assert!((0.0..1.0).contains(&c));
+            prop_assert!(!v.is_empty() && v.len() < 12);
+            prop_assert!(v.iter().all(|x| *x < 4));
+        }
+
+        #[test]
+        fn maps_respect_value_strategy(
+            m in prop::collection::btree_map(0u16..256, 0u8..4, 0..12),
+        ) {
+            prop_assert!(m.len() < 12);
+            prop_assert!(m.values().all(|v| *v < 4));
+            prop_assert!(m.keys().all(|k| *k < 256));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name() {
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        let s = any::<u64>();
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+}

@@ -1,0 +1,23 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the offline `serde`
+//! shim.
+//!
+//! The workspace annotates result structs with serde derives so downstream
+//! users can serialize reports, but nothing inside the workspace itself
+//! serializes. With no registry access, these derives expand to nothing —
+//! the annotated types simply don't implement the (empty) shim traits.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepted wherever `#[derive(serde::Serialize)]` is
+/// written.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepted wherever `#[derive(serde::Deserialize)]` is
+/// written.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -24,7 +24,9 @@ pub fn binomial(n: u64, k: u64) -> f64 {
     if k > n {
         return 0.0;
     }
-    (ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)).exp().round()
+    (ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k))
+        .exp()
+        .round()
 }
 
 /// Probability that a Binomial(n, p) variable is at most `m`.
@@ -71,7 +73,10 @@ pub fn expected_flips_bcc(n: u64, n_cosets: u32) -> f64 {
         "BCC requires a power-of-two coset count ≥ 2"
     );
     let k = n_cosets.trailing_zeros() as u64;
-    assert!(n % k == 0, "section count {k} must divide block size {n}");
+    assert!(
+        n.is_multiple_of(k),
+        "section count {k} must divide block size {n}"
+    );
     let s = n / k; // bits per section (excluding the flag bit)
     let w = s + 1; // section plus its flag bit
     let denom = 2f64.powi(w as i32);
@@ -171,7 +176,10 @@ mod tests {
         let e2 = expected_flips_rcc(n, 2);
         let e16 = expected_flips_rcc(n, 16);
         let e256 = expected_flips_rcc(n, 256);
-        assert!((e1 - 32.0).abs() < 0.5, "single coset ≈ unencoded, got {e1}");
+        assert!(
+            (e1 - 32.0).abs() < 0.5,
+            "single coset ≈ unencoded, got {e1}"
+        );
         assert!(e2 < e1 && e16 < e2 && e256 < e16);
         // With 256 cosets the minimum of 256 Binomial(64, ½) draws is ≈ 22-24.
         assert!(e256 > 20.0 && e256 < 25.0, "e256 = {e256}");
@@ -200,9 +208,7 @@ mod tests {
         assert!(p16.rcc_reduction_pct > p16.bcc_reduction_pct);
         assert!(p256.rcc_reduction_pct > p256.bcc_reduction_pct + 5.0);
         // The full-accounting RCC variant is costlier than the plain one.
-        assert!(
-            expected_flips_rcc_with_aux(64, 4) > expected_flips_rcc(64, 4)
-        );
+        assert!(expected_flips_rcc_with_aux(64, 4) > expected_flips_rcc(64, 4));
         assert!(
             p256.rcc_reduction_pct > 25.0 && p256.rcc_reduction_pct < 40.0,
             "RCC-256 reduction = {:.1}%",

@@ -37,7 +37,7 @@ impl Block {
     /// Panics if `len` is zero.
     pub fn zeros(len: usize) -> Self {
         assert!(len > 0, "block length must be non-zero");
-        let n_words = (len + 63) / 64;
+        let n_words = len.div_ceil(64);
         Block {
             words: vec![0u64; n_words],
             len,
@@ -83,7 +83,7 @@ impl Block {
             words.len(),
             len
         );
-        let n_words = (len + 63) / 64;
+        let n_words = len.div_ceil(64);
         let mut b = Block {
             words: words[..n_words].to_vec(),
             len,
@@ -100,6 +100,45 @@ impl Block {
         }
         b.mask_tail();
         b
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing allocation —
+    /// the in-place counterpart of `clone` used by the zero-allocation
+    /// encoding sessions.
+    pub fn copy_from(&mut self, other: &Block) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
+    /// Resizes `self` to `len` bits and clears every bit, reusing the
+    /// existing allocation where possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn reset_zeros(&mut self, len: usize) {
+        assert!(len > 0, "block length must be non-zero");
+        let n_words = len.div_ceil(64);
+        self.words.clear();
+        self.words.resize(n_words, 0);
+        self.len = len;
+    }
+
+    /// Makes `self` a `len`-bit block holding the low bits of `value`,
+    /// reusing the existing allocation (the in-place [`Block::from_u64`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64` or `len == 0`.
+    pub fn set_from_u64(&mut self, value: u64, len: usize) {
+        assert!(len > 0 && len <= 64, "set_from_u64 requires 1..=64 bits");
+        self.reset_zeros(len);
+        self.words[0] = if len == 64 {
+            value
+        } else {
+            value & ((1u64 << len) - 1)
+        };
     }
 
     /// Length of the block in bits.

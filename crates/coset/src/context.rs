@@ -101,14 +101,27 @@ impl StuckBits {
     /// value. This is what the memory array will actually hold after a write
     /// of `data`.
     pub fn apply_to(&self, data: &Block) -> Block {
-        assert_eq!(data.len(), self.len(), "data/stuck length mismatch");
         let mut out = data.clone();
-        for i in 0..data.len() {
-            if self.mask.bit(i) {
-                out.set_bit(i, self.value.bit(i));
-            }
-        }
+        self.apply_in_place(&mut out);
         out
+    }
+
+    /// Applies the stuck cells to `data` in place (word-wise): stuck
+    /// positions take their frozen value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn apply_in_place(&self, data: &mut Block) {
+        assert_eq!(data.len(), self.len(), "data/stuck length mismatch");
+        for ((d, m), v) in data
+            .words_mut()
+            .iter_mut()
+            .zip(self.mask.words())
+            .zip(self.value.words())
+        {
+            *d = (*d & !m) | (v & m);
+        }
     }
 
     /// Counts stuck-at-wrong bits if `data` were written.
@@ -209,7 +222,13 @@ impl WriteContext {
 
     /// Costs a sub-range of a candidate against the same range of the
     /// destination. `width <= 64`.
-    pub fn range_cost(&self, cf: &dyn CostFunction, new_bits: u64, start: usize, width: usize) -> Cost {
+    pub fn range_cost(
+        &self,
+        cf: &dyn CostFunction,
+        new_bits: u64,
+        start: usize,
+        width: usize,
+    ) -> Cost {
         cf.field_cost(&Field {
             new: new_bits,
             old: self.old_data.extract(start, width),

@@ -190,7 +190,7 @@ pub trait CostFunction: Send + Sync {
         stuck_value: &[u64],
         bits: usize,
     ) -> Cost {
-        let words = (bits + 63) / 64;
+        let words = bits.div_ceil(64);
         assert!(new.len() >= words && old.len() >= words);
         assert!(stuck_mask.len() >= words && stuck_value.len() >= words);
         let mut total = Cost::ZERO;
@@ -289,15 +289,15 @@ impl TransitionEnergy {
     /// the same symbol is free (differential write skips it).
     pub fn mlc_table_i() -> Self {
         let mut table = [[0.0f64; 4]; 4];
-        for old in 0..4usize {
-            for new in 0..4usize {
-                if old == new {
-                    table[old][new] = 0.0;
+        for (old, row) in table.iter_mut().enumerate() {
+            for (new, e) in row.iter_mut().enumerate() {
+                *e = if old == new {
+                    0.0
                 } else if new & 1 == 1 {
-                    table[old][new] = MLC_HIGH_TRANSITION_PJ;
+                    MLC_HIGH_TRANSITION_PJ
                 } else {
-                    table[old][new] = MLC_LOW_TRANSITION_PJ;
-                }
+                    MLC_LOW_TRANSITION_PJ
+                };
             }
         }
         TransitionEnergy {
@@ -355,11 +355,7 @@ impl TransitionEnergy {
 
     /// The largest single-cell transition energy in the table.
     pub fn max_energy(&self) -> f64 {
-        self.table
-            .iter()
-            .flatten()
-            .copied()
-            .fold(0.0f64, f64::max)
+        self.table.iter().flatten().copied().fold(0.0f64, f64::max)
     }
 }
 
@@ -369,59 +365,118 @@ impl Default for TransitionEnergy {
     }
 }
 
+/// Bit-parallel evaluation strategy for a [`WriteEnergy`] table, detected
+/// once at construction. The encoder hot loop costs every candidate with
+/// `field_cost`; for the two table shapes the paper actually uses, the whole
+/// 64-bit field reduces to a handful of popcounts instead of a 32-iteration
+/// per-cell loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FastEnergy {
+    /// Table I shape: rewriting a symbol is free, any change into a symbol
+    /// with right digit `1` costs `high`, any other change costs `low`.
+    MlcByRightDigit {
+        /// Energy of a change into a right-digit-0 symbol.
+        low: f64,
+        /// Energy of a change into a right-digit-1 symbol.
+        high: f64,
+    },
+    /// SLC with a free diagonal: a 0→1 flip costs `set`, 1→0 costs `reset`.
+    SlcDiagonalZero {
+        /// Energy of programming a `1`.
+        set: f64,
+        /// Energy of programming a `0`.
+        reset: f64,
+    },
+}
+
+/// Bit mask selecting the right (low) digit of every MLC symbol in a word.
+const MLC_RIGHT_DIGITS: u64 = 0x5555_5555_5555_5555;
+
+impl TransitionEnergy {
+    /// Detects whether this table admits a bit-parallel cost evaluation.
+    fn fast_kind(&self) -> Option<FastEnergy> {
+        match self.kind {
+            CellKind::Mlc => {
+                let low = self.table[0][2];
+                let high = self.table[0][1];
+                for (old, row) in self.table.iter().enumerate() {
+                    for (new, &actual) in row.iter().enumerate() {
+                        let expect = if old == new {
+                            0.0
+                        } else if new & 1 == 1 {
+                            high
+                        } else {
+                            low
+                        };
+                        if actual != expect {
+                            return None;
+                        }
+                    }
+                }
+                Some(FastEnergy::MlcByRightDigit { low, high })
+            }
+            CellKind::Slc => {
+                if self.table[0][0] == 0.0 && self.table[1][1] == 0.0 {
+                    Some(FastEnergy::SlcDiagonalZero {
+                        set: self.table[0][1],
+                        reset: self.table[1][0],
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
 /// Write energy objective using a [`TransitionEnergy`] table.
 ///
 /// Stuck cells consume no programming energy (the write driver skips cells
 /// the fault repository reports as failed), which matches the paper's
 /// accounting where SAW cells are an error/reliability problem rather than
 /// an energy one.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct WriteEnergy {
     energies: TransitionEnergy,
+    fast: Option<FastEnergy>,
+}
+
+impl Default for WriteEnergy {
+    /// The Table-I MLC objective, with fast-path detection — `fast` must
+    /// always be derived from the table, so Default goes through [`new`].
+    ///
+    /// [`new`]: WriteEnergy::new
+    fn default() -> Self {
+        Self::new(TransitionEnergy::default())
+    }
 }
 
 impl WriteEnergy {
     /// Creates an energy objective from a transition table.
     pub fn new(energies: TransitionEnergy) -> Self {
-        WriteEnergy { energies }
+        let fast = energies.fast_kind();
+        WriteEnergy { energies, fast }
     }
 
     /// The Table I MLC PCM energy objective.
     pub fn mlc() -> Self {
-        WriteEnergy {
-            energies: TransitionEnergy::mlc_table_i(),
-        }
+        Self::new(TransitionEnergy::mlc_table_i())
     }
 
     /// The symmetric SLC energy objective.
     pub fn slc() -> Self {
-        WriteEnergy {
-            energies: TransitionEnergy::slc_symmetric(),
-        }
+        Self::new(TransitionEnergy::slc_symmetric())
     }
 
     /// Access to the underlying transition table.
     pub fn energies(&self) -> &TransitionEnergy {
         &self.energies
     }
-}
 
-impl CostFunction for WriteEnergy {
-    fn name(&self) -> &str {
-        match self.energies.kind() {
-            CellKind::Mlc => "write-energy-mlc",
-            CellKind::Slc => "write-energy-slc",
-        }
-    }
-
-    fn field_cost(&self, field: &Field) -> Cost {
+    /// Per-cell reference evaluation, used for arbitrary tables and as the
+    /// oracle the bit-parallel fast path is tested against.
+    fn field_cost_generic(&self, field: &Field) -> Cost {
         let bits_per_cell = self.energies.kind().bits_per_cell() as u32;
-        assert!(
-            field.bits % bits_per_cell == 0,
-            "field of {} bits is not a whole number of {}-bit cells",
-            field.bits,
-            bits_per_cell
-        );
         let cells = field.bits / bits_per_cell;
         let cell_mask = (1u64 << bits_per_cell) - 1;
         let mut energy = 0.0;
@@ -437,6 +492,48 @@ impl CostFunction for WriteEnergy {
             energy += self.energies.energy(old, new);
         }
         Cost::new(energy)
+    }
+}
+
+impl CostFunction for WriteEnergy {
+    fn name(&self) -> &str {
+        match self.energies.kind() {
+            CellKind::Mlc => "write-energy-mlc",
+            CellKind::Slc => "write-energy-slc",
+        }
+    }
+
+    fn field_cost(&self, field: &Field) -> Cost {
+        let bits_per_cell = self.energies.kind().bits_per_cell() as u32;
+        assert!(
+            field.bits.is_multiple_of(bits_per_cell),
+            "field of {} bits is not a whole number of {}-bit cells",
+            field.bits,
+            bits_per_cell
+        );
+        match self.fast {
+            Some(FastEnergy::MlcByRightDigit { low, high }) => {
+                let mask = field.bit_mask();
+                let new = field.new & mask;
+                let diff = (field.new ^ field.old) & mask;
+                // Per-cell flags folded onto the right-digit position.
+                let right = MLC_RIGHT_DIGITS & mask;
+                let changed = (diff | (diff >> 1)) & right;
+                let stuck = ((field.stuck_mask | (field.stuck_mask >> 1)) & right) & mask;
+                let programmed = changed & !stuck;
+                let high_cells = (programmed & new).count_ones();
+                let low_cells = (programmed & !new).count_ones();
+                Cost::new(high_cells as f64 * high + low_cells as f64 * low)
+            }
+            Some(FastEnergy::SlcDiagonalZero { set, reset }) => {
+                let mask = field.bit_mask();
+                let programmed = (field.new ^ field.old) & !field.stuck_mask & mask;
+                let sets = (programmed & field.new).count_ones();
+                let resets = (programmed & !field.new).count_ones();
+                Cost::new(sets as f64 * set + resets as f64 * reset)
+            }
+            None => self.field_cost_generic(field),
+        }
     }
 }
 
@@ -625,6 +722,68 @@ mod tests {
         let zero = [0u64, 0];
         let c = cf.region_cost(&new, &old, &zero, &zero, 65);
         assert_eq!(c.primary, 65.0);
+    }
+
+    #[test]
+    fn fast_energy_paths_match_generic_reference() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlc = WriteEnergy::mlc();
+        let slc = WriteEnergy::slc();
+        assert!(mlc.fast.is_some(), "Table I must take the fast path");
+        assert!(slc.fast.is_some(), "symmetric SLC must take the fast path");
+        for _ in 0..2000 {
+            let bits = 2 * rng.gen_range(1..=32u32);
+            let stuck_mask: u64 = rng.gen::<u64>() & rng.gen::<u64>();
+            // MLC stuck cells freeze whole symbols; mirror that in the mask.
+            let sym_stuck = {
+                let m = stuck_mask & 0x5555_5555_5555_5555;
+                m | (m << 1)
+            };
+            let f = Field {
+                new: rng.gen(),
+                old: rng.gen(),
+                stuck_mask: sym_stuck,
+                stuck_value: rng.gen(),
+                bits,
+            };
+            assert_eq!(
+                mlc.field_cost(&f).primary,
+                mlc.field_cost_generic(&f).primary,
+                "MLC fast path diverged on {f:?}"
+            );
+            let g = Field { stuck_mask, ..f };
+            assert_eq!(
+                slc.field_cost(&g).primary,
+                slc.field_cost_generic(&g).primary,
+                "SLC fast path diverged on {g:?}"
+            );
+        }
+        // A lopsided custom MLC table must fall back to the generic loop.
+        let mut weird = [[1.0f64; 4]; 4];
+        weird[2][3] = 9.0;
+        let custom = WriteEnergy::new(TransitionEnergy::custom_mlc(weird));
+        assert!(custom.fast.is_none());
+    }
+
+    #[test]
+    fn fast_mlc_path_handles_partially_stuck_cells_like_generic() {
+        // The generic loop skips a cell when ANY of its bits is stuck; the
+        // folded stuck mask must reproduce that even for half-stuck masks.
+        let mlc = WriteEnergy::mlc();
+        let f = Field {
+            new: 0b01_01,
+            old: 0b00_00,
+            stuck_mask: 0b10_00, // left digit of cell 1 stuck only
+            stuck_value: 0,
+            bits: 4,
+        };
+        assert_eq!(
+            mlc.field_cost(&f).primary,
+            mlc.field_cost_generic(&f).primary
+        );
+        assert_eq!(mlc.field_cost(&f).primary, MLC_HIGH_TRANSITION_PJ);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::block::Block;
 use crate::context::WriteContext;
 use crate::cost::{Cost, CostFunction};
+use crate::kernel::KernelSet;
 
 /// Result of encoding one data block.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +23,80 @@ pub struct Encoded {
     /// Cost of the selected candidate (data + auxiliary bits) under the
     /// encoder's cost function.
     pub cost: Cost,
+}
+
+impl Encoded {
+    /// An all-zero placeholder result for `block_bits`-bit codewords, used
+    /// as the reusable output slot of [`Encoder::encode_into`].
+    pub fn placeholder(block_bits: usize) -> Self {
+        Encoded {
+            codeword: Block::zeros(block_bits.max(1)),
+            aux: 0,
+            cost: Cost::ZERO,
+        }
+    }
+}
+
+/// Reusable buffers for allocation-free encoding sessions.
+///
+/// The encoders evaluate up to hundreds of coset candidates per 64-bit
+/// word; allocating a fresh [`Block`] per candidate dominates the hot path.
+/// An `EncodeScratch` owns every intermediate buffer the built-in encoders
+/// need, so after a one-write warm-up, [`Encoder::encode_into`] and
+/// [`Encoder::encode_line`] perform **no heap allocation at all**.
+///
+/// One scratch may be shared across different encoders and cost functions;
+/// buffers are resized on demand. Contents between calls are unspecified.
+///
+/// # Examples
+///
+/// ```
+/// use coset::{Block, EncodeScratch, Encoded, Encoder, Vcc, WriteContext};
+/// use coset::cost::WriteEnergy;
+/// use rand::{SeedableRng, rngs::StdRng};
+///
+/// let vcc = Vcc::paper_mlc(256);
+/// let mut scratch = EncodeScratch::new();
+/// let mut out = Encoded::placeholder(vcc.block_bits());
+///
+/// let mut rng = StdRng::seed_from_u64(9);
+/// for _ in 0..4 {
+///     let data = Block::random(&mut rng, 64);
+///     let ctx = WriteContext::new(Block::random(&mut rng, 64), 0, vcc.aux_bits());
+///     vcc.encode_into(&data, &ctx, &WriteEnergy::mlc(), &mut scratch, &mut out);
+///     assert_eq!(vcc.decode(&out.codeword, out.aux), data);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EncodeScratch {
+    /// Candidate codeword (or right-digit vector) under evaluation.
+    pub(crate) cand: Option<Block>,
+    /// Best candidate found so far (swap-tracked runner-up buffer).
+    pub(crate) best: Option<Block>,
+    /// MLC left-digit vector of the data block.
+    pub(crate) left: Option<Block>,
+    /// MLC right-digit vector of the data block.
+    pub(crate) right: Option<Block>,
+    /// Left digits as they will actually be stored (stuck cells applied).
+    pub(crate) stored_left: Option<Block>,
+    /// Regenerated Algorithm-2 kernel set.
+    pub(crate) kernels: KernelSet,
+    /// Data-word staging block used by [`Encoder::encode_line`].
+    line_word: Option<Block>,
+}
+
+impl EncodeScratch {
+    /// Creates an empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        EncodeScratch::default()
+    }
+
+    /// Borrows a slot, resized to `len` zeroed bits.
+    pub(crate) fn slot(slot: &mut Option<Block>, len: usize) -> &mut Block {
+        let b = slot.get_or_insert_with(|| Block::zeros(len));
+        b.reset_zeros(len);
+        b
+    }
 }
 
 /// A data transformation scheme protecting writes to an NVM word.
@@ -51,6 +126,65 @@ pub trait Encoder: Send + Sync {
     /// Implementations panic if `data.len() != self.block_bits()` or the
     /// context's data length differs.
     fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded;
+
+    /// Session variant of [`Encoder::encode`]: writes the result into `out`,
+    /// reusing `scratch` buffers so steady-state encoding performs no heap
+    /// allocation.
+    ///
+    /// Produces a bit-identical result to `encode` (same codeword, aux and
+    /// cost). The default implementation simply delegates to `encode`; all
+    /// built-in encoders override it with allocation-free candidate
+    /// evaluation.
+    fn encode_into(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        cost: &dyn CostFunction,
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
+        let _ = scratch;
+        *out = self.encode(data, ctx, cost);
+    }
+
+    /// Batch entry point: encodes every word of a cache line in one call.
+    ///
+    /// `line[w]` holds word `w` as a little-endian `u64` (so this requires
+    /// `block_bits() <= 64`) and `ctxs[w]` describes its destination.
+    /// Results land in `out`, which is resized as needed and whose `Encoded`
+    /// slots are reused across calls — with a warmed-up `scratch` the whole
+    /// 512-bit line encodes without heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` and `ctxs` have different lengths or the encoder is
+    /// wider than 64 bits.
+    fn encode_line(
+        &self,
+        line: &[u64],
+        ctxs: &[WriteContext],
+        cost: &dyn CostFunction,
+        scratch: &mut EncodeScratch,
+        out: &mut Vec<Encoded>,
+    ) {
+        assert_eq!(line.len(), ctxs.len(), "line/context length mismatch");
+        let bits = self.block_bits();
+        assert!(bits <= 64, "encode_line requires block_bits() <= 64");
+        if out.len() != line.len() {
+            out.resize_with(line.len(), || Encoded::placeholder(bits));
+        }
+        // Take the staging block out of the scratch so the scratch can be
+        // lent to encode_into while the word is borrowed.
+        let mut word = scratch
+            .line_word
+            .take()
+            .unwrap_or_else(|| Block::zeros(bits));
+        for (w, (&data, ctx)) in line.iter().zip(ctxs.iter()).enumerate() {
+            word.set_from_u64(data, bits);
+            self.encode_into(&word, ctx, cost, scratch, &mut out[w]);
+        }
+        scratch.line_word = Some(word);
+    }
 
     /// Recovers the original data from a stored codeword and its aux bits.
     fn decode(&self, codeword: &Block, aux: u64) -> Block;
@@ -84,14 +218,24 @@ impl Encoder for Unencoded {
     }
 
     fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded {
+        let mut out = Encoded::placeholder(self.block_bits);
+        self.encode_into(data, ctx, cost, &mut EncodeScratch::new(), &mut out);
+        out
+    }
+
+    fn encode_into(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        cost: &dyn CostFunction,
+        _scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
         assert_eq!(data.len(), self.block_bits, "data width mismatch");
         assert_eq!(ctx.data_bits(), self.block_bits, "context width mismatch");
-        let c = ctx.data_cost(cost, data);
-        Encoded {
-            codeword: data.clone(),
-            aux: 0,
-            cost: c,
-        }
+        out.codeword.copy_from(data);
+        out.aux = 0;
+        out.cost = ctx.data_cost(cost, data);
     }
 
     fn decode(&self, codeword: &Block, _aux: u64) -> Block {
@@ -121,7 +265,8 @@ pub fn check_roundtrip<R: rand::Rng>(
         let enc = encoder.encode(&data, &ctx, cost);
         let back = encoder.decode(&enc.codeword, enc.aux);
         assert_eq!(
-            back, data,
+            back,
+            data,
             "round-trip failure for {} on trial {t}",
             encoder.name()
         );

@@ -9,7 +9,7 @@
 use crate::block::Block;
 use crate::context::WriteContext;
 use crate::cost::CostFunction;
-use crate::encoder::{Encoded, Encoder};
+use crate::encoder::{EncodeScratch, Encoded, Encoder};
 
 /// The transformation selected by Flipcy for one block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,19 +48,20 @@ impl Flipcy {
         Flipcy { block_bits }
     }
 
-    fn ones_complement(data: &Block) -> Block {
-        data.inverted()
-    }
-
     /// Two's complement of the block as a little-endian unsigned integer,
     /// modulo 2^len.
     fn twos_complement(data: &Block) -> Block {
-        let mut out = data.inverted();
-        // Add one with carry propagation across words.
-        let len = out.len();
+        let mut out = data.clone();
+        Self::twos_complement_in_place(&mut out);
+        out
+    }
+
+    /// In-place two's complement: invert, then add one with carry
+    /// propagation across words.
+    fn twos_complement_in_place(b: &mut Block) {
+        b.invert();
         let mut carry = 1u64;
-        let words = out.words_mut();
-        for w in words.iter_mut() {
+        for w in b.words_mut().iter_mut() {
             if carry == 0 {
                 break;
             }
@@ -68,16 +69,16 @@ impl Flipcy {
             *w = sum;
             carry = u64::from(overflow);
         }
-        let mut out = Block::from_words(out.words(), len);
-        out.mask_tail();
-        out
+        b.mask_tail();
     }
 
-    fn apply(data: &Block, v: Variant) -> Block {
+    /// Applies `v` to `data` in place (`out` is overwritten).
+    fn apply_into(data: &Block, v: Variant, out: &mut Block) {
+        out.copy_from(data);
         match v {
-            Variant::Identity => data.clone(),
-            Variant::OnesComplement => Self::ones_complement(data),
-            Variant::TwosComplement => Self::twos_complement(data),
+            Variant::Identity => {}
+            Variant::OnesComplement => out.invert(),
+            Variant::TwosComplement => Self::twos_complement_in_place(out),
         }
     }
 }
@@ -96,30 +97,38 @@ impl Encoder for Flipcy {
     }
 
     fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded {
+        let mut out = Encoded::placeholder(self.block_bits);
+        self.encode_into(data, ctx, cost, &mut EncodeScratch::new(), &mut out);
+        out
+    }
+
+    fn encode_into(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        cost: &dyn CostFunction,
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
         assert_eq!(data.len(), self.block_bits, "data width mismatch");
         assert_eq!(ctx.data_bits(), self.block_bits, "context width mismatch");
-        let mut best: Option<Encoded> = None;
+        let cand = EncodeScratch::slot(&mut scratch.cand, self.block_bits);
+        let mut found = false;
         for v in [
             Variant::Identity,
             Variant::OnesComplement,
             Variant::TwosComplement,
         ] {
-            let candidate = Self::apply(data, v);
+            Self::apply_into(data, v, cand);
             let aux = v as u64;
-            let c = ctx.data_cost(cost, &candidate) + ctx.aux_cost(cost, aux);
-            let better = match &best {
-                None => true,
-                Some(b) => c.is_better_than(&b.cost),
-            };
-            if better {
-                best = Some(Encoded {
-                    codeword: candidate,
-                    aux,
-                    cost: c,
-                });
+            let c = ctx.data_cost(cost, cand) + ctx.aux_cost(cost, aux);
+            if !found || c.is_better_than(&out.cost) {
+                std::mem::swap(&mut out.codeword, cand);
+                out.aux = aux;
+                out.cost = c;
+                found = true;
             }
         }
-        best.expect("at least one candidate evaluated")
     }
 
     fn decode(&self, codeword: &Block, aux: u64) -> Block {

@@ -14,7 +14,7 @@
 use crate::block::Block;
 use crate::context::WriteContext;
 use crate::cost::CostFunction;
-use crate::encoder::{Encoded, Encoder};
+use crate::encoder::{EncodeScratch, Encoded, Encoder};
 
 /// Flip-N-Write-style selective inversion encoder.
 ///
@@ -48,9 +48,12 @@ impl Fnw {
     /// or if either is zero.
     pub fn with_sub_block(block_bits: usize, sub_bits: usize) -> Self {
         assert!(block_bits > 0 && sub_bits > 0, "widths must be non-zero");
-        assert!(sub_bits <= 64, "sub-blocks wider than 64 bits are unsupported");
         assert!(
-            block_bits % sub_bits == 0,
+            sub_bits <= 64,
+            "sub-blocks wider than 64 bits are unsupported"
+        );
+        assert!(
+            block_bits.is_multiple_of(sub_bits),
             "sub-block width {sub_bits} must divide block width {block_bits}"
         );
         Fnw {
@@ -73,7 +76,7 @@ impl Fnw {
         );
         let sections = n_cosets.trailing_zeros() as usize;
         assert!(
-            block_bits % sections == 0,
+            block_bits.is_multiple_of(sections),
             "{sections} sections do not divide a {block_bits}-bit block"
         );
         let mut f = Self::with_sub_block(block_bits, block_bits / sections);
@@ -115,6 +118,19 @@ impl Encoder for Fnw {
     }
 
     fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded {
+        let mut out = Encoded::placeholder(self.block_bits);
+        self.encode_into(data, ctx, cost, &mut EncodeScratch::new(), &mut out);
+        out
+    }
+
+    fn encode_into(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        cost: &dyn CostFunction,
+        _scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
         assert_eq!(data.len(), self.block_bits, "data width mismatch");
         assert_eq!(ctx.data_bits(), self.block_bits, "context width mismatch");
         let sub_mask = if self.sub_bits == 64 {
@@ -122,7 +138,9 @@ impl Encoder for Fnw {
         } else {
             (1u64 << self.sub_bits) - 1
         };
-        let mut codeword = Block::zeros(self.block_bits);
+        // FNW picks per-section, so the winner is assembled directly in the
+        // output codeword — no candidate buffers needed.
+        out.codeword.reset_zeros(self.block_bits);
         let mut aux = 0u64;
         let mut data_cost = crate::cost::Cost::ZERO;
         for j in 0..self.sections() {
@@ -132,20 +150,16 @@ impl Encoder for Fnw {
             let c_direct = ctx.range_cost(cost, direct, start, self.sub_bits);
             let c_inverted = ctx.range_cost(cost, inverted, start, self.sub_bits);
             if c_inverted.is_better_than(&c_direct) {
-                codeword.insert(start, self.sub_bits, inverted);
+                out.codeword.insert(start, self.sub_bits, inverted);
                 aux |= 1u64 << j;
                 data_cost = data_cost + c_inverted;
             } else {
-                codeword.insert(start, self.sub_bits, direct);
+                out.codeword.insert(start, self.sub_bits, direct);
                 data_cost = data_cost + c_direct;
             }
         }
-        let total = data_cost + ctx.aux_cost(cost, aux);
-        Encoded {
-            codeword,
-            aux,
-            cost: total,
-        }
+        out.aux = aux;
+        out.cost = data_cost + ctx.aux_cost(cost, aux);
     }
 
     fn decode(&self, codeword: &Block, aux: u64) -> Block {

@@ -22,6 +22,17 @@ pub struct KernelSet {
     kernels: Vec<u64>,
 }
 
+impl Default for KernelSet {
+    /// An empty placeholder used as a reusable scratch buffer for
+    /// [`generate_kernels_into`]; not a valid kernel set until regenerated.
+    fn default() -> Self {
+        KernelSet {
+            kernel_bits: 1,
+            kernels: Vec::new(),
+        }
+    }
+}
+
 impl KernelSet {
     /// Builds a kernel set from explicit kernel values (low `kernel_bits`
     /// bits of each entry are significant).
@@ -167,6 +178,23 @@ impl GeneratorConfig {
 ///
 /// Panics if the seed is shorter than one kernel width.
 pub fn generate_kernels(seed: &Block, config: GeneratorConfig) -> KernelSet {
+    let mut out = KernelSet {
+        kernel_bits: config.kernel_bits,
+        kernels: Vec::with_capacity(config.num_kernels),
+    };
+    generate_kernels_into(seed, config, &mut out);
+    out
+}
+
+/// In-place variant of [`generate_kernels`]: regenerates the kernel set into
+/// `out`, reusing its allocation. This is what the zero-allocation encoding
+/// sessions use — the generated-kernel VCC encoder reruns Algorithm 2 on
+/// every write.
+///
+/// # Panics
+///
+/// Panics if the seed is shorter than one kernel width.
+pub fn generate_kernels_into(seed: &Block, config: GeneratorConfig, out: &mut KernelSet) {
     let m = config.kernel_bits;
     let r = config.num_kernels;
     assert!(
@@ -175,24 +203,25 @@ pub fn generate_kernels(seed: &Block, config: GeneratorConfig) -> KernelSet {
         seed.len()
     );
     let b = (seed.len() / m).max(1);
-    let base: Vec<u64> = (0..b).map(|j| seed.extract(j * m, m)).collect();
 
     // Number of variants needed per base vector (rounded up), and the mask
     // width with the extra anti-complement bit.
-    let variants_per_base = (r + b - 1) / b;
+    let variants_per_base = r.div_ceil(b);
     let mask_bits = 1 + ceil_log2(variants_per_base.max(1));
 
-    let mut kernels = Vec::with_capacity(r);
+    out.kernel_bits = m;
+    out.kernels.clear();
+    out.kernels.reserve(r);
     'outer: for i in 0..variants_per_base.max(1) {
         let mask = repeat_mask(i as u64, mask_bits, m);
-        for basevec in base.iter().take(b) {
-            if kernels.len() == r {
+        for j in 0..b {
+            if out.kernels.len() == r {
                 break 'outer;
             }
-            kernels.push(basevec ^ mask);
+            // Base vector j occupies bits [j*m, (j+1)*m) of the seed.
+            out.kernels.push(seed.extract(j * m, m) ^ mask);
         }
     }
-    KernelSet::new(m, kernels)
 }
 
 /// Repeats the low `mask_bits` bits of `mask` across an `m`-bit word.

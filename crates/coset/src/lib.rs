@@ -11,6 +11,8 @@
 //!
 //! # Quick start
 //!
+//! One-shot encoding — simplest call, allocates per candidate evaluation:
+//!
 //! ```
 //! use coset::{Vcc, Block, WriteContext, Encoder, cost::WriteEnergy};
 //! use rand::{SeedableRng, rngs::StdRng};
@@ -28,6 +30,37 @@
 //! assert_eq!(vcc.decode(&enc.codeword, enc.aux), encrypted);
 //! ```
 //!
+//! # Encoding sessions (the hot path)
+//!
+//! A memory controller encodes billions of words with the same encoder, so
+//! the hot-path API is a *session*: allocate an [`EncodeScratch`] and an
+//! output slot once, then stream words through [`Encoder::encode_into`] (or
+//! whole 512-bit cache lines through [`Encoder::encode_line`]) with **zero
+//! steady-state heap allocation**. Results are bit-identical to `encode`.
+//!
+//! ```
+//! use coset::{Vcc, Block, EncodeScratch, Encoded, WriteContext, Encoder};
+//! use coset::cost::WriteEnergy;
+//! use rand::{SeedableRng, rngs::StdRng};
+//!
+//! let vcc = Vcc::paper_mlc(256);
+//! let cost = WriteEnergy::mlc();
+//! let mut scratch = EncodeScratch::new();
+//! let mut out = Encoded::placeholder(vcc.block_bits());
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! for _ in 0..32 {
+//!     let data = Block::random(&mut rng, 64);
+//!     let ctx = WriteContext::new(Block::random(&mut rng, 64), 0, vcc.aux_bits());
+//!     vcc.encode_into(&data, &ctx, &cost, &mut scratch, &mut out);
+//!     assert_eq!(vcc.decode(&out.codeword, out.aux), data);
+//! }
+//! ```
+//!
+//! Higher layers rarely drive this directly: the `controller` crate's
+//! `WritePipeline` wraps encryption, encoding sessions, PCM programming and
+//! fault correction behind one `write_line` call.
+//!
 //! # Crate layout
 //!
 //! | module | contents |
@@ -36,7 +69,7 @@
 //! | [`symbol`] | MLC Gray-code helpers, left/right digit extraction |
 //! | [`cost`] | [`cost::CostFunction`] and the paper's objectives |
 //! | [`context`] | [`WriteContext`] and [`StuckBits`] (read-modify-write state) |
-//! | [`encoder`] | the [`Encoder`] trait and unencoded baseline |
+//! | [`encoder`] | the [`Encoder`] trait, [`EncodeScratch`] sessions, unencoded baseline |
 //! | [`fnw`] | Flip-N-Write, DBI and BCC |
 //! | [`flipcy`] | Flipcy (identity / one's / two's complement) |
 //! | [`rcc`] | random coset coding with stored candidates |
@@ -62,7 +95,7 @@ pub mod vcc;
 pub use block::Block;
 pub use context::{StuckBits, WriteContext};
 pub use cost::{Cost, CostFunction};
-pub use encoder::{check_roundtrip, Encoded, Encoder, Unencoded};
+pub use encoder::{check_roundtrip, EncodeScratch, Encoded, Encoder, Unencoded};
 pub use flipcy::Flipcy;
 pub use fnw::Fnw;
 pub use kernel::{generate_kernels, GeneratorConfig, KernelSet};

@@ -12,7 +12,7 @@ use rand::Rng;
 use crate::block::Block;
 use crate::context::WriteContext;
 use crate::cost::CostFunction;
-use crate::encoder::{Encoded, Encoder};
+use crate::encoder::{EncodeScratch, Encoded, Encoder};
 
 /// Random coset coding with stored full-length coset candidates.
 ///
@@ -111,26 +111,35 @@ impl Encoder for Rcc {
     }
 
     fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded {
+        let mut out = Encoded::placeholder(self.block_bits);
+        self.encode_into(data, ctx, cost, &mut EncodeScratch::new(), &mut out);
+        out
+    }
+
+    fn encode_into(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        cost: &dyn CostFunction,
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
         assert_eq!(data.len(), self.block_bits, "data width mismatch");
         assert_eq!(ctx.data_bits(), self.block_bits, "context width mismatch");
-        let mut best: Option<Encoded> = None;
+        let cand = EncodeScratch::slot(&mut scratch.cand, self.block_bits);
+        let mut found = false;
         for (i, coset) in self.cosets.iter().enumerate() {
-            let candidate = data.xor(coset);
+            cand.copy_from(data);
+            cand.xor_assign(coset);
             let aux = i as u64;
-            let c = ctx.data_cost(cost, &candidate) + ctx.aux_cost(cost, aux);
-            let better = match &best {
-                None => true,
-                Some(b) => c.is_better_than(&b.cost),
-            };
-            if better {
-                best = Some(Encoded {
-                    codeword: candidate,
-                    aux,
-                    cost: c,
-                });
+            let c = ctx.data_cost(cost, cand) + ctx.aux_cost(cost, aux);
+            if !found || c.is_better_than(&out.cost) {
+                std::mem::swap(&mut out.codeword, cand);
+                out.aux = aux;
+                out.cost = c;
+                found = true;
             }
         }
-        best.expect("at least one coset candidate")
     }
 
     fn decode(&self, codeword: &Block, aux: u64) -> Block {

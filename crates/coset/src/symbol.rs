@@ -16,11 +16,14 @@
 use crate::block::Block;
 
 /// Number of bits stored per memory cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
+)]
 pub enum CellKind {
     /// Single-level cell: one bit per cell.
     Slc,
     /// Multi-level cell: two bits (four resistance levels) per cell.
+    #[default]
     Mlc,
 }
 
@@ -45,14 +48,11 @@ impl CellKind {
     /// Panics if `bits` is not a multiple of the cell width.
     pub fn cells_for_bits(self, bits: usize) -> usize {
         let b = self.bits_per_cell();
-        assert!(bits % b == 0, "{bits} bits is not a whole number of cells");
+        assert!(
+            bits.is_multiple_of(b),
+            "{bits} bits is not a whole number of cells"
+        );
         bits / b
-    }
-}
-
-impl Default for CellKind {
-    fn default() -> Self {
-        CellKind::Mlc
     }
 }
 
@@ -113,10 +113,54 @@ pub fn left_digit(symbol: u8) -> u8 {
 /// Panics if the block length is odd.
 pub fn symbols(block: &Block) -> impl Iterator<Item = u8> + '_ {
     assert!(
-        block.len() % 2 == 0,
+        block.len().is_multiple_of(2),
         "MLC symbol iteration requires an even bit length"
     );
     (0..block.len() / 2).map(move |s| block.extract(2 * s, 2) as u8)
+}
+
+/// Compresses the bits at even positions of `x` (0, 2, 4, …) into the low
+/// 32 bits — the word-parallel inverse of Morton interleaving.
+#[inline]
+fn compress_even_bits(x: u64) -> u64 {
+    let mut x = x & 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
+}
+
+/// Spreads the low 32 bits of `x` onto the even positions of a 64-bit word —
+/// the word-parallel Morton expansion.
+#[inline]
+fn expand_to_even_bits(x: u64) -> u64 {
+    let mut x = x & 0x0000_0000_FFFF_FFFF;
+    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
+    (x | (x << 1)) & 0x5555_5555_5555_5555
+}
+
+/// Word-parallel digit extraction: digit bits of every symbol (selected by
+/// `shift` = 0 for right digits, 1 for left digits) packed densely into
+/// `out`.
+fn extract_digits_into(block: &Block, out: &mut Block, shift: u32) {
+    assert!(block.len().is_multiple_of(2), "block length must be even");
+    let n_sym = block.len() / 2;
+    out.reset_zeros(n_sym);
+    let src = block.words();
+    let dst = out.words_mut();
+    for (i, d) in dst.iter_mut().enumerate() {
+        let lo = compress_even_bits(src[2 * i] >> shift);
+        let hi = match src.get(2 * i + 1) {
+            Some(w) => compress_even_bits(w >> shift),
+            None => 0,
+        };
+        *d = lo | (hi << 32);
+    }
+    out.mask_tail();
 }
 
 /// Extracts the left (high) digits of every MLC symbol of `block` into a new
@@ -128,13 +172,19 @@ pub fn symbols(block: &Block) -> impl Iterator<Item = u8> + '_ {
 ///
 /// Panics if the block length is odd.
 pub fn extract_left_digits(block: &Block) -> Block {
-    assert!(block.len() % 2 == 0, "block length must be even");
-    let n_sym = block.len() / 2;
-    let mut out = Block::zeros(n_sym);
-    for s in 0..n_sym {
-        out.set_bit(s, block.bit(2 * s + 1));
-    }
+    let mut out = Block::zeros(block.len() / 2);
+    extract_left_digits_into(block, &mut out);
     out
+}
+
+/// In-place variant of [`extract_left_digits`]: writes the left digits into
+/// `out`, reusing its allocation.
+///
+/// # Panics
+///
+/// Panics if the block length is odd.
+pub fn extract_left_digits_into(block: &Block, out: &mut Block) {
+    extract_digits_into(block, out, 1);
 }
 
 /// Extracts the right (low) digits of every MLC symbol of `block` into a new
@@ -144,13 +194,19 @@ pub fn extract_left_digits(block: &Block) -> Block {
 ///
 /// Panics if the block length is odd.
 pub fn extract_right_digits(block: &Block) -> Block {
-    assert!(block.len() % 2 == 0, "block length must be even");
-    let n_sym = block.len() / 2;
-    let mut out = Block::zeros(n_sym);
-    for s in 0..n_sym {
-        out.set_bit(s, block.bit(2 * s));
-    }
+    let mut out = Block::zeros(block.len() / 2);
+    extract_right_digits_into(block, &mut out);
     out
+}
+
+/// In-place variant of [`extract_right_digits`]: writes the right digits
+/// into `out`, reusing its allocation.
+///
+/// # Panics
+///
+/// Panics if the block length is odd.
+pub fn extract_right_digits_into(block: &Block, out: &mut Block) {
+    extract_digits_into(block, out, 0);
 }
 
 /// Reassembles a full block from separate left-digit and right-digit vectors
@@ -160,18 +216,36 @@ pub fn extract_right_digits(block: &Block) -> Block {
 ///
 /// Panics if the two vectors have different lengths.
 pub fn interleave_digits(left: &Block, right: &Block) -> Block {
+    let mut out = Block::zeros(2 * left.len().max(1));
+    interleave_digits_into(left, right, &mut out);
+    out
+}
+
+/// In-place variant of [`interleave_digits`]: reassembles the full block
+/// into `out`, reusing its allocation.
+///
+/// # Panics
+///
+/// Panics if the two vectors have different lengths.
+pub fn interleave_digits_into(left: &Block, right: &Block, out: &mut Block) {
     assert_eq!(
         left.len(),
         right.len(),
         "left/right digit vectors must have equal length"
     );
     let n_sym = left.len();
-    let mut out = Block::zeros(2 * n_sym);
-    for s in 0..n_sym {
-        out.set_bit(2 * s, right.bit(s));
-        out.set_bit(2 * s + 1, left.bit(s));
+    out.reset_zeros(2 * n_sym);
+    let l = left.words();
+    let r = right.words();
+    let dst = out.words_mut();
+    for i in 0..l.len() {
+        let lo = expand_to_even_bits(r[i]) | (expand_to_even_bits(l[i]) << 1);
+        dst[2 * i] = lo;
+        if let Some(d) = dst.get_mut(2 * i + 1) {
+            *d = expand_to_even_bits(r[i] >> 32) | (expand_to_even_bits(l[i] >> 32) << 1);
+        }
     }
-    out
+    out.mask_tail();
 }
 
 /// Counts symbols in `new` whose write over `old` is a high-energy
@@ -183,7 +257,7 @@ pub fn interleave_digits(left: &Block, right: &Block) -> Block {
 /// Panics if lengths differ or are odd.
 pub fn count_high_energy_transitions(old: &Block, new: &Block) -> u32 {
     assert_eq!(old.len(), new.len(), "length mismatch");
-    assert!(old.len() % 2 == 0, "length must be even");
+    assert!(old.len().is_multiple_of(2), "length must be even");
     let mut count = 0;
     for s in 0..old.len() / 2 {
         let o = old.extract(2 * s, 2) as u8;
@@ -198,7 +272,7 @@ pub fn count_high_energy_transitions(old: &Block, new: &Block) -> u32 {
 /// Counts symbols that change state at all (any programming event).
 pub fn count_symbol_transitions(old: &Block, new: &Block) -> u32 {
     assert_eq!(old.len(), new.len(), "length mismatch");
-    assert!(old.len() % 2 == 0, "length must be even");
+    assert!(old.len().is_multiple_of(2), "length must be even");
     let mut count = 0;
     for s in 0..old.len() / 2 {
         if old.extract(2 * s, 2) != new.extract(2 * s, 2) {

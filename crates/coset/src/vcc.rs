@@ -26,9 +26,14 @@ use rand::Rng;
 use crate::block::Block;
 use crate::context::WriteContext;
 use crate::cost::{Cost, CostFunction};
-use crate::encoder::{Encoded, Encoder};
-use crate::kernel::{ceil_log2, generate_kernels, GeneratorConfig, KernelSet};
-use crate::symbol::{extract_left_digits, extract_right_digits, interleave_digits};
+use crate::encoder::{EncodeScratch, Encoded, Encoder};
+use crate::kernel::{
+    ceil_log2, generate_kernels, generate_kernels_into, GeneratorConfig, KernelSet,
+};
+use crate::symbol::{
+    extract_left_digits, extract_left_digits_into, extract_right_digits, extract_right_digits_into,
+    interleave_digits, interleave_digits_into,
+};
 
 /// How a [`Vcc`] instance obtains kernels and which bits it encodes.
 #[derive(Debug, Clone)]
@@ -100,7 +105,7 @@ impl Vcc {
         let kernel_bits = kernels.kernel_bits();
         let num_kernels = kernels.len();
         assert!(
-            block_bits % kernel_bits == 0,
+            block_bits.is_multiple_of(kernel_bits),
             "kernel width {kernel_bits} must divide block width {block_bits}"
         );
         let partitions = block_bits / kernel_bits;
@@ -129,10 +134,13 @@ impl Vcc {
     /// Panics if the block width is odd, the kernel width does not divide
     /// n/2, or `num_kernels` is not a power of two.
     pub fn generated_mlc(block_bits: usize, kernel_bits: usize, num_kernels: usize) -> Self {
-        assert!(block_bits % 2 == 0, "MLC blocks need an even bit width");
+        assert!(
+            block_bits.is_multiple_of(2),
+            "MLC blocks need an even bit width"
+        );
         let digit_bits = block_bits / 2;
         assert!(
-            digit_bits % kernel_bits == 0,
+            digit_bits.is_multiple_of(kernel_bits),
             "kernel width {kernel_bits} must divide the right-digit vector width {digit_bits}"
         );
         assert!(
@@ -162,7 +170,7 @@ impl Vcc {
     /// Panics if `n_virtual_cosets < 32` or it is not a multiple of 16.
     pub fn paper_mlc(n_virtual_cosets: usize) -> Self {
         assert!(
-            n_virtual_cosets >= 32 && n_virtual_cosets % 16 == 0,
+            n_virtual_cosets >= 32 && n_virtual_cosets.is_multiple_of(16),
             "the paper's MLC family requires N = 16·r with r ≥ 2"
         );
         Self::generated_mlc(64, 8, n_virtual_cosets / 16)
@@ -171,7 +179,7 @@ impl Vcc {
     /// The paper's canonical stored-kernel configuration VCC(64, N, N/16).
     pub fn paper_stored<R: Rng + ?Sized>(n_virtual_cosets: usize, rng: &mut R) -> Self {
         assert!(
-            n_virtual_cosets >= 32 && n_virtual_cosets % 16 == 0,
+            n_virtual_cosets >= 32 && n_virtual_cosets.is_multiple_of(16),
             "the paper's stored family requires N = 16·r with r ≥ 2"
         );
         Self::stored(64, 16, n_virtual_cosets / 16, rng)
@@ -264,18 +272,23 @@ impl Vcc {
     }
 
     /// Encodes in full-block mode: partition j covers bits [j·m, (j+1)·m).
+    ///
+    /// Candidate codewords are assembled in the scratch's candidate buffer
+    /// and swapped into the output when they win — no per-kernel allocation.
     fn encode_full_block(
         &self,
         data: &Block,
         ctx: &WriteContext,
         cost: &dyn CostFunction,
         kernels: &KernelSet,
-    ) -> Encoded {
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
         let m = self.kernel_bits;
-        let mut best: Option<Encoded> = None;
+        let cand = EncodeScratch::slot(&mut scratch.cand, self.block_bits);
+        let mut found = false;
         for i in 0..kernels.len() {
             let mut flags = 0u64;
-            let mut codeword = Block::zeros(self.block_bits);
             let mut data_cost = Cost::ZERO;
             for j in 0..self.partitions {
                 let start = j * m;
@@ -286,52 +299,74 @@ impl Vcc {
                 let c_c = ctx.range_cost(cost, y_c, start, m);
                 if c_c.is_better_than(&c) {
                     flags |= 1u64 << j;
-                    codeword.insert(start, m, y_c);
+                    cand.insert(start, m, y_c);
                     data_cost = data_cost + c_c;
                 } else {
-                    codeword.insert(start, m, y);
+                    cand.insert(start, m, y);
                     data_cost = data_cost + c;
                 }
             }
             let aux = self.pack_aux(i, flags);
             let total = data_cost + ctx.aux_cost(cost, aux);
-            let better = match &best {
-                None => true,
-                Some(b) => total.is_better_than(&b.cost),
-            };
-            if better {
-                best = Some(Encoded {
-                    codeword,
-                    aux,
-                    cost: total,
-                });
+            if !found || total.is_better_than(&out.cost) {
+                // The partitions tile the whole block, so `cand` was fully
+                // overwritten this iteration and can be swapped out whole.
+                std::mem::swap(&mut out.codeword, cand);
+                // After the swap `cand` may have a stale length; the next
+                // iteration overwrites every partition, so only the length
+                // needs fixing.
+                if cand.len() != self.block_bits {
+                    cand.reset_zeros(self.block_bits);
+                }
+                out.aux = aux;
+                out.cost = total;
+                found = true;
             }
         }
-        best.expect("at least one kernel")
+        assert!(found, "at least one kernel");
     }
 
     /// Encodes in MLC generated mode: only the right digits are transformed;
     /// costs are evaluated on whole symbols (left digit interleaved back in).
+    ///
+    /// All intermediates — digit vectors, the Algorithm-2 kernel set and the
+    /// candidate right-digit vectors — live in the scratch.
     fn encode_mlc_generated(
         &self,
         data: &Block,
         ctx: &WriteContext,
         cost: &dyn CostFunction,
         config: &GeneratorConfig,
-    ) -> Encoded {
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
         let m = self.kernel_bits; // right-digit bits per partition
-        let left = extract_left_digits(data);
-        let right = extract_right_digits(data);
+        let digit_bits = self.block_bits / 2;
+        let left = EncodeScratch::slot(&mut scratch.left, digit_bits);
+        extract_left_digits_into(data, left);
+        let right = EncodeScratch::slot(&mut scratch.right, digit_bits);
+        extract_right_digits_into(data, right);
         // Seed Algorithm 2 with the left digits as they will actually be
         // stored (stuck cells keep their frozen value). The decoder reads
         // those same stored left digits, so it regenerates identical kernels
         // even in the presence of left-digit faults.
-        let stored_left = extract_left_digits(&ctx.stuck.apply_to(data));
-        let kernels = generate_kernels(&stored_left, *config);
-        let mut best: Option<Encoded> = None;
+        let stored_left = EncodeScratch::slot(&mut scratch.stored_left, digit_bits);
+        {
+            let staging = EncodeScratch::slot(&mut scratch.cand, self.block_bits);
+            staging.copy_from(data);
+            ctx.stuck.apply_in_place(staging);
+            extract_left_digits_into(staging, stored_left);
+        }
+        generate_kernels_into(stored_left, *config, &mut scratch.kernels);
+        let kernels = &scratch.kernels;
+
+        // `cand` holds the candidate right-digit vector; the winner parks in
+        // `best` until the kernel loop finishes.
+        let cand = EncodeScratch::slot(&mut scratch.cand, digit_bits);
+        let best = EncodeScratch::slot(&mut scratch.best, digit_bits);
+        let mut found = false;
         for i in 0..kernels.len() {
             let mut flags = 0u64;
-            let mut new_right = Block::zeros(right.len());
             let mut data_cost = Cost::ZERO;
             for j in 0..self.partitions {
                 let rd_start = j * m;
@@ -341,34 +376,30 @@ impl Vcc {
                 let y_c = d ^ kernels.kernel_complement(i);
                 // Evaluate the cost of the full 2m-bit symbol group.
                 let sym_start = 2 * rd_start;
-                let cand = interleave_bits(l, y, m);
-                let cand_c = interleave_bits(l, y_c, m);
-                let c = ctx.range_cost(cost, cand, sym_start, 2 * m);
-                let c_c = ctx.range_cost(cost, cand_c, sym_start, 2 * m);
+                let sym_cand = interleave_bits(l, y, m);
+                let sym_cand_c = interleave_bits(l, y_c, m);
+                let c = ctx.range_cost(cost, sym_cand, sym_start, 2 * m);
+                let c_c = ctx.range_cost(cost, sym_cand_c, sym_start, 2 * m);
                 if c_c.is_better_than(&c) {
                     flags |= 1u64 << j;
-                    new_right.insert(rd_start, m, y_c);
+                    cand.insert(rd_start, m, y_c);
                     data_cost = data_cost + c_c;
                 } else {
-                    new_right.insert(rd_start, m, y);
+                    cand.insert(rd_start, m, y);
                     data_cost = data_cost + c;
                 }
             }
             let aux = self.pack_aux(i, flags);
             let total = data_cost + ctx.aux_cost(cost, aux);
-            let better = match &best {
-                None => true,
-                Some(b) => total.is_better_than(&b.cost),
-            };
-            if better {
-                best = Some(Encoded {
-                    codeword: interleave_digits(&left, &new_right),
-                    aux,
-                    cost: total,
-                });
+            if !found || total.is_better_than(&out.cost) {
+                std::mem::swap(best, cand);
+                out.aux = aux;
+                out.cost = total;
+                found = true;
             }
         }
-        best.expect("at least one kernel")
+        assert!(found, "at least one kernel");
+        interleave_digits_into(left, best, &mut out.codeword);
     }
 }
 
@@ -398,11 +429,28 @@ impl Encoder for Vcc {
     }
 
     fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded {
+        let mut out = Encoded::placeholder(self.block_bits);
+        self.encode_into(data, ctx, cost, &mut EncodeScratch::new(), &mut out);
+        out
+    }
+
+    fn encode_into(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        cost: &dyn CostFunction,
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
         assert_eq!(data.len(), self.block_bits, "data width mismatch");
         assert_eq!(ctx.data_bits(), self.block_bits, "context width mismatch");
         match &self.mode {
-            VccMode::FullBlock { kernels } => self.encode_full_block(data, ctx, cost, kernels),
-            VccMode::MlcGenerated { config } => self.encode_mlc_generated(data, ctx, cost, config),
+            VccMode::FullBlock { kernels } => {
+                self.encode_full_block(data, ctx, cost, kernels, scratch, out)
+            }
+            VccMode::MlcGenerated { config } => {
+                self.encode_mlc_generated(data, ctx, cost, config, scratch, out)
+            }
         }
     }
 
@@ -501,9 +549,7 @@ mod tests {
     fn figure_3_worked_example() {
         // Figure 3 of the paper: 64-bit encrypted block, four 16-bit
         // kernels, all-zero destination, ones-minimization.
-        let d = parse_bits(
-            "1010001011011011 0101000100100100 0100011001000101 1010010100001011",
-        );
+        let d = parse_bits("1010001011011011 0101000100100100 0100011001000101 1010010100001011");
         assert_eq!(d.len(), 64);
         // The figure's d0 is the leftmost 16 bits; our bit 0 is the LSB, so
         // place d0 at the highest partition to mirror the layout.
@@ -562,17 +608,20 @@ mod tests {
             );
         }
         // Total cost per Fig. 3(d.3) includes the aux-bit ones: 15 + HW(aux).
-        assert_eq!(
-            enc.cost.primary,
-            15.0 + enc.aux.count_ones() as f64
-        );
+        assert_eq!(enc.cost.primary, 15.0 + enc.aux.count_ones() as f64);
         assert_eq!(vcc.decode(&enc.codeword, enc.aux), data);
     }
 
     #[test]
     fn roundtrip_stored_various_configs() {
         let mut rng = StdRng::seed_from_u64(42);
-        for (n, m, r) in [(64usize, 16usize, 2usize), (64, 16, 16), (64, 8, 4), (32, 16, 8), (64, 32, 4)] {
+        for (n, m, r) in [
+            (64usize, 16usize, 2usize),
+            (64, 16, 16),
+            (64, 8, 4),
+            (32, 16, 8),
+            (64, 32, 4),
+        ] {
             let vcc = Vcc::stored(n, m, r, &mut rng);
             check_roundtrip(&vcc, &BitFlips, &mut rng, 50);
             check_roundtrip(&vcc, &OnesCount, &mut rng, 20);
@@ -697,7 +746,8 @@ mod tests {
             // Force the stuck left digit to agree with the data so the fault
             // is maskable by right-digit encoding.
             let left_bit = data.bit(2 * cell + 1);
-            let stuck_sym = (u64::from(left_bit) << 1) | u64::from(rand::Rng::gen_bool(&mut rng, 0.5));
+            let stuck_sym =
+                (u64::from(left_bit) << 1) | u64::from(rand::Rng::gen_bool(&mut rng, 0.5));
             let mut stuck = StuckBits::none(64);
             stuck.stick_cell(cell, 2, stuck_sym);
             let ctx = WriteContext::new(Block::random(&mut rng, 64), 0, vcc.aux_bits())
@@ -766,7 +816,10 @@ mod tests {
             e_sto += sto.encode(&data, &ctx, &cf).cost.primary;
         }
         let gap = (e_gen - e_sto).abs() / e_sto;
-        assert!(gap < 0.12, "generated vs stored energy gap too large: {gap:.3}");
+        assert!(
+            gap < 0.12,
+            "generated vs stored energy gap too large: {gap:.3}"
+        );
     }
 
     #[test]
@@ -809,11 +862,16 @@ mod tests {
             }
             let ctx_h = WriteContext::new(Block::zeros(64), 0, hybrid.aux_bits());
             let ctx_f = WriteContext::new(Block::zeros(64), 0, fnw.aux_bits());
-            hybrid_total += hybrid.encode(&data, &ctx_h, &OnesCount).codeword.count_ones() as u64;
+            hybrid_total += hybrid
+                .encode(&data, &ctx_h, &OnesCount)
+                .codeword
+                .count_ones() as u64;
             fnw_total += fnw.encode(&data, &ctx_f, &OnesCount).codeword.count_ones() as u64;
             assert_eq!(
-                hybrid.decode(&hybrid.encode(&data, &ctx_h, &OnesCount).codeword,
-                              hybrid.encode(&data, &ctx_h, &OnesCount).aux),
+                hybrid.decode(
+                    &hybrid.encode(&data, &ctx_h, &OnesCount).codeword,
+                    hybrid.encode(&data, &ctx_h, &OnesCount).aux
+                ),
                 data
             );
         }
@@ -831,10 +889,16 @@ mod tests {
             let data = Block::random(&mut rng, 64);
             let ctx_h = WriteContext::new(Block::zeros(64), 0, hybrid.aux_bits());
             let ctx_p = WriteContext::new(Block::zeros(64), 0, pure.aux_bits());
-            hybrid_ones += hybrid.encode(&data, &ctx_h, &OnesCount).codeword.count_ones() as u64;
+            hybrid_ones += hybrid
+                .encode(&data, &ctx_h, &OnesCount)
+                .codeword
+                .count_ones() as u64;
             pure_ones += pure.encode(&data, &ctx_p, &OnesCount).codeword.count_ones() as u64;
         }
         let ratio = hybrid_ones as f64 / pure_ones as f64;
-        assert!(ratio < 1.10, "hybrid should stay close to pure VCC on random data ({ratio:.3})");
+        assert!(
+            ratio < 1.10,
+            "hybrid should stay close to pure VCC on random data ({ratio:.3})"
+        );
     }
 }

@@ -8,8 +8,8 @@ use coset::block::parse_bits;
 use coset::cost::{BitFlips, OnesCount, SawCount, WriteEnergy};
 use coset::symbol::{extract_left_digits, extract_right_digits, interleave_digits};
 use coset::{
-    Block, Encoder, Flipcy, Fnw, GeneratorConfig, KernelSet, Rcc, StuckBits, Unencoded, Vcc,
-    WriteContext,
+    Block, EncodeScratch, Encoded, Encoder, Flipcy, Fnw, GeneratorConfig, KernelSet, Rcc,
+    StuckBits, Unencoded, Vcc, WriteContext,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -208,6 +208,76 @@ proptest! {
             extract_left_digits(&enc.codeword),
             extract_left_digits(&data_block)
         );
+    }
+
+    /// The zero-allocation session API is bit-identical to the legacy
+    /// `encode` for every encoder × cost-function pair: same codeword, same
+    /// auxiliary bits, same cost — even when one warm scratch and one output
+    /// slot are reused across encoders, cost functions and stuck-cell
+    /// states.
+    #[test]
+    fn encode_into_matches_encode_for_every_encoder_and_cost(
+        data in word(),
+        old in word(),
+        old_aux in 0u64..256,
+        seed in any::<u64>(),
+        stuck_cell in 0usize..32,
+        stuck_sym in 0u64..4,
+    ) {
+        let data_block = Block::from_u64(data, 64);
+        let old_block = Block::from_u64(old, 64);
+        let mut stuck = StuckBits::none(64);
+        stuck.stick_cell(stuck_cell, 2, stuck_sym);
+        let mut scratch = EncodeScratch::new();
+        let mut out = Encoded::placeholder(64);
+        for encoder in encoders(seed) {
+            let ctx = WriteContext::new(old_block.clone(), old_aux, encoder.aux_bits())
+                .with_stuck(stuck.clone());
+            for cost in [
+                &BitFlips as &dyn coset::CostFunction,
+                &OnesCount,
+                &SawCount,
+                &WriteEnergy::mlc(),
+            ] {
+                let legacy = encoder.encode(&data_block, &ctx, cost);
+                encoder.encode_into(&data_block, &ctx, cost, &mut scratch, &mut out);
+                prop_assert_eq!(
+                    &out, &legacy,
+                    "encode_into diverged from encode for {} under {}",
+                    encoder.name(), cost.name()
+                );
+            }
+        }
+    }
+
+    /// `encode_line` encodes a whole 512-bit line exactly as eight
+    /// independent `encode` calls would, for every encoder.
+    #[test]
+    fn encode_line_matches_per_word_encode(
+        line in any::<[u64; 8]>(),
+        olds in any::<[u64; 8]>(),
+        seed in any::<u64>(),
+    ) {
+        let mut scratch = EncodeScratch::new();
+        let mut outs: Vec<Encoded> = Vec::new();
+        for encoder in encoders(seed) {
+            let ctxs: Vec<WriteContext> = olds
+                .iter()
+                .map(|o| WriteContext::new(Block::from_u64(*o, 64), 0, encoder.aux_bits()))
+                .collect();
+            for cost in [&BitFlips as &dyn coset::CostFunction, &WriteEnergy::mlc()] {
+                encoder.encode_line(&line, &ctxs, cost, &mut scratch, &mut outs);
+                prop_assert_eq!(outs.len(), 8);
+                for (w, (data, ctx)) in line.iter().zip(ctxs.iter()).enumerate() {
+                    let legacy = encoder.encode(&Block::from_u64(*data, 64), ctx, cost);
+                    prop_assert_eq!(
+                        &outs[w], &legacy,
+                        "encode_line word {} diverged for {} under {}",
+                        w, encoder.name(), cost.name()
+                    );
+                }
+            }
+        }
     }
 
     /// Cost functions are non-negative and additive over disjoint regions.

@@ -2,11 +2,11 @@
 //! the technique roster, and trace replay through the encrypted PCM write
 //! path.
 
+use controller::WritePipeline;
 use coset::cost::CostFunction;
 use coset::{Encoder, Flipcy, Fnw, Rcc, Unencoded, Vcc};
 use hwmodel::EncoderHwConfig;
-use memcrypt::{simulation_encryption, SimulationEncryption};
-use pcm::{FaultMap, LineWriteOutcome, PcmConfig, PcmMemory};
+use pcm::{FaultMap, PcmConfig};
 use protect::{CorrectionScheme, EcpScheme, NoCorrection, SecdedScheme};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -204,6 +204,31 @@ impl Technique {
         }
     }
 
+    /// Assembles the full [`WritePipeline`] for this technique: its encoder
+    /// (seeded for reproducible kernels/cosets), its paired correction
+    /// scheme, the candidate-selection objective, and a fresh memory with an
+    /// optional fault map.
+    ///
+    /// Every figure driver and bench replays traces through pipelines built
+    /// here, so the encrypted write path is defined in exactly one place.
+    pub fn pipeline(
+        &self,
+        config: PcmConfig,
+        fault_map: Option<FaultMap>,
+        encoder_seed: u64,
+        crypt_seed: u64,
+        cost: Box<dyn CostFunction>,
+    ) -> WritePipeline {
+        let mut p = WritePipeline::new(config, self.encoder(encoder_seed))
+            .with_correction(self.correction())
+            .with_cost(cost)
+            .with_crypt_seed(crypt_seed);
+        if let Some(map) = fault_map {
+            p = p.with_fault_map(map);
+        }
+        p
+    }
+
     /// Encoding latency in nanoseconds added to every write (from the
     /// hardware model; Figure 6(c)).
     pub fn encode_delay_ns(&self) -> f64 {
@@ -232,57 +257,24 @@ pub fn trace_for(profile: &BenchmarkProfile, scale: Scale, seed: u64) -> Trace {
     )
 }
 
-/// Replays a trace through the encrypted write path of a PCM memory with a
-/// given encoder and cost function. Returns the per-line outcomes.
-pub struct TraceReplayer {
-    memory: PcmMemory,
-    encryption: SimulationEncryption,
-}
-
-impl TraceReplayer {
-    /// Builds a replayer over a fresh memory.
-    pub fn new(config: PcmConfig, fault_map: Option<FaultMap>, crypt_seed: u64) -> Self {
-        let memory = match fault_map {
-            Some(map) => PcmMemory::new(config).with_fault_map(map),
-            None => PcmMemory::new(config),
-        };
-        TraceReplayer {
-            memory,
-            encryption: simulation_encryption(crypt_seed),
-        }
+/// Builds a [`WritePipeline`] for an ad-hoc encoder (techniques not in the
+/// [`Technique`] roster, e.g. the RCC sweep of Figure 2). The pipeline owns
+/// the memory, the optional fault map, and the encryption keyed by
+/// `crypt_seed`; corrections default to none.
+pub fn pipeline_for(
+    config: PcmConfig,
+    fault_map: Option<FaultMap>,
+    crypt_seed: u64,
+    encoder: Box<dyn Encoder>,
+    cost: Box<dyn CostFunction>,
+) -> WritePipeline {
+    let mut p = WritePipeline::new(config, encoder)
+        .with_cost(cost)
+        .with_crypt_seed(crypt_seed);
+    if let Some(map) = fault_map {
+        p = p.with_fault_map(map);
     }
-
-    /// The underlying memory (for stats inspection).
-    pub fn memory(&self) -> &PcmMemory {
-        &self.memory
-    }
-
-    /// Encrypts and writes one write-back; returns the line outcome and the
-    /// row address used.
-    pub fn write(
-        &mut self,
-        wb: &workload::WriteBack,
-        encoder: &dyn Encoder,
-        cost: &dyn CostFunction,
-    ) -> (u64, LineWriteOutcome) {
-        let (ciphertext, _ctr) = self.encryption.encrypt_writeback(wb.line_addr, &wb.data);
-        let row_addr = self.memory.config().row_of_byte_addr(wb.line_addr);
-        let outcome = self.memory.write_line(row_addr, &ciphertext, encoder, cost);
-        (row_addr, outcome)
-    }
-
-    /// Replays a whole trace once, returning the memory stats afterwards.
-    pub fn replay(
-        &mut self,
-        trace: &Trace,
-        encoder: &dyn Encoder,
-        cost: &dyn CostFunction,
-    ) -> pcm::MemoryStats {
-        for wb in trace {
-            self.write(wb, encoder, cost);
-        }
-        *self.memory.stats()
-    }
+    p
 }
 
 /// Formats a floating-point quantity in engineering notation (e.g.
@@ -308,7 +300,9 @@ mod tests {
         assert_eq!(Scale::Paper.benchmarks().len(), 14);
         assert_eq!(Scale::Small.rows_to_failure(), 4);
         assert_eq!(Scale::Tiny.rows_to_failure(), 2);
-        assert!(Scale::Tiny.pcm_config(1).endurance_mean < Scale::Paper.pcm_config(1).endurance_mean);
+        assert!(
+            Scale::Tiny.pcm_config(1).endurance_mean < Scale::Paper.pcm_config(1).endurance_mean
+        );
     }
 
     #[test]
@@ -353,18 +347,26 @@ mod tests {
         let profile = &Scale::Tiny.benchmarks()[0];
         let trace = trace_for(profile, Scale::Tiny, 3);
         assert!(!trace.is_empty());
-        let mut replayer = TraceReplayer::new(Scale::Tiny.pcm_config(3), None, 99);
-        let enc = Technique::Unencoded.encoder(1);
-        let stats = replayer.replay(&trace, enc.as_ref(), &WriteEnergy::mlc());
+        let mut pipeline = Technique::Unencoded.pipeline(
+            Scale::Tiny.pcm_config(3),
+            None,
+            1,
+            99,
+            Box::new(WriteEnergy::mlc()),
+        );
+        let stats = pipeline.replay_trace(&trace);
         assert_eq!(stats.row_writes, trace.len() as u64);
         assert!(stats.energy_pj > 0.0);
-        assert!(replayer.memory().rows_touched() > 0);
+        assert!(pipeline.memory().rows_touched() > 0);
+        assert_eq!(pipeline.stats().lines_written, trace.len() as u64);
     }
 
     #[test]
     fn eng_notation() {
         assert_eq!(eng(0.0), "0.0E+00");
-        assert_eq!(eng(4.3e9), "4.30E9".replace("E9", "E9")); // format sanity
-        assert!(eng(4.3e9).contains("E9") || eng(4.3e9).contains("E+9") || eng(4.3e9).contains("E+09"));
+        assert_eq!(eng(4.3e9), "4.30E9"); // format sanity
+        assert!(
+            eng(4.3e9).contains("E9") || eng(4.3e9).contains("E+9") || eng(4.3e9).contains("E+09")
+        );
     }
 }

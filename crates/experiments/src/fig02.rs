@@ -12,7 +12,7 @@ use pcm::FaultMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::common::{trace_for, Scale, Technique, TraceReplayer};
+use crate::common::{pipeline_for, trace_for, Scale, Technique};
 
 /// One point of the Figure 2 sweep.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -39,7 +39,6 @@ pub const FIG2_COSET_COUNTS: [usize; 6] = [2, 4, 8, 32, 64, 128];
 
 /// Runs the Figure 2 experiment at a scale.
 pub fn run(scale: Scale, seed: u64) -> Fig2Result {
-    let cost = opt_saw_then_energy();
     let benchmarks = scale.benchmarks();
     let rate = 1e-2;
 
@@ -49,8 +48,6 @@ pub fn run(scale: Scale, seed: u64) -> Fig2Result {
         for (b_idx, profile) in benchmarks.iter().enumerate() {
             let trace = trace_for(profile, scale, seed + b_idx as u64);
             let map = FaultMap::paper_snapshot(seed ^ 0xFA17 ^ b_idx as u64);
-            let mut replayer =
-                TraceReplayer::new(scale.pcm_config(seed), Some(map), seed + 17 + b_idx as u64);
             let encoder = match cosets {
                 None => Technique::Unencoded.encoder(seed),
                 Some(n) => {
@@ -58,7 +55,14 @@ pub fn run(scale: Scale, seed: u64) -> Fig2Result {
                     Box::new(coset::Rcc::random(64, n, &mut rng))
                 }
             };
-            let stats = replayer.replay(&trace, encoder.as_ref(), &cost);
+            let mut pipeline = pipeline_for(
+                scale.pcm_config(seed),
+                Some(map),
+                seed + 17 + b_idx as u64,
+                encoder,
+                Box::new(opt_saw_then_energy()),
+            );
+            let stats = pipeline.replay_trace(&trace);
             total_saw += stats.saw_cells;
             // Each MLC SAW cell corrupts up to 2 bits; rate is per data bit
             // written.

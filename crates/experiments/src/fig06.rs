@@ -47,12 +47,18 @@ impl Fig6Result {
 
 impl fmt::Display for Fig6Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 6 — coset encoder hardware (45 nm analytical model)")?;
+        writeln!(
+            f,
+            "Figure 6 — coset encoder hardware (45 nm analytical model)"
+        )?;
         writeln!(
             f,
             "| design | cosets | area (µm²) | energy (pJ) | delay (ps) |"
         )?;
-        writeln!(f, "|--------|-------:|-----------:|------------:|-----------:|")?;
+        writeln!(
+            f,
+            "|--------|-------:|-----------:|------------:|-----------:|"
+        )?;
         for p in &self.points {
             writeln!(
                 f,

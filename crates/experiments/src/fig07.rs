@@ -8,13 +8,14 @@
 
 use std::fmt;
 
+use controller::WritePipeline;
 use coset::cost::WriteEnergy;
 use coset::{Encoder, Rcc, Unencoded, Vcc};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::common::{eng, Scale};
-use pcm::{PcmConfig, PcmMemory};
+use pcm::PcmConfig;
 
 /// Energy of one design at one coset count.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -41,14 +42,16 @@ pub struct Fig7Result {
 /// The coset counts swept in Figure 7.
 pub const FIG7_COSET_COUNTS: [usize; 4] = [32, 64, 128, 256];
 
-fn small_memory(scale: Scale, seed: u64) -> PcmMemory {
+fn small_config(scale: Scale, seed: u64) -> PcmConfig {
     // A deliberately small memory so words are frequently overwritten, as in
     // the paper's "small memory written 100,000 times".
     let mut cfg = PcmConfig::scaled(64 * 1024, 1e12);
     cfg.seed = seed;
     let _ = scale;
-    PcmMemory::new(cfg)
+    cfg
 }
+
+type EncoderFactory<'a> = Box<dyn Fn(&mut StdRng, usize) -> Box<dyn Encoder> + 'a>;
 
 fn total_energy(
     scale: Scale,
@@ -59,33 +62,29 @@ fn total_energy(
 ) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let encoder = make_encoder(&mut rng, cosets);
-    let mut mem = small_memory(scale, seed);
-    let cost = WriteEnergy::mlc();
-    let rows = mem.config().num_rows();
-    let words_per_row = mem.config().words_per_row();
+    // The raw-word pipeline path: the random data already models
+    // counter-mode ciphertext, so the encryption stage is bypassed.
+    let mut pipeline = WritePipeline::new(small_config(scale, seed), encoder)
+        .with_cost(Box::new(WriteEnergy::mlc()));
+    let rows = pipeline.memory().config().num_rows();
+    let words_per_row = pipeline.memory().config().words_per_row();
     let mut data_rng = StdRng::seed_from_u64(seed ^ 0xDA7A);
     for i in 0..writes {
         let row = (data_rng.gen::<u64>()) % rows;
         let w = i % words_per_row;
         let data: u64 = data_rng.gen();
-        mem.write_word(row, w, data, encoder.as_ref(), &cost);
+        pipeline.write_raw_word(row, w, data);
     }
-    mem.stats().energy_pj
+    pipeline.memory_stats().energy_pj
 }
 
 /// Runs the Figure 7 experiment.
 pub fn run(scale: Scale, seed: u64) -> Fig7Result {
     let writes = scale.random_writes();
-    let unencoded = total_energy(
-        scale,
-        seed,
-        writes,
-        |_, _| Box::new(Unencoded::new(64)),
-        0,
-    );
+    let unencoded = total_energy(scale, seed, writes, |_, _| Box::new(Unencoded::new(64)), 0);
     let mut points = Vec::new();
     for &n in &FIG7_COSET_COUNTS {
-        let configs: [(&str, Box<dyn Fn(&mut StdRng, usize) -> Box<dyn Encoder>>); 3] = [
+        let configs: [(&str, EncoderFactory<'_>); 3] = [
             (
                 "RCC",
                 Box::new(|rng: &mut StdRng, n: usize| {
@@ -140,8 +139,14 @@ impl fmt::Display for Fig7Result {
             "Figure 7 — write energy on random data ({} writes per design)",
             self.writes
         )?;
-        writeln!(f, "| design | cosets | energy (pJ) | savings vs unencoded |")?;
-        writeln!(f, "|--------|-------:|------------:|---------------------:|")?;
+        writeln!(
+            f,
+            "| design | cosets | energy (pJ) | savings vs unencoded |"
+        )?;
+        writeln!(
+            f,
+            "|--------|-------:|------------:|---------------------:|"
+        )?;
         for p in &self.points {
             writeln!(
                 f,
@@ -168,8 +173,16 @@ mod tests {
             let vgen = r.point("VCC-Generated", n).unwrap();
             let vsto = r.point("VCC-Stored", n).unwrap();
             assert!(rcc.savings_pct > 20.0, "RCC-{n}: {:.1}%", rcc.savings_pct);
-            assert!(vgen.savings_pct > 18.0, "VCC-gen-{n}: {:.1}%", vgen.savings_pct);
-            assert!(vsto.savings_pct > 18.0, "VCC-sto-{n}: {:.1}%", vsto.savings_pct);
+            assert!(
+                vgen.savings_pct > 18.0,
+                "VCC-gen-{n}: {:.1}%",
+                vgen.savings_pct
+            );
+            assert!(
+                vsto.savings_pct > 18.0,
+                "VCC-sto-{n}: {:.1}%",
+                vsto.savings_pct
+            );
             // RCC and the VCC variants land in the same savings band.
             assert!((rcc.savings_pct - vgen.savings_pct).abs() < 15.0);
             assert!((rcc.savings_pct - vsto.savings_pct).abs() < 10.0);
@@ -177,8 +190,16 @@ mod tests {
                 // At the headline configuration all three designs are deep in
                 // the ~40-47% band the paper reports.
                 assert!(rcc.savings_pct > 35.0, "RCC-256: {:.1}%", rcc.savings_pct);
-                assert!(vsto.savings_pct > 35.0, "VCC-sto-256: {:.1}%", vsto.savings_pct);
-                assert!(vgen.savings_pct > 30.0, "VCC-gen-256: {:.1}%", vgen.savings_pct);
+                assert!(
+                    vsto.savings_pct > 35.0,
+                    "VCC-sto-256: {:.1}%",
+                    vsto.savings_pct
+                );
+                assert!(
+                    vgen.savings_pct > 30.0,
+                    "VCC-gen-256: {:.1}%",
+                    vgen.savings_pct
+                );
             }
         }
     }

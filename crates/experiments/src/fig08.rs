@@ -10,7 +10,7 @@ use std::fmt;
 use coset::cost::opt_saw_then_energy;
 use pcm::FaultMap;
 
-use crate::common::{trace_for, Scale, Technique, TraceReplayer};
+use crate::common::{trace_for, Scale, Technique};
 
 /// One coset-count point of Figure 8.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -38,20 +38,20 @@ pub struct Fig8Result {
 pub const FIG8_COSET_COUNTS: [usize; 4] = [32, 64, 128, 256];
 
 fn saw_cells_for(technique: Technique, scale: Scale, seed: u64, permutations: usize) -> u64 {
-    let cost = opt_saw_then_energy();
     let benchmarks = scale.benchmarks();
     let mut total = 0u64;
     for perm in 0..permutations {
         for (b_idx, profile) in benchmarks.iter().enumerate() {
             let trace = trace_for(profile, scale, seed + b_idx as u64);
             let map = FaultMap::paper_snapshot(seed ^ (perm as u64) << 32 ^ b_idx as u64);
-            let mut replayer = TraceReplayer::new(
+            let mut pipeline = technique.pipeline(
                 scale.pcm_config(seed),
                 Some(map),
+                seed + perm as u64,
                 seed + 31 + b_idx as u64,
+                Box::new(opt_saw_then_energy()),
             );
-            let encoder = technique.encoder(seed + perm as u64);
-            let stats = replayer.replay(&trace, encoder.as_ref(), &cost);
+            let stats = pipeline.replay_trace(&trace);
             total += stats.saw_cells;
         }
     }
@@ -67,7 +67,12 @@ pub fn run(scale: Scale, seed: u64) -> Fig8Result {
     let points = FIG8_COSET_COUNTS
         .iter()
         .map(|&n| {
-            let vcc = saw_cells_for(Technique::VccStored { cosets: n }, scale, seed, permutations);
+            let vcc = saw_cells_for(
+                Technique::VccStored { cosets: n },
+                scale,
+                seed,
+                permutations,
+            );
             Fig8Point {
                 cosets: n,
                 vcc_saw_cells: vcc,

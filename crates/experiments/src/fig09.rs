@@ -12,7 +12,7 @@ use std::fmt;
 use coset::cost::{opt_energy_then_saw, opt_saw_then_energy, CostFunction};
 use pcm::FaultMap;
 
-use crate::common::{eng, trace_for, Scale, Technique, TraceReplayer};
+use crate::common::{eng, trace_for, Scale, Technique};
 
 /// The five series plotted per benchmark in Figure 9.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -129,14 +129,14 @@ pub fn run(scale: Scale, seed: u64) -> Fig9Result {
         let trace = trace_for(profile, scale, seed + b_idx as u64);
         for series in Fig9Series::all() {
             let map = FaultMap::paper_snapshot(seed ^ 0x919 ^ b_idx as u64);
-            let mut replayer = TraceReplayer::new(
+            let mut pipeline = series.technique().pipeline(
                 scale.pcm_config(seed),
                 Some(map),
+                seed,
                 seed + 47 + b_idx as u64,
+                series.cost(),
             );
-            let encoder = series.technique().encoder(seed);
-            let cost = series.cost();
-            let stats = replayer.replay(&trace, encoder.as_ref(), cost.as_ref());
+            let stats = pipeline.replay_trace(&trace);
             cells.push(Fig9Cell {
                 benchmark: profile.name.clone(),
                 series: series.label().to_string(),
@@ -149,7 +149,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig9Result {
 
 impl fmt::Display for Fig9Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 9 — per-benchmark write energy (pJ), 256 cosets, fault incidence 1e-2")?;
+        writeln!(
+            f,
+            "Figure 9 — per-benchmark write energy (pJ), 256 cosets, fault incidence 1e-2"
+        )?;
         writeln!(
             f,
             "| benchmark | Unencoded | VCC Opt. Energy | VCC Opt. SAW | RCC Opt. SAW | RCC Opt. Energy |"

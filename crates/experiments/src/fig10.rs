@@ -9,7 +9,7 @@ use std::fmt;
 use coset::cost::opt_saw_then_energy;
 use pcm::FaultMap;
 
-use crate::common::{trace_for, Scale, Technique, TraceReplayer};
+use crate::common::{trace_for, Scale, Technique};
 
 /// One benchmark's Figure 10 bar pair.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -44,19 +44,19 @@ impl Fig10Result {
 
 /// Runs the Figure 10 experiment with 256 virtual cosets.
 pub fn run(scale: Scale, seed: u64) -> Fig10Result {
-    let cost = opt_saw_then_energy();
     let mut rows = Vec::new();
     for (b_idx, profile) in scale.benchmarks().iter().enumerate() {
         let trace = trace_for(profile, scale, seed + b_idx as u64);
         let run_one = |technique: Technique| -> u64 {
             let map = FaultMap::paper_snapshot(seed ^ 0x1010 ^ b_idx as u64);
-            let mut replayer = TraceReplayer::new(
+            let mut pipeline = technique.pipeline(
                 scale.pcm_config(seed),
                 Some(map),
+                seed,
                 seed + 53 + b_idx as u64,
+                Box::new(opt_saw_then_energy()),
             );
-            let encoder = technique.encoder(seed);
-            replayer.replay(&trace, encoder.as_ref(), &cost).saw_cells
+            pipeline.replay_trace(&trace).saw_cells
         };
         let unencoded = run_one(Technique::Unencoded);
         let vcc = run_one(Technique::VccStored { cosets: 256 });
@@ -98,7 +98,11 @@ mod tests {
         let r = run(Scale::Tiny, 17);
         assert!(!r.rows.is_empty());
         for row in &r.rows {
-            assert!(row.unencoded_saw > 0, "{} has no faults at all", row.benchmark);
+            assert!(
+                row.unencoded_saw > 0,
+                "{} has no faults at all",
+                row.benchmark
+            );
             assert!(
                 row.reduction_pct > 70.0,
                 "{}: only {:.1}% reduction",

@@ -83,7 +83,10 @@ pub fn run(scale: Scale, _seed: u64) -> Fig13Result {
 
 impl fmt::Display for Fig13Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 13 — IPC normalized to unencoded writeback (256 cosets)")?;
+        writeln!(
+            f,
+            "Figure 13 — IPC normalized to unencoded writeback (256 cosets)"
+        )?;
         let techniques: Vec<String> = {
             let mut seen = std::collections::BTreeSet::new();
             self.cells

@@ -42,5 +42,6 @@ pub mod fig13;
 pub mod lifetime;
 pub mod runner;
 
-pub use common::{Scale, Technique, TraceReplayer};
+pub use common::{pipeline_for, Scale, Technique};
+pub use controller::{LineReport, PipelineStats, WritePipeline};
 pub use runner::{reproduce, reproduce_all, Report, Selection};

@@ -12,11 +12,9 @@
 //! scaled-down runs preserve the relative ordering between techniques that
 //! Figures 11 and 12 compare.
 
-use std::collections::HashSet;
-
 use coset::cost::opt_saw_then_energy;
 
-use crate::common::{trace_for, Scale, Technique, TraceReplayer};
+use crate::common::{trace_for, Scale, Technique};
 use workload::BenchmarkProfile;
 
 /// Outcome of one lifetime run.
@@ -39,15 +37,16 @@ pub fn lifetime_run(
     seed: u64,
 ) -> LifetimeOutcome {
     let trace = trace_for(profile, scale, seed);
-    let encoder = technique.encoder(seed ^ 0x11FE);
-    let correction = technique.correction();
-    let cost = opt_saw_then_energy();
-    let mut replayer = TraceReplayer::new(scale.pcm_config(seed), None, seed ^ 0xC0DE);
+    let mut pipeline = technique.pipeline(
+        scale.pcm_config(seed),
+        None,
+        seed ^ 0x11FE,
+        seed ^ 0xC0DE,
+        Box::new(opt_saw_then_energy()),
+    );
 
     let target_failures = scale.rows_to_failure();
     let cap = scale.lifetime_write_cap();
-    let mut failed_rows: HashSet<u64> = HashSet::new();
-    let mut row_writes = 0u64;
 
     if trace.is_empty() {
         return LifetimeOutcome {
@@ -59,23 +58,19 @@ pub fn lifetime_run(
 
     loop {
         for wb in &trace {
-            let (row, outcome) = replayer.write(wb, encoder.as_ref(), &cost);
-            row_writes += 1;
-            if !failed_rows.contains(&row) && !correction.can_correct(&outcome.saw_per_word()) {
-                failed_rows.insert(row);
-                if failed_rows.len() >= target_failures {
-                    return LifetimeOutcome {
-                        writes_to_failure: row_writes,
-                        reached_failure: true,
-                        failed_rows: failed_rows.len(),
-                    };
-                }
-            }
-            if row_writes >= cap {
+            let report = pipeline.write_back(wb);
+            if report.newly_failed_row && pipeline.failed_row_count() >= target_failures {
                 return LifetimeOutcome {
-                    writes_to_failure: row_writes,
+                    writes_to_failure: pipeline.stats().lines_written,
+                    reached_failure: true,
+                    failed_rows: pipeline.failed_row_count(),
+                };
+            }
+            if pipeline.stats().lines_written >= cap {
+                return LifetimeOutcome {
+                    writes_to_failure: pipeline.stats().lines_written,
                     reached_failure: false,
-                    failed_rows: failed_rows.len(),
+                    failed_rows: pipeline.failed_row_count(),
                 };
             }
         }
@@ -108,12 +103,7 @@ mod tests {
     fn coset_coding_extends_lifetime_over_unencoded() {
         let profile = &Scale::Tiny.benchmarks()[0];
         let unencoded = lifetime_run(profile, Technique::Unencoded, Scale::Tiny, 3);
-        let vcc = lifetime_run(
-            profile,
-            Technique::VccStored { cosets: 32 },
-            Scale::Tiny,
-            3,
-        );
+        let vcc = lifetime_run(profile, Technique::VccStored { cosets: 32 }, Scale::Tiny, 3);
         assert!(unencoded.writes_to_failure > 0);
         assert!(
             vcc.writes_to_failure > unencoded.writes_to_failure,
@@ -142,6 +132,9 @@ mod tests {
         let m = mean_lifetime(&profiles[..1], Technique::Unencoded, Scale::Tiny, 7);
         let single = lifetime_run(&profiles[0], Technique::Unencoded, Scale::Tiny, 7);
         assert_eq!(m, single.writes_to_failure as f64);
-        assert_eq!(mean_lifetime(&[], Technique::Unencoded, Scale::Tiny, 7), 0.0);
+        assert_eq!(
+            mean_lifetime(&[], Technique::Unencoded, Scale::Tiny, 7),
+            0.0
+        );
     }
 }

@@ -83,18 +83,42 @@ pub fn reproduce(scale: Scale, seed: u64, selection: Selection) -> Report {
         sections.push(("Figure 6 (hardware model)".into(), fig06::run().to_string()));
     }
     if selection.energy_and_reliability {
-        sections.push(("Figure 2 (fault masking)".into(), fig02::run(scale, seed).to_string()));
-        sections.push(("Figure 7 (random-data energy)".into(), fig07::run(scale, seed).to_string()));
-        sections.push(("Figure 8 (SAW vs coset count)".into(), fig08::run(scale, seed).to_string()));
-        sections.push(("Figure 9 (per-benchmark energy)".into(), fig09::run(scale, seed).to_string()));
-        sections.push(("Figure 10 (per-benchmark SAW)".into(), fig10::run(scale, seed).to_string()));
+        sections.push((
+            "Figure 2 (fault masking)".into(),
+            fig02::run(scale, seed).to_string(),
+        ));
+        sections.push((
+            "Figure 7 (random-data energy)".into(),
+            fig07::run(scale, seed).to_string(),
+        ));
+        sections.push((
+            "Figure 8 (SAW vs coset count)".into(),
+            fig08::run(scale, seed).to_string(),
+        ));
+        sections.push((
+            "Figure 9 (per-benchmark energy)".into(),
+            fig09::run(scale, seed).to_string(),
+        ));
+        sections.push((
+            "Figure 10 (per-benchmark SAW)".into(),
+            fig10::run(scale, seed).to_string(),
+        ));
     }
     if selection.lifetime {
-        sections.push(("Figure 11 (per-benchmark lifetime)".into(), fig11::run(scale, seed).to_string()));
-        sections.push(("Figure 12 (lifetime vs coset count)".into(), fig12::run(scale, seed).to_string()));
+        sections.push((
+            "Figure 11 (per-benchmark lifetime)".into(),
+            fig11::run(scale, seed).to_string(),
+        ));
+        sections.push((
+            "Figure 12 (lifetime vs coset count)".into(),
+            fig12::run(scale, seed).to_string(),
+        ));
     }
     if selection.performance {
-        sections.push(("Figure 13 (normalized IPC)".into(), fig13::run(scale, seed).to_string()));
+        sections.push((
+            "Figure 13 (normalized IPC)".into(),
+            fig13::run(scale, seed).to_string(),
+        ));
     }
     Report { scale, sections }
 }

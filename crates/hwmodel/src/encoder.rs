@@ -117,7 +117,7 @@ impl EncoderHwConfig {
     pub fn iterations(&self) -> u64 {
         match self.style {
             EncoderStyle::Rcc => 1,
-            _ => (self.kernels() + self.lanes() - 1) / self.lanes(),
+            _ => self.kernels().div_ceil(self.lanes()),
         }
     }
 
@@ -150,9 +150,8 @@ impl EncoderHwConfig {
 
         let xor2 = 2 * replicas * p * m + if generated { replicas * m } else { 0 };
         let full_adders = 2 * replicas * p * popcount_adders(m) + replicas * p * part_cost_bits;
-        let mux_bits = replicas * p * m
-            + n * (r - 1).max(1)
-            + if generated { replicas * m } else { 0 };
+        let mux_bits =
+            replicas * p * m + n * (r - 1).max(1) + if generated { replicas * m } else { 0 };
         let comparator_bits =
             replicas * p * part_cost_bits + min_tree_comparator_bits(r, cost_bits);
         // Per-kernel best-candidate bookkeeping (cost + index + flags) is
@@ -304,8 +303,8 @@ mod tests {
 
     #[test]
     fn rcc_area_grows_much_faster_than_vcc_with_coset_count() {
-        let rcc_growth = EncoderHwConfig::rcc(64, 256).area_um2()
-            / EncoderHwConfig::rcc(64, 32).area_um2();
+        let rcc_growth =
+            EncoderHwConfig::rcc(64, 256).area_um2() / EncoderHwConfig::rcc(64, 32).area_um2();
         let vcc_growth = EncoderHwConfig::vcc_generated(64, 256).area_um2()
             / EncoderHwConfig::vcc_generated(64, 32).area_um2();
         assert!(rcc_growth > 4.0, "RCC growth {rcc_growth:.1}");

@@ -64,7 +64,10 @@ impl GateBill {
     /// Energy per encode operation in pJ, assuming every counted gate
     /// switches once per operation on average.
     pub fn energy_pj(&self) -> f64 {
-        let logic = self.xor2 + self.full_adders * 2 + self.mux_bits + self.comparator_bits
+        let logic = self.xor2
+            + self.full_adders * 2
+            + self.mux_bits
+            + self.comparator_bits
             + self.flip_flops;
         logic as f64 * GATE_ENERGY_PJ + self.rom_bits as f64 * ROM_BIT_ENERGY_PJ
     }

@@ -70,7 +70,7 @@ impl PcmConfig {
     /// cells).
     pub fn aux_cells_per_word(&self) -> usize {
         let b = self.cell_kind.bits_per_cell() as u32;
-        ((self.aux_bits_per_word + b - 1) / b) as usize
+        self.aux_bits_per_word.div_ceil(b) as usize
     }
 
     /// Number of data + auxiliary cells per row.
@@ -98,11 +98,12 @@ impl PcmConfig {
         assert!(self.capacity_bytes > 0, "capacity must be non-zero");
         assert!(self.row_bits > 0 && self.word_bits > 0);
         assert!(
-            self.row_bits % self.word_bits == 0,
+            self.row_bits.is_multiple_of(self.word_bits),
             "word width must divide row width"
         );
         assert!(
-            self.word_bits % self.cell_kind.bits_per_cell() == 0,
+            self.word_bits
+                .is_multiple_of(self.cell_kind.bits_per_cell()),
             "cell width must divide word width"
         );
         assert!(self.endurance_mean > 0.0, "endurance must be positive");

@@ -102,7 +102,9 @@ mod tests {
     fn distribution_statistics() {
         let m = EnduranceModel::new(1e6, 0.2, 0.0, 99);
         let n = 20_000usize;
-        let samples: Vec<f64> = (0..n).map(|i| m.cell_limit(i as u64 / 256, i % 256) as f64).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| m.cell_limit(i as u64 / 256, i % 256) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let std = var.sqrt();
@@ -129,9 +131,7 @@ mod tests {
             let rows = 200u64;
             let cells = 64usize;
             let means: Vec<f64> = (0..rows)
-                .map(|r| {
-                    (0..cells).map(|c| m.cell_limit(r, c) as f64).sum::<f64>() / cells as f64
-                })
+                .map(|r| (0..cells).map(|c| m.cell_limit(r, c) as f64).sum::<f64>() / cells as f64)
                 .collect();
             let grand = means.iter().sum::<f64>() / rows as f64;
             means.iter().map(|x| (x - grand).powi(2)).sum::<f64>() / rows as f64
@@ -145,7 +145,9 @@ mod tests {
     #[test]
     fn standard_normal_is_roughly_standard() {
         let n = 50_000;
-        let samples: Vec<f64> = (0..n).map(|i| standard_normal(SplitMix64::mix(i))).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|i| standard_normal(SplitMix64::mix(i)))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");

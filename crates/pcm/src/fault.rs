@@ -200,7 +200,11 @@ mod tests {
         let cells = 288usize;
         let mut per_row: Vec<u64> = Vec::new();
         for r in 0..2000u64 {
-            per_row.push((0..cells).filter(|c| map.stuck_symbol(r, *c).is_some()).count() as u64);
+            per_row.push(
+                (0..cells)
+                    .filter(|c| map.stuck_symbol(r, *c).is_some())
+                    .count() as u64,
+            );
         }
         // Weak rows (top decile) should hold noticeably more than 10% of the
         // faults.

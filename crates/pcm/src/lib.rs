@@ -35,7 +35,7 @@ pub mod wearlevel;
 pub use config::PcmConfig;
 pub use endurance::EnduranceModel;
 pub use fault::FaultMap;
-pub use memory::PcmMemory;
+pub use memory::{LineWriteScratch, PcmMemory};
 pub use row::Row;
 pub use stats::{LineWriteOutcome, MemoryStats, WordWriteOutcome};
 pub use wearlevel::StartGap;

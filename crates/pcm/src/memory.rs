@@ -15,10 +15,9 @@
 
 use std::collections::HashMap;
 
-use coset::block::Block;
 use coset::cost::{CostFunction, TransitionEnergy};
 use coset::symbol::CellKind;
-use coset::{Encoder, WriteContext};
+use coset::{EncodeScratch, Encoded, Encoder, WriteContext};
 use memcrypt::initial_row_contents;
 
 use crate::config::PcmConfig;
@@ -26,6 +25,25 @@ use crate::endurance::EnduranceModel;
 use crate::fault::FaultMap;
 use crate::row::Row;
 use crate::stats::{LineWriteOutcome, MemoryStats, WordWriteOutcome};
+
+/// Reusable buffers for the encoded line/word write path.
+///
+/// Owns the encoder's [`EncodeScratch`] plus the per-line context and result
+/// vectors, so repeated [`PcmMemory::write_line_with`] calls reuse one set
+/// of allocations instead of re-allocating per candidate and per word.
+#[derive(Debug, Default)]
+pub struct LineWriteScratch {
+    encode: EncodeScratch,
+    ctxs: Vec<WriteContext>,
+    encoded: Vec<Encoded>,
+}
+
+impl LineWriteScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        LineWriteScratch::default()
+    }
+}
 
 /// A simulated PCM module.
 pub struct PcmMemory {
@@ -155,7 +173,8 @@ impl PcmMemory {
                         if row.is_stuck(aux_base + c) {
                             let shift = c * bpc;
                             let mask = ((1u64 << bpc) - 1) << shift;
-                            aux = (aux & !mask) | ((row.stuck_symbol(aux_base + c) as u64) << shift);
+                            aux =
+                                (aux & !mask) | ((row.stuck_symbol(aux_base + c) as u64) << shift);
                         }
                     }
                     row.store_word(w, data, aux);
@@ -194,6 +213,52 @@ impl PcmMemory {
         encoder: &dyn Encoder,
         cost: &dyn CostFunction,
     ) -> WordWriteOutcome {
+        self.write_word_with(
+            row_addr,
+            w,
+            data,
+            encoder,
+            cost,
+            &mut LineWriteScratch::new(),
+        )
+    }
+
+    /// Session variant of [`PcmMemory::write_word`]: reuses the scratch's
+    /// buffers so steady-state word writes stay off the allocator's hot
+    /// path.
+    pub fn write_word_with(
+        &mut self,
+        row_addr: u64,
+        w: usize,
+        data: u64,
+        encoder: &dyn Encoder,
+        cost: &dyn CostFunction,
+        scratch: &mut LineWriteScratch,
+    ) -> WordWriteOutcome {
+        self.check_encoder(encoder);
+        assert!(w < self.config.words_per_row(), "word index out of range");
+
+        let ctx = self.write_context(row_addr, w, encoder.aux_bits());
+        encoder.encode_line(
+            &[data],
+            std::slice::from_ref(&ctx),
+            cost,
+            &mut scratch.encode,
+            &mut scratch.encoded,
+        );
+        let encoded = &scratch.encoded[0];
+        let outcome = self.commit_word(
+            row_addr,
+            w,
+            encoded.codeword.as_u64(),
+            encoded.aux,
+            encoder.aux_bits(),
+        );
+        self.stats.absorb(&outcome);
+        outcome
+    }
+
+    fn check_encoder(&self, encoder: &dyn Encoder) {
         assert_eq!(
             encoder.block_bits(),
             self.config.word_bits,
@@ -205,15 +270,6 @@ impl PcmMemory {
             encoder.aux_bits(),
             self.config.aux_bits_per_word
         );
-        assert!(w < self.config.words_per_row(), "word index out of range");
-
-        let ctx = self.write_context(row_addr, w, encoder.aux_bits());
-        let block = Block::from_u64(data, self.config.word_bits);
-        let encoded = encoder.encode(&block, &ctx, cost);
-
-        let outcome = self.commit_word(row_addr, w, encoded.codeword.as_u64(), encoded.aux, encoder.aux_bits());
-        self.stats.absorb(&outcome);
-        outcome
     }
 
     /// Programs the chosen codeword into the array, applying stuck cells,
@@ -232,7 +288,7 @@ impl PcmMemory {
         let energy_weighted = self.config.energy_weighted_wear;
         let energies = self.energies.clone();
         let data_cells = self.config.cells_per_word();
-        let aux_cells_used = ((aux_bits as usize) + bpc - 1) / bpc;
+        let aux_cells_used = (aux_bits as usize).div_ceil(bpc);
 
         let row = self.materialize(row_addr);
         let mut outcome = WordWriteOutcome::default();
@@ -244,12 +300,12 @@ impl PcmMemory {
 
         // Program one region (data or aux) of the word.
         let program_region = |row: &mut Row,
-                                  base_cell: usize,
-                                  cells: usize,
-                                  old: u64,
-                                  desired: u64,
-                                  stored: &mut u64,
-                                  outcome: &mut WordWriteOutcome| {
+                              base_cell: usize,
+                              cells: usize,
+                              old: u64,
+                              desired: u64,
+                              stored: &mut u64,
+                              outcome: &mut WordWriteOutcome| {
             for c in 0..cells {
                 let shift = c * bpc;
                 let old_sym = ((old >> shift) & cell_mask) as u8;
@@ -321,22 +377,59 @@ impl PcmMemory {
         encoder: &dyn Encoder,
         cost: &dyn CostFunction,
     ) -> LineWriteOutcome {
+        self.write_line_with(row_addr, line, encoder, cost, &mut LineWriteScratch::new())
+    }
+
+    /// Session variant of [`PcmMemory::write_line`]: batches the whole line
+    /// through [`Encoder::encode_line`] with reusable scratch buffers, the
+    /// entry point the write pipeline drives.
+    ///
+    /// Word regions of a row are disjoint (data cells, auxiliary cells and
+    /// wear state never overlap between words), so building every word's
+    /// context up front and committing afterwards is exactly equivalent to
+    /// the word-by-word read-modify-write loop.
+    pub fn write_line_with(
+        &mut self,
+        row_addr: u64,
+        line: &[u64],
+        encoder: &dyn Encoder,
+        cost: &dyn CostFunction,
+        scratch: &mut LineWriteScratch,
+    ) -> LineWriteOutcome {
         assert_eq!(
             line.len(),
             self.config.words_per_row(),
             "line must contain exactly one row of words"
         );
+        self.check_encoder(encoder);
         self.stats.row_writes += 1;
-        let words = (0..line.len())
-            .map(|w| {
-                let ctx_outcome = {
-                    let ctx = self.write_context(row_addr, w, encoder.aux_bits());
-                    let block = Block::from_u64(line[w], self.config.word_bits);
-                    let encoded = encoder.encode(&block, &ctx, cost);
-                    self.commit_word(row_addr, w, encoded.codeword.as_u64(), encoded.aux, encoder.aux_bits())
-                };
-                self.stats.absorb(&ctx_outcome);
-                ctx_outcome
+
+        scratch.ctxs.clear();
+        for w in 0..line.len() {
+            let ctx = self.write_context(row_addr, w, encoder.aux_bits());
+            scratch.ctxs.push(ctx);
+        }
+        encoder.encode_line(
+            line,
+            &scratch.ctxs,
+            cost,
+            &mut scratch.encode,
+            &mut scratch.encoded,
+        );
+        let words = scratch
+            .encoded
+            .iter()
+            .enumerate()
+            .map(|(w, encoded)| {
+                let outcome = self.commit_word(
+                    row_addr,
+                    w,
+                    encoded.codeword.as_u64(),
+                    encoded.aux,
+                    encoder.aux_bits(),
+                );
+                self.stats.absorb(&outcome);
+                outcome
             })
             .collect();
         LineWriteOutcome { words }

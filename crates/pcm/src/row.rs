@@ -195,7 +195,9 @@ impl Row {
 pub fn word_symbols(word: u64, cells: usize, kind: CellKind) -> Vec<u8> {
     let bpc = kind.bits_per_cell();
     let mask = (1u64 << bpc) - 1;
-    (0..cells).map(|c| ((word >> (c * bpc)) & mask) as u8).collect()
+    (0..cells)
+        .map(|c| ((word >> (c * bpc)) & mask) as u8)
+        .collect()
 }
 
 #[cfg(test)]
@@ -229,7 +231,7 @@ mod tests {
     fn store_and_read_back() {
         let cfg = small_config();
         let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
-        let mut row = Row::new(&cfg, &end, 1, &vec![0u64; 8]);
+        let mut row = Row::new(&cfg, &end, 1, &[0u64; 8]);
         row.store_word(2, 0xDEADBEEF, 0x3F);
         assert_eq!(row.data_word(2), 0xDEADBEEF);
         assert_eq!(row.aux_word(2), 0x3F);
@@ -240,7 +242,7 @@ mod tests {
     fn wear_accumulates_and_triggers_failure() {
         let cfg = small_config();
         let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
-        let mut row = Row::new(&cfg, &end, 2, &vec![0u64; 8]);
+        let mut row = Row::new(&cfg, &end, 2, &[0u64; 8]);
         let limit = row.limit(5);
         let mut failed = false;
         for _ in 0..limit {
@@ -262,7 +264,7 @@ mod tests {
     fn stuck_bits_views() {
         let cfg = small_config();
         let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
-        let mut row = Row::new(&cfg, &end, 3, &vec![0u64; 8]);
+        let mut row = Row::new(&cfg, &end, 3, &[0u64; 8]);
         // Stick data cell 4 of word 1 and aux cell 0 of word 1.
         let data_cell = row.first_cell_of_word(1) + 4;
         let aux_cell = row.first_aux_cell_of_word(1);

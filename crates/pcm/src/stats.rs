@@ -50,7 +50,16 @@ impl LineWriteOutcome {
     /// Per-word stuck-at-wrong counts (used by correction schemes to decide
     /// whether the row write is correctable).
     pub fn saw_per_word(&self) -> Vec<u32> {
-        self.words.iter().map(|w| w.saw_cells).collect()
+        let mut out = Vec::with_capacity(self.words.len());
+        self.saw_per_word_into(&mut out);
+        out
+    }
+
+    /// In-place variant of [`LineWriteOutcome::saw_per_word`], reusing the
+    /// caller's buffer (the write pipeline checks correctability per line).
+    pub fn saw_per_word_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.words.iter().map(|w| w.saw_cells));
     }
 
     /// Total stuck-at-wrong cells in the row write.
@@ -169,8 +178,10 @@ mod tests {
 
     #[test]
     fn memory_stats_absorb_and_rates() {
-        let mut s = MemoryStats::default();
-        s.row_writes = 2;
+        let mut s = MemoryStats {
+            row_writes: 2,
+            ..Default::default()
+        };
         s.absorb(&WordWriteOutcome {
             energy_pj: 100.0,
             saw_cells: 2,

@@ -121,7 +121,8 @@ impl StartGap {
         }
         self.writes_since_move = 0;
         self.gap_moves += 1;
-        let migration = if self.gap == 0 {
+
+        if self.gap == 0 {
             // Wrap: the gap returns to the top and the mapping rotates.
             self.gap = self.logical_rows;
             self.start = (self.start + 1) % self.logical_rows;
@@ -132,8 +133,7 @@ impl StartGap {
             let to = self.gap;
             self.gap -= 1;
             Some((from, to))
-        };
-        migration
+        }
     }
 }
 

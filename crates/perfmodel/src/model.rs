@@ -53,9 +53,7 @@ impl PerfModel {
     /// Core-side IPC ceiling (independent of the encoder).
     pub fn core_ipc(&self, profile: &BenchmarkProfile) -> f64 {
         let cfg = &self.config;
-        let read_stall_cpi = profile.rpki / 1000.0
-            * cfg.base_access_ns
-            * cfg.freq_ghz
+        let read_stall_cpi = profile.rpki / 1000.0 * cfg.base_access_ns * cfg.freq_ghz
             / cfg.memory_level_parallelism;
         1.0 / (cfg.base_cpi + read_stall_cpi)
     }
@@ -111,7 +109,11 @@ mod tests {
     fn zero_delay_is_unity() {
         let m = model();
         for p in all_profiles() {
-            assert!((m.normalized_ipc(&p, 0.0) - 1.0).abs() < 1e-12, "{}", p.name);
+            assert!(
+                (m.normalized_ipc(&p, 0.0) - 1.0).abs() < 1e-12,
+                "{}",
+                p.name
+            );
         }
     }
 

@@ -14,7 +14,7 @@ pub type LineData = [u64; 8];
 pub const LINE_BYTES: u64 = 64;
 
 /// One cache line's bookkeeping and payload.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct CacheLine {
     /// Address tag (line number divided by the set count).
     tag: u64,
@@ -26,18 +26,6 @@ pub struct CacheLine {
     lru: u64,
     /// The 64-byte payload.
     pub data: LineData,
-}
-
-impl Default for CacheLine {
-    fn default() -> Self {
-        CacheLine {
-            tag: 0,
-            valid: false,
-            dirty: false,
-            lru: 0,
-            data: [0u64; 8],
-        }
-    }
 }
 
 /// A dirty line evicted from a cache.
@@ -71,7 +59,10 @@ impl Cache {
     pub fn new(capacity_bytes: u64, ways: usize) -> Self {
         assert!(capacity_bytes > 0 && ways > 0);
         let lines_total = capacity_bytes / LINE_BYTES;
-        assert!(lines_total as usize % ways == 0, "capacity/associativity mismatch");
+        assert!(
+            (lines_total as usize).is_multiple_of(ways),
+            "capacity/associativity mismatch"
+        );
         let sets = lines_total as usize / ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
@@ -106,7 +97,10 @@ impl Cache {
 
     fn index_tag(&self, line_addr: u64) -> (usize, u64) {
         let line_no = line_addr / LINE_BYTES;
-        ((line_no as usize) & (self.sets - 1), line_no / self.sets as u64)
+        (
+            (line_no as usize) & (self.sets - 1),
+            line_no / self.sets as u64,
+        )
     }
 
     fn set_slice_mut(&mut self, set: usize) -> &mut [CacheLine] {

@@ -100,7 +100,11 @@ impl AccessGenerator {
             self.base + self.rng.gen_range(0..ws) / 8 * 8
         };
         let store = self.rng.gen_bool(self.profile.store_fraction);
-        let store_value = if store { Some(self.value_for(addr)) } else { None };
+        let store_value = if store {
+            Some(self.value_for(addr))
+        } else {
+            None
+        };
         Access { addr, store_value }
     }
 }
@@ -145,7 +149,9 @@ pub fn generate_trace(profile: &BenchmarkProfile, accesses: u64, seed: u64) -> T
     let mut writebacks = Vec::new();
     for _ in 0..accesses {
         let a = gen.next_access();
-        let store = a.store_value.map(|v| (((a.addr % LINE_BYTES) / 8) as usize, v));
+        let store = a
+            .store_value
+            .map(|v| (((a.addr % LINE_BYTES) / 8) as usize, v));
         let profile_ref = &gen.profile().clone();
         let evs = hierarchy.access(a.addr, store, |line_addr| {
             initial_line(profile_ref, line_addr, seed)
@@ -219,16 +225,24 @@ mod tests {
         let expect = p.store_fraction;
         let mut g = AccessGenerator::new(p, 0, 3);
         let n = 20_000;
-        let stores = (0..n).filter(|_| g.next_access().store_value.is_some()).count();
+        let stores = (0..n)
+            .filter(|_| g.next_access().store_value.is_some())
+            .count();
         let frac = stores as f64 / n as f64;
-        assert!((frac - expect).abs() < 0.02, "store fraction {frac} vs {expect}");
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "store fraction {frac} vs {expect}"
+        );
     }
 
     #[test]
     fn trace_generation_produces_writebacks_with_reuse() {
         let p = test_profile();
         let trace = generate_trace(&p, 60_000, 11);
-        assert!(!trace.is_empty(), "memory-intensive profile must write back");
+        assert!(
+            !trace.is_empty(),
+            "memory-intensive profile must write back"
+        );
         let stats = trace.stats();
         assert!(stats.unique_lines > 10);
         assert!(

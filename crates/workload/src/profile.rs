@@ -101,7 +101,9 @@ impl BenchmarkProfile {
         assert!(factor >= 1);
         let mut p = self.clone();
         p.working_set_bytes = (self.working_set_bytes / factor).max(4096);
-        p.hot_set_bytes = (self.hot_set_bytes / factor).max(1024).min(p.working_set_bytes);
+        p.hot_set_bytes = (self.hot_set_bytes / factor)
+            .max(1024)
+            .min(p.working_set_bytes);
         p
     }
 }

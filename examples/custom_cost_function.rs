@@ -77,7 +77,10 @@ fn main() {
         let ctx = WriteContext::new(old.clone(), rng.gen::<u64>() & 0xFF, vcc.aux_bits());
 
         for (cost, counter) in [
-            (&wear_aware as &dyn CostFunction, &mut hot_programs_wear_aware),
+            (
+                &wear_aware as &dyn CostFunction,
+                &mut hot_programs_wear_aware,
+            ),
             (&energy_only as &dyn CostFunction, &mut hot_programs_energy),
         ] {
             let enc = vcc.encode(&data, &ctx, cost);

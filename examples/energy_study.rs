@@ -10,7 +10,7 @@
 //! Run with: `cargo run --release --example energy_study [benchmark]`
 
 use vcc_repro::coset::cost::WriteEnergy;
-use vcc_repro::experiments::{Scale, Technique, TraceReplayer};
+use vcc_repro::experiments::{Scale, Technique};
 use vcc_repro::workload::spec_like;
 
 fn main() {
@@ -34,7 +34,11 @@ fn main() {
         scale.working_set_divisor()
     );
     let trace = vcc_repro::experiments::common::trace_for(&profile, scale, seed);
-    println!("trace: {} write-backs, {} unique lines\n", trace.len(), trace.stats().unique_lines);
+    println!(
+        "trace: {} write-backs, {} unique lines\n",
+        trace.len(),
+        trace.stats().unique_lines
+    );
 
     let techniques = [
         Technique::Unencoded,
@@ -52,9 +56,14 @@ fn main() {
         "technique", "energy (pJ)", "high-energy ops", "savings"
     );
     for technique in techniques {
-        let mut replayer = TraceReplayer::new(scale.pcm_config(seed), None, seed);
-        let encoder = technique.encoder(seed);
-        let stats = replayer.replay(&trace, encoder.as_ref(), &cost);
+        let mut pipeline = technique.pipeline(
+            scale.pcm_config(seed),
+            None,
+            seed,
+            seed,
+            Box::new(cost.clone()),
+        );
+        let stats = pipeline.replay_trace(&trace);
         let energy = stats.energy_pj;
         let savings = match baseline {
             None => {

@@ -37,7 +37,10 @@ fn main() {
 
     let techniques = Technique::lifetime_roster(cosets);
     let mut unencoded_lifetime = None;
-    println!("{:<18} {:>18} {:>22}", "technique", "writes to failure", "vs unencoded");
+    println!(
+        "{:<18} {:>18} {:>22}",
+        "technique", "writes to failure", "vs unencoded"
+    );
     for technique in techniques {
         let outcome = lifetime_run(&profile, technique, scale, seed);
         if matches!(technique, Technique::Unencoded) {
@@ -54,7 +57,11 @@ fn main() {
             technique.name(),
             outcome.writes_to_failure,
             improvement,
-            if outcome.reached_failure { "" } else { "  (cap reached, lower bound)" }
+            if outcome.reached_failure {
+                ""
+            } else {
+                "  (cap reached, lower bound)"
+            }
         );
     }
 }

@@ -3,7 +3,12 @@
 //! This facade re-exports the workspace crates so examples and downstream
 //! users can depend on a single crate:
 //!
-//! * [`coset`] — Virtual Coset Coding and every baseline encoder,
+//! * [`coset`] — Virtual Coset Coding and every baseline encoder, with the
+//!   zero-allocation encoding-session API (`EncodeScratch`, `encode_into`,
+//!   `encode_line`),
+//! * [`controller`] — the unified `WritePipeline` driving encryption, coset
+//!   encoding, fault protection and the PCM array behind one
+//!   `write_line` / `replay_trace` API,
 //! * [`memcrypt`] — counter-mode memory encryption,
 //! * [`pcm`] — the MLC PCM device/array simulator,
 //! * [`protect`] — SECDED and ECP fault protection,
@@ -11,6 +16,27 @@
 //! * [`perfmodel`] — the mechanistic IPC model,
 //! * [`hwmodel`] — the 45 nm encoder hardware model,
 //! * [`experiments`] — the per-figure reproduction harness.
+//!
+//! # The five-minute tour
+//!
+//! Write an encrypted cache line into a simulated MLC PCM and read it back:
+//!
+//! ```
+//! use vcc_repro::controller::WritePipeline;
+//! use vcc_repro::coset::Vcc;
+//! use vcc_repro::pcm::PcmConfig;
+//!
+//! let mut pipeline = WritePipeline::new(
+//!     PcmConfig::scaled(1 << 20, 1e6),
+//!     Box::new(Vcc::paper_mlc(256)),
+//! );
+//! let line = [1u64, 2, 3, 4, 5, 6, 7, 8];
+//! let report = pipeline.write_line(0x4200, &line);
+//! assert!(report.correctable);
+//! assert_eq!(pipeline.read_line(0x4200), Some(line));
+//! ```
+//!
+//! Or drive a single encoder by hand:
 //!
 //! ```
 //! use vcc_repro::coset::{Vcc, Block, WriteContext, Encoder, cost::WriteEnergy};
@@ -26,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub use controller;
 pub use coset;
 pub use experiments;
 pub use hwmodel;

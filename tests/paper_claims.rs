@@ -72,7 +72,7 @@ fn performance_claims_hold() {
     let dbi = r.mean("DBI/FNW");
     let vcc = r.mean("VCC-256");
     let rcc = r.mean("RCC-256");
-    assert!(rcc >= 0.92 && rcc <= 1.0, "RCC mean normalized IPC {rcc}");
+    assert!((0.92..=1.0).contains(&rcc), "RCC mean normalized IPC {rcc}");
     assert!(vcc >= rcc);
     assert!(dbi >= vcc);
     assert!(1.0 - rcc < 0.03, "average RCC slowdown should be below 3%");
