@@ -1,0 +1,98 @@
+//! Trace-replay throughput of the bank-sharded engine at 1/2/4/8 shards.
+//!
+//! Replays the same encrypted write-back trace through [`ShardedEngine`]s
+//! with the worker pool sized to the shard count and reports lines/sec per
+//! configuration. With unified keying every configuration computes
+//! bit-identical statistics, so the sweep isolates pure parallel speed-up:
+//! on an N-core machine the 4-shard row should approach 4× the 1-shard
+//! baseline (the row writes are independent; there is no cross-shard
+//! communication during a replay). On a single-core machine all rows
+//! collapse to the same number — the bench prints the detected parallelism
+//! so the context is visible in CI logs.
+//!
+//! `ENGINE_SCALING_FAST=1` shrinks the replayed trace for smoke runs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use controller::WritePipeline;
+use coset::cost::opt_saw_then_energy;
+use engine::{EngineConfig, ShardedEngine};
+use experiments::common::trace_for;
+use experiments::{Scale, Technique};
+use vcc_bench::{print_figure, BENCH_SEED};
+use workload::Trace;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn fast_mode() -> bool {
+    std::env::var("ENGINE_SCALING_FAST").is_ok_and(|v| v == "1")
+}
+
+fn build_pipeline() -> WritePipeline {
+    Technique::VccGenerated { cosets: 256 }.pipeline(
+        Scale::Tiny.pcm_config(BENCH_SEED),
+        None,
+        BENCH_SEED,
+        BENCH_SEED,
+        Box::new(opt_saw_then_energy()),
+    )
+}
+
+fn build_engine(shards: usize) -> ShardedEngine {
+    let config = EngineConfig::default()
+        .with_shards(shards)
+        .with_threads(shards);
+    ShardedEngine::from_factory(config, BENCH_SEED, |_spec| build_pipeline())
+}
+
+fn bench_trace() -> Trace {
+    let profile = &Scale::Tiny.benchmarks()[0];
+    let full = trace_for(profile, Scale::Tiny, BENCH_SEED);
+    let keep = if fast_mode() { 200 } else { full.len() };
+    Trace::new(
+        &full.benchmark,
+        full.writebacks.iter().take(keep).copied().collect(),
+        full.accesses,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let trace = bench_trace();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    print_figure(
+        &format!(
+            "ShardedEngine trace-replay scaling — {} encrypted 512-bit lines \
+             per iteration, VCC-256, {cores} core(s) available",
+            trace.len()
+        ),
+        "lines/sec = trace length / reported seconds per iteration;\n\
+         shards=N runs N worker threads over N bank shards (unified keying,\n\
+         bit-identical stats at every shard count)",
+    );
+
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(10);
+    for shards in SHARD_COUNTS {
+        group.bench_function(format!("shards_{shards:02}"), |b| {
+            b.iter_batched(
+                || build_engine(shards),
+                |mut engine| {
+                    engine.replay_trace(&trace);
+                    engine.stats().lines_written
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

@@ -13,7 +13,15 @@
 //! Internally the pipeline drives the zero-allocation encoding sessions
 //! ([`coset::EncodeScratch`] via [`pcm::LineWriteScratch`]): after a
 //! one-line warm-up, replaying a trace performs no per-candidate heap
-//! allocation in the encoder hot path.
+//! allocation in the encoder hot path, and read-back reuses a
+//! pipeline-owned line buffer ([`PcmMemory::read_line_into`]) the same way.
+//!
+//! A `WritePipeline` is single-threaded by design. For whole-trace replays
+//! where only aggregate statistics matter, the `engine` crate shards the
+//! row-address space across many pipelines and replays them on a worker
+//! pool — with merged statistics bit-identical to a sequential replay (see
+//! `engine::ShardedEngine` for the determinism contract, and
+//! [`PipelineStats::merge`] for the aggregation primitive it relies on).
 //!
 //! # Examples
 //!
@@ -73,6 +81,33 @@ pub struct PipelineStats {
     pub failed_rows: usize,
 }
 
+impl std::ops::AddAssign<&PipelineStats> for PipelineStats {
+    fn add_assign(&mut self, rhs: &PipelineStats) {
+        self.lines_written += rhs.lines_written;
+        self.uncorrectable_lines += rhs.uncorrectable_lines;
+        self.failed_rows += rhs.failed_rows;
+    }
+}
+
+impl std::ops::AddAssign for PipelineStats {
+    fn add_assign(&mut self, rhs: PipelineStats) {
+        *self += &rhs;
+    }
+}
+
+impl PipelineStats {
+    /// Merges another pipeline's statistics into this one (field-wise sum).
+    ///
+    /// Associative and commutative, with [`PipelineStats::default`] as the
+    /// identity. `failed_rows` counts *distinct* rows per pipeline, so the
+    /// sum equals a single sequential pipeline's count exactly when the
+    /// merged pipelines wrote disjoint row sets — the invariant the sharded
+    /// engine maintains by partitioning the row-address space.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        *self += other;
+    }
+}
+
 /// The encrypted write path of the simulated memory controller.
 ///
 /// Construct with [`WritePipeline::new`], then customize with the
@@ -87,6 +122,7 @@ pub struct WritePipeline {
     memory: PcmMemory,
     scratch: LineWriteScratch,
     saw_buf: Vec<u32>,
+    read_buf: Vec<u64>,
     failed_rows: HashSet<u64>,
     stats: PipelineStats,
 }
@@ -114,6 +150,7 @@ impl WritePipeline {
             memory: PcmMemory::new(config),
             scratch: LineWriteScratch::new(),
             saw_buf: Vec::new(),
+            read_buf: Vec::new(),
             failed_rows: HashSet::new(),
             stats: PipelineStats::default(),
         }
@@ -262,11 +299,16 @@ impl WritePipeline {
 
     /// Reads a line back through decode + decrypt; `None` if its row was
     /// never written. Stuck-at-wrong cells naturally corrupt the result.
+    ///
+    /// Like the write path, reads reuse a pipeline-owned line buffer
+    /// ([`PcmMemory::read_line_into`]), so steady-state read-back performs no
+    /// per-line heap allocation.
     pub fn read_line(&mut self, line_addr: u64) -> Option<[u64; LINE_WORDS]> {
         let row_addr = self.memory.config().row_of_byte_addr(line_addr);
         self.memory.row(row_addr)?;
-        let stored = self.memory.read_line(row_addr, self.encoder.as_ref());
-        let ct: [u64; LINE_WORDS] = stored.try_into().ok()?;
+        self.memory
+            .read_line_into(row_addr, self.encoder.as_ref(), &mut self.read_buf);
+        let ct: [u64; LINE_WORDS] = self.read_buf.as_slice().try_into().ok()?;
         let counter = self.encryption.counter(line_addr);
         Some(self.encryption.decrypt_read(line_addr, counter, &ct))
     }
@@ -390,6 +432,30 @@ mod tests {
             mem.write_line(i as u64 % 8, line, &enc, &cost);
         }
         assert_eq!(*p.memory_stats(), *mem.stats());
+    }
+
+    #[test]
+    fn pipeline_stats_merge_is_associative_with_identity() {
+        let mk = |k: u64| PipelineStats {
+            lines_written: 100 * k,
+            uncorrectable_lines: 3 * k,
+            failed_rows: k as usize,
+        };
+        let (a, b, c) = (mk(1), mk(5), mk(42));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+        let mut id = PipelineStats::default();
+        id.merge(&a);
+        assert_eq!(id, a);
+        let mut a2 = a;
+        a2 += PipelineStats::default();
+        assert_eq!(a2, a);
     }
 
     #[test]

@@ -1,0 +1,579 @@
+//! Sharded multi-bank simulation engine: parallel trace replay with
+//! deterministic statistics merging.
+//!
+//! The paper's evaluation replays very long encrypted write-back traces
+//! through the coset-encode/program loop, and a single
+//! [`controller::WritePipeline`] caps every driver at one core. This crate
+//! adds the concurrency layer: a [`ShardedEngine`] partitions the
+//! row-address space into `N` bank shards (`row_addr % N`), gives each
+//! shard its own [`WritePipeline`], and replays traces across a pool of
+//! `std::thread` workers fed by per-shard work queues
+//! ([`workload::Trace::partition_by`]).
+//!
+//! # The determinism contract
+//!
+//! Row writes are independent in this model: a write-back touches exactly
+//! one row, encryption pads depend only on `(key, line address, per-line
+//! counter)`, initial row contents and per-cell endurance limits are pure
+//! functions of `(memory seed, row address)`, and Table-I programming
+//! energies are integer picojoules so even floating-point energy sums are
+//! exact in `f64` and therefore order-independent. Partitioning by row
+//! keeps every row's write sequence (and every line's counter stream)
+//! byte-for-byte identical to a sequential replay, so with
+//! [`ShardKeying::Unified`] (the default) the merged aggregate statistics
+//! ([`MemoryStats::merge`], [`controller::PipelineStats::merge`]) of an
+//! `N`-shard run are **bit-identical** to the 1-shard run and to a plain
+//! sequential [`WritePipeline`] replay — for any shard count and any
+//! worker-thread count. The `determinism` integration tests pin this down.
+//!
+//! [`ShardKeying::PerShard`] instead keys each shard's encryption with an
+//! independent sub-key derived through a SplitMix64 finalizer
+//! ([`mix_shard_seed`]), modeling per-bank memory-controller keys. Results
+//! are still fully deterministic and thread-count-invariant, but aggregate
+//! statistics then legitimately differ across shard counts (different
+//! keystreams produce different ciphertext).
+//!
+//! # When to reach for `ShardedEngine` vs plain `WritePipeline`
+//!
+//! Use a bare [`WritePipeline`] for single-row studies, word-granularity
+//! experiments, or anything that inspects per-write [`controller::LineReport`]s
+//! in trace order. Use [`ShardedEngine`] whenever the unit of work is a
+//! whole-trace replay and only aggregate statistics (or lifetime summaries)
+//! matter — every figure driver that replays traces qualifies.
+//!
+//! ```
+//! use controller::WritePipeline;
+//! use engine::{EngineConfig, ShardedEngine};
+//! use pcm::PcmConfig;
+//!
+//! let profile = &workload::spec_like::quick_profiles()[0];
+//! let trace = workload::generate_scaled_trace(profile, 4096, 5_000, 1);
+//!
+//! let config = EngineConfig::default().with_shards(4);
+//! let mut engine = ShardedEngine::from_factory(config, 99, |_spec| {
+//!     WritePipeline::new(
+//!         PcmConfig::scaled(1 << 20, 1e6),
+//!         Box::new(coset::Vcc::paper_mlc(64)),
+//!     )
+//! });
+//! let stats = engine.replay_trace(&trace);
+//! assert_eq!(stats.row_writes, trace.len() as u64);
+//! assert_eq!(engine.stats().lines_written, trace.len() as u64);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::sync::Mutex;
+
+use controller::{LineReport, PipelineStats, WritePipeline};
+use memcrypt::SplitMix64;
+use pcm::MemoryStats;
+use workload::{Trace, TraceShard, WriteBack};
+
+/// Derives the crypt seed of one shard from a base seed with a
+/// SplitMix64-style finalizer.
+///
+/// A raw `base + shard_id` would hand adjacent shards nearly identical
+/// keys, and the keystream generator is seeded by mixing the key with
+/// per-line values — correlated keys risk correlated pads. The finalizer's
+/// avalanche property makes every shard key differ from its neighbours in
+/// about half of all bits.
+pub fn mix_shard_seed(base: u64, shard_id: u64) -> u64 {
+    SplitMix64::mix(base ^ SplitMix64::mix(shard_id.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+}
+
+/// How the engine keys each shard's encryption engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ShardKeying {
+    /// Every shard shares the base crypt seed. This is the mode under which
+    /// aggregate statistics are bit-identical to a sequential
+    /// [`WritePipeline`] replay at any shard count (the determinism
+    /// contract), because each line is encrypted exactly as the sequential
+    /// pipeline would encrypt it.
+    #[default]
+    Unified,
+    /// Shard `i` is keyed with [`mix_shard_seed`]`(base, i)`, modeling
+    /// independent per-bank controller keys. Deterministic and
+    /// thread-count-invariant, but aggregates differ across shard counts.
+    PerShard,
+}
+
+impl ShardKeying {
+    /// The crypt seed shard `shard_id` receives under this policy.
+    pub fn shard_seed(self, base: u64, shard_id: u64) -> u64 {
+        match self {
+            ShardKeying::Unified => base,
+            ShardKeying::PerShard => mix_shard_seed(base, shard_id),
+        }
+    }
+}
+
+/// Configuration of a [`ShardedEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineConfig {
+    /// Number of bank shards the row-address space is split into.
+    pub shards: usize,
+    /// Worker threads replaying shards. `0` (the default) means "one per
+    /// shard, capped by the machine's available parallelism". The thread
+    /// count never affects results, only wall-clock time.
+    pub threads: usize,
+    /// Per-shard encryption keying policy.
+    pub keying: ShardKeying,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 1,
+            threads: 0,
+            keying: ShardKeying::Unified,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets an explicit worker-thread cap (`0` = auto).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the keying policy.
+    #[must_use]
+    pub fn with_keying(mut self, keying: ShardKeying) -> Self {
+        self.keying = keying;
+        self
+    }
+
+    /// The number of worker threads a replay will actually use.
+    ///
+    /// More threads than shards is pure overhead, so the count is capped at
+    /// `shards` (a zero-shard config, rejected at engine construction,
+    /// reports 1 here rather than panicking).
+    pub fn effective_threads(&self) -> usize {
+        let auto = std::thread::available_parallelism().map_or(1, usize::from);
+        let requested = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
+        requested.clamp(1, self.shards.max(1))
+    }
+}
+
+/// Everything a pipeline factory needs to know about the shard it is
+/// building for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Index of this shard in `0..shards`.
+    pub shard_id: usize,
+    /// Total shard count.
+    pub shards: usize,
+    /// The crypt seed this shard's pipeline will be keyed with (already
+    /// derived through the configured [`ShardKeying`]).
+    pub crypt_seed: u64,
+}
+
+/// Result of a sharded lifetime replay (the writes-to-failure quantity the
+/// paper's Figures 11–12 plot), with sequential-replay semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LifetimeSummary {
+    /// Global row writes performed when the failure criterion was met (or
+    /// the cap, if it was hit first).
+    pub writes_to_failure: u64,
+    /// Whether the failure criterion was actually reached (false = capped;
+    /// treat `writes_to_failure` as a lower bound).
+    pub reached_failure: bool,
+    /// Rows that had failed at the stopping point.
+    pub failed_rows: usize,
+}
+
+/// A bank-sharded encrypted-write engine over per-shard [`WritePipeline`]s.
+///
+/// Construct with [`ShardedEngine::from_factory`]; the factory is called
+/// once per shard and must build identical pipelines (same memory
+/// configuration, encoder, correction scheme and cost function) — the
+/// engine re-keys each one according to the [`ShardKeying`] policy. Shard
+/// state persists across calls, so repeated [`ShardedEngine::replay_trace`]
+/// calls accumulate wear and statistics exactly like repeated sequential
+/// replays.
+pub struct ShardedEngine {
+    config: EngineConfig,
+    shards: Vec<WritePipeline>,
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("config", &self.config)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedEngine {
+    /// Builds an engine by calling `build` once per shard.
+    ///
+    /// The engine applies the crypt seed from the keying policy itself
+    /// (overriding whatever seed the factory left on the pipeline), so the
+    /// factory only has to assemble memory + encoder + correction + cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero or the factory produces pipelines
+    /// with differing memory configurations.
+    pub fn from_factory<F>(config: EngineConfig, base_crypt_seed: u64, mut build: F) -> Self
+    where
+        F: FnMut(ShardSpec) -> WritePipeline,
+    {
+        assert!(config.shards > 0, "engine needs at least one shard");
+        let shards: Vec<WritePipeline> = (0..config.shards)
+            .map(|shard_id| {
+                let crypt_seed = config.keying.shard_seed(base_crypt_seed, shard_id as u64);
+                let spec = ShardSpec {
+                    shard_id,
+                    shards: config.shards,
+                    crypt_seed,
+                };
+                build(spec).with_crypt_seed(crypt_seed)
+            })
+            .collect();
+        for p in &shards[1..] {
+            assert_eq!(
+                p.memory().config(),
+                shards[0].memory().config(),
+                "every shard must use the same memory configuration"
+            );
+        }
+        ShardedEngine { config, shards }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The per-shard pipelines, indexed by shard id.
+    pub fn pipelines(&self) -> &[WritePipeline] {
+        &self.shards
+    }
+
+    /// The shard owning a row address.
+    pub fn shard_of_row(&self, row_addr: u64) -> usize {
+        (row_addr % self.config.shards as u64) as usize
+    }
+
+    /// The shard owning a byte (line) address.
+    pub fn shard_of_line(&self, line_addr: u64) -> usize {
+        let row = self.shards[0].memory().config().row_of_byte_addr(line_addr);
+        self.shard_of_row(row)
+    }
+
+    /// Merged pipeline statistics across all shards.
+    pub fn stats(&self) -> PipelineStats {
+        let mut total = PipelineStats::default();
+        for p in &self.shards {
+            total.merge(p.stats());
+        }
+        total
+    }
+
+    /// Merged array statistics across all shards.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut total = MemoryStats::default();
+        for p in &self.shards {
+            total.merge(p.memory_stats());
+        }
+        total
+    }
+
+    /// Total rows whose residual faults have exceeded the correction
+    /// capacity (shards own disjoint rows, so the sum is exact).
+    pub fn failed_row_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(WritePipeline::failed_row_count)
+            .sum()
+    }
+
+    /// Routes a single write-back to its owning shard (sequential; handy
+    /// for incremental use, tests and warm-up).
+    pub fn write_back(&mut self, wb: &WriteBack) -> LineReport {
+        let shard = self.shard_of_line(wb.line_addr);
+        self.shards[shard].write_back(wb)
+    }
+
+    /// Partitions a trace into per-shard work queues by row address.
+    pub fn partition(&self, trace: &Trace) -> Vec<TraceShard> {
+        let config = self.shards[0].memory().config().clone();
+        let shards = self.config.shards;
+        trace.partition_by(shards, |wb| {
+            (config.row_of_byte_addr(wb.line_addr) % shards as u64) as usize
+        })
+    }
+
+    /// Replays a whole trace once across the shard pool and returns the
+    /// merged array statistics (the quantity the figure drivers plot) —
+    /// the sharded equivalent of [`WritePipeline::replay_trace`].
+    pub fn replay_trace(&mut self, trace: &Trace) -> MemoryStats {
+        let parts = self.partition(trace);
+        self.run_shards(&parts, |pipeline, shard| {
+            for (_, wb) in shard.iter() {
+                pipeline.write_back(wb);
+            }
+        });
+        self.memory_stats()
+    }
+
+    /// Replays `trace` in a loop until `target_failures` rows have exceeded
+    /// their correction capacity (or `cap` total row writes), reproducing a
+    /// sequential pipeline's stopping point exactly.
+    ///
+    /// Each shard records the *global trace ordinal* of every row-failure
+    /// event (round × trace length + source position + 1). The `k`-th
+    /// smallest ordinal across shards is precisely the number of line
+    /// writes a sequential replay would have performed when its `k`-th row
+    /// failed, because per-row behaviour is identical and a sequential run
+    /// processes write-backs in exactly that global order. Shards may
+    /// overshoot the stopping point by at most one round; overshoot writes
+    /// cannot perturb earlier ordinals (rows are independent), so the
+    /// returned summary is bit-identical to the sequential one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_failures` is zero.
+    pub fn lifetime_replay(
+        &mut self,
+        trace: &Trace,
+        target_failures: usize,
+        cap: u64,
+    ) -> LifetimeSummary {
+        assert!(target_failures > 0, "need a positive failure target");
+        if trace.is_empty() {
+            return LifetimeSummary {
+                writes_to_failure: 0,
+                reached_failure: false,
+                failed_rows: 0,
+            };
+        }
+        let parts = self.partition(trace);
+        let len = trace.len() as u64;
+        let mut ordinals: Vec<u64> = Vec::new();
+        let mut rounds: u64 = 0;
+        loop {
+            let base = rounds * len;
+            let round_events = self.run_shards(&parts, |pipeline, shard| {
+                let mut events = Vec::new();
+                for (pos, wb) in shard.iter() {
+                    if pipeline.write_back(wb).newly_failed_row {
+                        events.push(base + pos + 1);
+                    }
+                }
+                events
+            });
+            for events in round_events {
+                ordinals.extend(events);
+            }
+            rounds += 1;
+            ordinals.sort_unstable();
+            if ordinals.len() >= target_failures {
+                let failed_at = ordinals[target_failures - 1];
+                if failed_at <= cap {
+                    return LifetimeSummary {
+                        writes_to_failure: failed_at,
+                        reached_failure: true,
+                        failed_rows: target_failures,
+                    };
+                }
+            }
+            if rounds.saturating_mul(len) >= cap {
+                return LifetimeSummary {
+                    writes_to_failure: cap,
+                    reached_failure: false,
+                    failed_rows: ordinals.iter().filter(|&&o| o <= cap).count(),
+                };
+            }
+        }
+    }
+
+    /// Runs one closure per shard across the worker pool and returns the
+    /// per-shard results in shard order. Shards are independent, so the
+    /// schedule (and thread count) cannot affect any result.
+    fn run_shards<T, F>(&mut self, parts: &[TraceShard], run: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut WritePipeline, &TraceShard) -> T + Sync,
+    {
+        assert_eq!(parts.len(), self.shards.len(), "one work queue per shard");
+        let threads = self.config.effective_threads();
+        if threads <= 1 {
+            return self
+                .shards
+                .iter_mut()
+                .zip(parts)
+                .map(|(p, shard)| run(p, shard))
+                .collect();
+        }
+        let queue: Mutex<Vec<(usize, &mut WritePipeline, &TraceShard)>> = Mutex::new(
+            self.shards
+                .iter_mut()
+                .zip(parts)
+                .enumerate()
+                .map(|(i, (p, shard))| (i, p, shard))
+                .collect(),
+        );
+        let results: Vec<Mutex<Option<T>>> = parts.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    loop {
+                        // Pop one shard job; drop the lock before running it.
+                        let job = queue.lock().unwrap().pop();
+                        match job {
+                            Some((i, pipeline, shard)) => {
+                                *results[i].lock().unwrap() = Some(run(pipeline, shard));
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("every shard job ran to completion")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coset::Vcc;
+    use pcm::PcmConfig;
+    use workload::generate_scaled_trace;
+
+    fn tiny_trace(seed: u64) -> Trace {
+        let profile = &workload::spec_like::quick_profiles()[0];
+        generate_scaled_trace(profile, 4096, 8_000, seed)
+    }
+
+    fn engine_with(config: EngineConfig, crypt_seed: u64) -> ShardedEngine {
+        ShardedEngine::from_factory(config, crypt_seed, |_spec| {
+            WritePipeline::new(
+                PcmConfig::scaled(1 << 20, 1e6),
+                Box::new(Vcc::paper_mlc(64)),
+            )
+        })
+    }
+
+    #[test]
+    fn mix_shard_seed_decorrelates_adjacent_shards() {
+        // Raw seed+shard would differ in ~1 bit; the mixer must avalanche.
+        for base in [0u64, 1, 0x5EED, u64::MAX] {
+            for shard in 0..8u64 {
+                let a = mix_shard_seed(base, shard);
+                let b = mix_shard_seed(base, shard + 1);
+                let differing = (a ^ b).count_ones();
+                assert!(
+                    (16..=48).contains(&differing),
+                    "adjacent shard seeds differ in only {differing} bits"
+                );
+                // And it is a pure function.
+                assert_eq!(a, mix_shard_seed(base, shard));
+            }
+        }
+    }
+
+    #[test]
+    fn keying_policies() {
+        assert_eq!(ShardKeying::Unified.shard_seed(42, 3), 42);
+        assert_eq!(
+            ShardKeying::PerShard.shard_seed(42, 3),
+            mix_shard_seed(42, 3)
+        );
+        assert_ne!(
+            ShardKeying::PerShard.shard_seed(42, 0),
+            ShardKeying::PerShard.shard_seed(42, 1)
+        );
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_shards() {
+        let c = EngineConfig::default().with_shards(4).with_threads(16);
+        assert_eq!(c.effective_threads(), 4);
+        let c = EngineConfig::default().with_shards(4).with_threads(2);
+        assert_eq!(c.effective_threads(), 2);
+        let auto = EngineConfig::default().with_shards(2);
+        assert!(auto.effective_threads() >= 1);
+        assert!(auto.effective_threads() <= 2);
+        // A zero-shard config is rejected by the engine constructor, but the
+        // accessor itself must not panic (the CLI prints it before building).
+        assert_eq!(
+            EngineConfig::default().with_shards(0).effective_threads(),
+            1
+        );
+    }
+
+    #[test]
+    fn partition_routes_by_row_modulo_shards() {
+        let engine = engine_with(EngineConfig::default().with_shards(4), 7);
+        let trace = tiny_trace(3);
+        let parts = engine.partition(&trace);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(
+            parts.iter().map(TraceShard::len).sum::<usize>(),
+            trace.len()
+        );
+        for (shard_id, part) in parts.iter().enumerate() {
+            for (_, wb) in part.iter() {
+                assert_eq!(engine.shard_of_line(wb.line_addr), shard_id);
+            }
+        }
+    }
+
+    #[test]
+    fn single_write_backs_route_and_accumulate() {
+        let mut engine = engine_with(EngineConfig::default().with_shards(2), 5);
+        let trace = tiny_trace(9);
+        for wb in trace.iter().take(50) {
+            engine.write_back(wb);
+        }
+        assert_eq!(engine.stats().lines_written, 50);
+        assert_eq!(engine.memory_stats().row_writes, 50);
+        assert_eq!(
+            engine.pipelines()[0].stats().lines_written
+                + engine.pipelines()[1].stats().lines_written,
+            50
+        );
+    }
+
+    #[test]
+    fn replay_accumulates_across_calls_like_a_pipeline() {
+        let mut engine = engine_with(EngineConfig::default().with_shards(3), 11);
+        let trace = tiny_trace(4);
+        let first = engine.replay_trace(&trace);
+        assert_eq!(first.row_writes, trace.len() as u64);
+        let second = engine.replay_trace(&trace);
+        assert_eq!(second.row_writes, 2 * trace.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_rejected() {
+        engine_with(EngineConfig::default().with_shards(0), 1);
+    }
+}

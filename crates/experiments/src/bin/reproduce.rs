@@ -1,22 +1,58 @@
 //! Command-line driver that regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run --release -p experiments --bin reproduce -- [tiny|small|paper] [fast|all]
+//! cargo run --release -p experiments --bin reproduce -- \
+//!     [tiny|small|paper] [fast|all|nolifetime|lifetime] [seed] \
+//!     [--shards N] [--threads N]
 //! ```
+//!
+//! `--shards` splits the row-address space across N bank shards and
+//! replays the trace-driven figures (9–12) on the sharded engine;
+//! `--threads` caps the worker pool (default: one thread per shard, up to
+//! the machine's parallelism). Sharding never changes any reported number —
+//! the engine's unified keying keeps aggregate statistics bit-identical to
+//! a sequential replay — it only changes how long the run takes.
 //!
 //! The rendered report (one section per figure, in paper order) is printed
 //! to stdout; redirect it to a file to refresh EXPERIMENTS.md data.
 
-use experiments::{reproduce, Scale, Selection};
+use experiments::{reproduce_with_engine, EngineConfig, Scale, Selection};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let scale = match args.get(1).map(String::as_str) {
+    let mut positional: Vec<String> = Vec::new();
+    let mut engine_config = EngineConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                engine_config.shards = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .expect("--shards needs a positive integer");
+                i += 2;
+            }
+            "--threads" => {
+                engine_config.threads = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs an integer (0 = auto)");
+                i += 2;
+            }
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+
+    let scale = match positional.first().map(String::as_str) {
         Some("tiny") => Scale::Tiny,
         Some("paper") => Scale::Paper,
         _ => Scale::Small,
     };
-    let selection = match args.get(2).map(String::as_str) {
+    let selection = match positional.get(1).map(String::as_str) {
         Some("fast") => Selection::fast_only(),
         Some("nolifetime") => Selection {
             lifetime: false,
@@ -30,11 +66,15 @@ fn main() {
         },
         _ => Selection::all(),
     };
-    let seed = args
-        .get(3)
+    let seed = positional
+        .get(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0x5EED_u64);
-    eprintln!("running reproduction at {scale:?} scale (seed {seed}) ...");
-    let report = reproduce(scale, seed, selection);
+    eprintln!(
+        "running reproduction at {scale:?} scale (seed {seed}, {} shard(s), {} worker thread(s)) ...",
+        engine_config.shards,
+        engine_config.effective_threads(),
+    );
+    let report = reproduce_with_engine(scale, seed, selection, engine_config);
     println!("{report}");
 }

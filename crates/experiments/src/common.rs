@@ -5,6 +5,7 @@
 use controller::WritePipeline;
 use coset::cost::CostFunction;
 use coset::{Encoder, Flipcy, Fnw, Rcc, Unencoded, Vcc};
+use engine::{EngineConfig, ShardedEngine};
 use hwmodel::EncoderHwConfig;
 use pcm::{FaultMap, PcmConfig};
 use protect::{CorrectionScheme, EcpScheme, NoCorrection, SecdedScheme};
@@ -229,6 +230,29 @@ impl Technique {
         p
     }
 
+    /// Assembles a [`ShardedEngine`] over per-shard pipelines built exactly
+    /// like [`Technique::pipeline`] (same encoder seed, correction pairing
+    /// and memory configuration in every shard; `cost` is invoked once per
+    /// shard because cost functions are not cloneable).
+    ///
+    /// Under the default [`engine::ShardKeying::Unified`] policy the
+    /// engine's aggregate statistics are bit-identical to replaying through
+    /// [`Technique::pipeline`] sequentially, so the `--shards` knob is purely
+    /// a wall-clock choice for every figure driver built on this.
+    pub fn engine(
+        &self,
+        engine_config: EngineConfig,
+        config: PcmConfig,
+        fault_map: Option<FaultMap>,
+        encoder_seed: u64,
+        crypt_seed: u64,
+        cost: impl Fn() -> Box<dyn CostFunction>,
+    ) -> ShardedEngine {
+        ShardedEngine::from_factory(engine_config, crypt_seed, |_spec| {
+            self.pipeline(config.clone(), fault_map, encoder_seed, crypt_seed, cost())
+        })
+    }
+
     /// Encoding latency in nanoseconds added to every write (from the
     /// hardware model; Figure 6(c)).
     pub fn encode_delay_ns(&self) -> f64 {
@@ -359,6 +383,35 @@ mod tests {
         assert!(stats.energy_pj > 0.0);
         assert!(pipeline.memory().rows_touched() > 0);
         assert_eq!(pipeline.stats().lines_written, trace.len() as u64);
+    }
+
+    #[test]
+    fn technique_engine_matches_sequential_pipeline() {
+        let profile = &Scale::Tiny.benchmarks()[0];
+        let trace = trace_for(profile, Scale::Tiny, 5);
+        let build = || {
+            Technique::VccStored { cosets: 32 }.pipeline(
+                Scale::Tiny.pcm_config(5),
+                None,
+                2,
+                77,
+                Box::new(WriteEnergy::mlc()),
+            )
+        };
+        let mut sequential = build();
+        let seq_stats = sequential.replay_trace(&trace);
+
+        let mut engine = Technique::VccStored { cosets: 32 }.engine(
+            EngineConfig::default().with_shards(4),
+            Scale::Tiny.pcm_config(5),
+            None,
+            2,
+            77,
+            || Box::new(WriteEnergy::mlc()),
+        );
+        let sharded_stats = engine.replay_trace(&trace);
+        assert_eq!(seq_stats, sharded_stats);
+        assert_eq!(*sequential.stats(), engine.stats());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::fmt;
 
 use coset::cost::{opt_energy_then_saw, opt_saw_then_energy, CostFunction};
+use engine::EngineConfig;
 use pcm::FaultMap;
 
 use crate::common::{eng, trace_for, Scale, Technique};
@@ -122,21 +123,29 @@ impl Fig9Result {
     }
 }
 
-/// Runs the Figure 9 experiment.
+/// Runs the Figure 9 experiment on the default (single-shard) engine.
 pub fn run(scale: Scale, seed: u64) -> Fig9Result {
+    run_with_engine(scale, seed, EngineConfig::default())
+}
+
+/// Runs the Figure 9 experiment through a [`engine::ShardedEngine`]. Under
+/// unified keying the shard count cannot change the numbers, only the
+/// wall-clock time.
+pub fn run_with_engine(scale: Scale, seed: u64, engine_config: EngineConfig) -> Fig9Result {
     let mut cells = Vec::new();
     for (b_idx, profile) in scale.benchmarks().iter().enumerate() {
         let trace = trace_for(profile, scale, seed + b_idx as u64);
         for series in Fig9Series::all() {
             let map = FaultMap::paper_snapshot(seed ^ 0x919 ^ b_idx as u64);
-            let mut pipeline = series.technique().pipeline(
+            let mut engine = series.technique().engine(
+                engine_config,
                 scale.pcm_config(seed),
                 Some(map),
                 seed,
                 seed + 47 + b_idx as u64,
-                series.cost(),
+                || series.cost(),
             );
-            let stats = pipeline.replay_trace(&trace);
+            let stats = engine.replay_trace(&trace);
             cells.push(Fig9Cell {
                 benchmark: profile.name.clone(),
                 series: series.label().to_string(),

@@ -7,6 +7,7 @@
 use std::fmt;
 
 use coset::cost::opt_saw_then_energy;
+use engine::EngineConfig;
 use pcm::FaultMap;
 
 use crate::common::{trace_for, Scale, Technique};
@@ -42,21 +43,30 @@ impl Fig10Result {
     }
 }
 
-/// Runs the Figure 10 experiment with 256 virtual cosets.
+/// Runs the Figure 10 experiment with 256 virtual cosets on the default
+/// (single-shard) engine.
 pub fn run(scale: Scale, seed: u64) -> Fig10Result {
+    run_with_engine(scale, seed, EngineConfig::default())
+}
+
+/// Runs the Figure 10 experiment through a [`engine::ShardedEngine`]. Under
+/// unified keying the shard count cannot change the numbers, only the
+/// wall-clock time.
+pub fn run_with_engine(scale: Scale, seed: u64, engine_config: EngineConfig) -> Fig10Result {
     let mut rows = Vec::new();
     for (b_idx, profile) in scale.benchmarks().iter().enumerate() {
         let trace = trace_for(profile, scale, seed + b_idx as u64);
         let run_one = |technique: Technique| -> u64 {
             let map = FaultMap::paper_snapshot(seed ^ 0x1010 ^ b_idx as u64);
-            let mut pipeline = technique.pipeline(
+            let mut engine = technique.engine(
+                engine_config,
                 scale.pcm_config(seed),
                 Some(map),
                 seed,
                 seed + 53 + b_idx as u64,
-                Box::new(opt_saw_then_energy()),
+                || Box::new(opt_saw_then_energy()),
             );
-            pipeline.replay_trace(&trace).saw_cells
+            engine.replay_trace(&trace).saw_cells
         };
         let unencoded = run_one(Technique::Unencoded);
         let vcc = run_one(Technique::VccStored { cosets: 256 });

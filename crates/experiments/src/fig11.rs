@@ -7,8 +7,10 @@
 
 use std::fmt;
 
+use engine::EngineConfig;
+
 use crate::common::{eng, Scale, Technique};
-use crate::lifetime::{lifetime_run, LifetimeOutcome};
+use crate::lifetime::{lifetime_run_with, LifetimeOutcome};
 
 /// One (benchmark, technique) lifetime measurement.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -66,14 +68,23 @@ impl Fig11Result {
     }
 }
 
-/// Runs the Figure 11 experiment with the standard seven-technique roster.
+/// Runs the Figure 11 experiment with the standard seven-technique roster
+/// on the default (single-shard) engine.
 pub fn run(scale: Scale, seed: u64) -> Fig11Result {
+    run_with_engine(scale, seed, EngineConfig::default())
+}
+
+/// Runs the full Figure 11 roster through a [`engine::ShardedEngine`].
+/// Under unified keying the shard count cannot change the lifetimes, only
+/// the wall-clock time of this slowest figure.
+pub fn run_with_engine(scale: Scale, seed: u64, engine_config: EngineConfig) -> Fig11Result {
     run_with(
         scale,
         seed,
         256,
         &Technique::lifetime_roster(256),
         &scale.benchmarks(),
+        engine_config,
     )
 }
 
@@ -85,11 +96,18 @@ pub fn run_with(
     cosets: usize,
     techniques: &[Technique],
     benchmarks: &[workload::BenchmarkProfile],
+    engine_config: EngineConfig,
 ) -> Fig11Result {
     let mut cells = Vec::new();
     for (b_idx, profile) in benchmarks.iter().enumerate() {
         for technique in techniques {
-            let outcome = lifetime_run(profile, *technique, scale, seed + b_idx as u64);
+            let outcome = lifetime_run_with(
+                profile,
+                *technique,
+                scale,
+                seed + b_idx as u64,
+                engine_config,
+            );
             cells.push(Fig11Cell {
                 benchmark: profile.name.clone(),
                 technique: technique.name(),
@@ -162,7 +180,14 @@ mod tests {
             Technique::Flipcy,
             Technique::VccStored { cosets: 32 },
         ];
-        let r = run_with(Scale::Tiny, 3, 32, &techniques, &benchmarks[..1]);
+        let r = run_with(
+            Scale::Tiny,
+            3,
+            32,
+            &techniques,
+            &benchmarks[..1],
+            EngineConfig::default(),
+        );
         assert_eq!(r.cells.len(), 3);
         let unenc = r.mean_lifetime("Unencoded");
         let flipcy = r.mean_lifetime("Flipcy");
@@ -177,7 +202,14 @@ mod tests {
     fn display_renders_means() {
         let benchmarks = Scale::Tiny.benchmarks();
         let techniques = [Technique::Unencoded, Technique::Secded];
-        let r = run_with(Scale::Tiny, 9, 32, &techniques, &benchmarks[..1]);
+        let r = run_with(
+            Scale::Tiny,
+            9,
+            32,
+            &techniques,
+            &benchmarks[..1],
+            EngineConfig::default(),
+        );
         let s = r.to_string();
         assert!(s.contains("mean Unencoded"));
         assert!(s.contains("mean SECDED"));

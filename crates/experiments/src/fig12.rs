@@ -7,8 +7,10 @@
 
 use std::fmt;
 
+use engine::EngineConfig;
+
 use crate::common::{eng, Scale, Technique};
-use crate::lifetime::mean_lifetime;
+use crate::lifetime::mean_lifetime_with;
 
 /// Mean lifetime of one technique at one coset count.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -41,10 +43,16 @@ impl Fig12Result {
     }
 }
 
-/// Runs the full Figure 12 sweep (seven techniques × four coset counts).
+/// Runs the full Figure 12 sweep (seven techniques × four coset counts)
+/// on the default (single-shard) engine.
 pub fn run(scale: Scale, seed: u64) -> Fig12Result {
+    run_with_engine(scale, seed, EngineConfig::default())
+}
+
+/// Runs the full Figure 12 sweep through a [`engine::ShardedEngine`].
+pub fn run_with_engine(scale: Scale, seed: u64, engine_config: EngineConfig) -> Fig12Result {
     let benchmarks = scale.benchmarks();
-    run_with(scale, seed, &benchmarks, &FIG12_COSET_COUNTS)
+    run_with(scale, seed, &benchmarks, &FIG12_COSET_COUNTS, engine_config)
 }
 
 /// Runs Figure 12 over explicit benchmark and coset-count subsets.
@@ -53,6 +61,7 @@ pub fn run_with(
     seed: u64,
     benchmarks: &[workload::BenchmarkProfile],
     coset_counts: &[usize],
+    engine_config: EngineConfig,
 ) -> Fig12Result {
     let mut cells = Vec::new();
     // Coset-insensitive techniques are measured once and replicated across
@@ -66,7 +75,10 @@ pub fn run_with(
     ];
     let mut insensitive_means = Vec::new();
     for t in insensitive {
-        insensitive_means.push((t.name(), mean_lifetime(benchmarks, t, scale, seed)));
+        insensitive_means.push((
+            t.name(),
+            mean_lifetime_with(benchmarks, t, scale, seed, engine_config),
+        ));
     }
     for &n in coset_counts {
         for (name, mean) in &insensitive_means {
@@ -83,7 +95,13 @@ pub fn run_with(
             cells.push(Fig12Cell {
                 technique: t.name().replace(&format!("-{n}"), ""),
                 cosets: n,
-                mean_writes_to_failure: mean_lifetime(benchmarks, t, scale, seed),
+                mean_writes_to_failure: mean_lifetime_with(
+                    benchmarks,
+                    t,
+                    scale,
+                    seed,
+                    engine_config,
+                ),
             });
         }
     }
@@ -136,7 +154,13 @@ mod tests {
     #[test]
     fn coset_techniques_beat_baselines_and_improve_with_more_cosets() {
         let benchmarks = Scale::Tiny.benchmarks();
-        let r = run_with(Scale::Tiny, 5, &benchmarks[..1], &[32, 128]);
+        let r = run_with(
+            Scale::Tiny,
+            5,
+            &benchmarks[..1],
+            &[32, 128],
+            EngineConfig::default(),
+        );
         let unenc = r.mean("Unencoded", 32).unwrap();
         let vcc32 = r.mean("VCC-Stored", 32).unwrap();
         let vcc128 = r.mean("VCC-Stored", 128).unwrap();
@@ -162,7 +186,13 @@ mod tests {
     #[test]
     fn display_renders_matrix() {
         let benchmarks = Scale::Tiny.benchmarks();
-        let r = run_with(Scale::Tiny, 6, &benchmarks[..1], &[32]);
+        let r = run_with(
+            Scale::Tiny,
+            6,
+            &benchmarks[..1],
+            &[32],
+            EngineConfig::default(),
+        );
         let s = r.to_string();
         assert!(s.contains("32 cosets"));
         assert!(s.contains("| VCC-Stored |"));

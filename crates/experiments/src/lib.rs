@@ -44,4 +44,5 @@ pub mod runner;
 
 pub use common::{pipeline_for, Scale, Technique};
 pub use controller::{LineReport, PipelineStats, WritePipeline};
-pub use runner::{reproduce, reproduce_all, Report, Selection};
+pub use engine::{EngineConfig, ShardKeying, ShardedEngine};
+pub use runner::{reproduce, reproduce_all, reproduce_with_engine, Report, Selection};

@@ -13,6 +13,7 @@
 //! Figures 11 and 12 compare.
 
 use coset::cost::opt_saw_then_energy;
+use engine::EngineConfig;
 
 use crate::common::{trace_for, Scale, Technique};
 use workload::BenchmarkProfile;
@@ -29,24 +30,50 @@ pub struct LifetimeOutcome {
     pub failed_rows: usize,
 }
 
-/// Runs one (benchmark, technique) lifetime simulation.
+impl From<engine::LifetimeSummary> for LifetimeOutcome {
+    fn from(s: engine::LifetimeSummary) -> Self {
+        LifetimeOutcome {
+            writes_to_failure: s.writes_to_failure,
+            reached_failure: s.reached_failure,
+            failed_rows: s.failed_rows,
+        }
+    }
+}
+
+/// Runs one (benchmark, technique) lifetime simulation on the default
+/// (single-shard) engine.
 pub fn lifetime_run(
     profile: &BenchmarkProfile,
     technique: Technique,
     scale: Scale,
     seed: u64,
 ) -> LifetimeOutcome {
+    lifetime_run_with(profile, technique, scale, seed, EngineConfig::default())
+}
+
+/// Runs one (benchmark, technique) lifetime simulation through a
+/// [`engine::ShardedEngine`].
+///
+/// The engine reproduces the sequential stopping point exactly (see
+/// [`engine::ShardedEngine::lifetime_replay`]): under unified keying the
+/// outcome is bit-identical at any shard count, and the lifetime study —
+/// the slowest part of the reproduction — parallelizes across shards.
+pub fn lifetime_run_with(
+    profile: &BenchmarkProfile,
+    technique: Technique,
+    scale: Scale,
+    seed: u64,
+    engine_config: EngineConfig,
+) -> LifetimeOutcome {
     let trace = trace_for(profile, scale, seed);
-    let mut pipeline = technique.pipeline(
+    let mut engine = technique.engine(
+        engine_config,
         scale.pcm_config(seed),
         None,
         seed ^ 0x11FE,
         seed ^ 0xC0DE,
-        Box::new(opt_saw_then_energy()),
+        || Box::new(opt_saw_then_energy()),
     );
-
-    let target_failures = scale.rows_to_failure();
-    let cap = scale.lifetime_write_cap();
 
     if trace.is_empty() {
         return LifetimeOutcome {
@@ -56,33 +83,30 @@ pub fn lifetime_run(
         };
     }
 
-    loop {
-        for wb in &trace {
-            let report = pipeline.write_back(wb);
-            if report.newly_failed_row && pipeline.failed_row_count() >= target_failures {
-                return LifetimeOutcome {
-                    writes_to_failure: pipeline.stats().lines_written,
-                    reached_failure: true,
-                    failed_rows: pipeline.failed_row_count(),
-                };
-            }
-            if pipeline.stats().lines_written >= cap {
-                return LifetimeOutcome {
-                    writes_to_failure: pipeline.stats().lines_written,
-                    reached_failure: false,
-                    failed_rows: pipeline.failed_row_count(),
-                };
-            }
-        }
-    }
+    engine
+        .lifetime_replay(&trace, scale.rows_to_failure(), scale.lifetime_write_cap())
+        .into()
 }
 
-/// Averages the lifetime of a technique over a set of benchmarks.
+/// Averages the lifetime of a technique over a set of benchmarks on the
+/// default (single-shard) engine.
 pub fn mean_lifetime(
     profiles: &[BenchmarkProfile],
     technique: Technique,
     scale: Scale,
     seed: u64,
+) -> f64 {
+    mean_lifetime_with(profiles, technique, scale, seed, EngineConfig::default())
+}
+
+/// Averages the lifetime of a technique over a set of benchmarks, running
+/// each lifetime simulation through a [`engine::ShardedEngine`].
+pub fn mean_lifetime_with(
+    profiles: &[BenchmarkProfile],
+    technique: Technique,
+    scale: Scale,
+    seed: u64,
+    engine_config: EngineConfig,
 ) -> f64 {
     if profiles.is_empty() {
         return 0.0;
@@ -90,7 +114,9 @@ pub fn mean_lifetime(
     let total: u64 = profiles
         .iter()
         .enumerate()
-        .map(|(i, p)| lifetime_run(p, technique, scale, seed + i as u64).writes_to_failure)
+        .map(|(i, p)| {
+            lifetime_run_with(p, technique, scale, seed + i as u64, engine_config).writes_to_failure
+        })
         .sum();
     total as f64 / profiles.len() as f64
 }
@@ -124,6 +150,21 @@ mod tests {
             secded.writes_to_failure,
             unencoded.writes_to_failure
         );
+    }
+
+    #[test]
+    fn sharded_lifetime_matches_single_shard() {
+        let profile = &Scale::Tiny.benchmarks()[0];
+        let single = lifetime_run(profile, Technique::Unencoded, Scale::Tiny, 11);
+        let sharded = lifetime_run_with(
+            profile,
+            Technique::Unencoded,
+            Scale::Tiny,
+            11,
+            EngineConfig::default().with_shards(4),
+        );
+        assert_eq!(single, sharded);
+        assert!(single.writes_to_failure > 0);
     }
 
     #[test]

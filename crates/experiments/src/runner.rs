@@ -7,6 +7,8 @@
 
 use std::fmt;
 
+use engine::EngineConfig;
+
 use crate::common::Scale;
 use crate::{fig01, fig02, fig06, fig07, fig08, fig09, fig10, fig11, fig12, fig13};
 
@@ -75,8 +77,24 @@ impl fmt::Display for Report {
     }
 }
 
-/// Runs the selected experiments at the given scale.
+/// Runs the selected experiments at the given scale on the default
+/// (single-shard) engine.
 pub fn reproduce(scale: Scale, seed: u64, selection: Selection) -> Report {
+    reproduce_with_engine(scale, seed, selection, EngineConfig::default())
+}
+
+/// Runs the selected experiments with the trace-replay figures (9–12)
+/// driven through a bank-sharded [`engine::ShardedEngine`].
+///
+/// Under the default unified keying the shard count cannot change any
+/// reported number — sharding is purely a wall-clock knob (the `reproduce`
+/// binary exposes it as `--shards`/`--threads`).
+pub fn reproduce_with_engine(
+    scale: Scale,
+    seed: u64,
+    selection: Selection,
+    engine_config: EngineConfig,
+) -> Report {
     let mut sections: Vec<(String, String)> = Vec::new();
     if selection.analytical {
         sections.push(("Figure 1 (analytical)".into(), fig01::run().to_string()));
@@ -97,21 +115,21 @@ pub fn reproduce(scale: Scale, seed: u64, selection: Selection) -> Report {
         ));
         sections.push((
             "Figure 9 (per-benchmark energy)".into(),
-            fig09::run(scale, seed).to_string(),
+            fig09::run_with_engine(scale, seed, engine_config).to_string(),
         ));
         sections.push((
             "Figure 10 (per-benchmark SAW)".into(),
-            fig10::run(scale, seed).to_string(),
+            fig10::run_with_engine(scale, seed, engine_config).to_string(),
         ));
     }
     if selection.lifetime {
         sections.push((
             "Figure 11 (per-benchmark lifetime)".into(),
-            fig11::run(scale, seed).to_string(),
+            fig11::run_with_engine(scale, seed, engine_config).to_string(),
         ));
         sections.push((
             "Figure 12 (lifetime vs coset count)".into(),
-            fig12::run(scale, seed).to_string(),
+            fig12::run_with_engine(scale, seed, engine_config).to_string(),
         ));
     }
     if selection.performance {

@@ -438,22 +438,39 @@ impl PcmMemory {
     /// Reads and decodes a full row with the encoder that wrote it.
     /// Stuck-at-wrong cells naturally corrupt the returned data.
     pub fn read_line(&mut self, row_addr: u64, encoder: &dyn Encoder) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.read_line_into(row_addr, encoder, &mut out);
+        out
+    }
+
+    /// Session variant of [`PcmMemory::read_line`]: decodes the row into the
+    /// caller's buffer so steady-state reads reuse one allocation (the read
+    /// mirror of [`PcmMemory::write_line_with`]).
+    pub fn read_line_into(&mut self, row_addr: u64, encoder: &dyn Encoder, out: &mut Vec<u64>) {
         let word_bits = self.config.word_bits;
         let words = self.config.words_per_row();
         let row = self.materialize(row_addr);
-        (0..words)
-            .map(|w| {
-                let stored = row.data_block(w, word_bits);
-                encoder.decode(&stored, row.aux_word(w)).as_u64()
-            })
-            .collect()
+        out.clear();
+        out.extend((0..words).map(|w| {
+            let stored = row.data_block(w, word_bits);
+            encoder.decode(&stored, row.aux_word(w)).as_u64()
+        }));
     }
 
     /// Reads the raw (still encoded) contents of a row.
     pub fn read_raw_line(&mut self, row_addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.read_raw_line_into(row_addr, &mut out);
+        out
+    }
+
+    /// Session variant of [`PcmMemory::read_raw_line`], reusing the caller's
+    /// buffer.
+    pub fn read_raw_line_into(&mut self, row_addr: u64, out: &mut Vec<u64>) {
         let words = self.config.words_per_row();
         let row = self.materialize(row_addr);
-        (0..words).map(|w| row.data_word(w)).collect()
+        out.clear();
+        out.extend((0..words).map(|w| row.data_word(w)));
     }
 }
 
@@ -622,6 +639,29 @@ mod tests {
         let outcome = mem.write_line(11, &line, &enc, &SawCount);
         let total: u32 = outcome.saw_per_word().iter().sum();
         assert_eq!(outcome.total_saw(), total);
+    }
+
+    #[test]
+    fn read_into_variants_match_allocating_reads_and_reuse_buffers() {
+        let mut mem = PcmMemory::new(tiny_config());
+        let vcc = Vcc::paper_mlc(64);
+        let cf = WriteEnergy::mlc();
+        let mut rng = StdRng::seed_from_u64(67);
+        let mut decoded = Vec::with_capacity(8);
+        let mut raw = Vec::with_capacity(8);
+        let (decoded_buf, raw_buf) = (decoded.as_ptr(), raw.as_ptr());
+        for addr in 0..5u64 {
+            let line: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+            mem.write_line(addr, &line, &vcc, &cf);
+            mem.read_line_into(addr, &vcc, &mut decoded);
+            assert_eq!(decoded, mem.read_line(addr, &vcc), "row {addr}");
+            assert_eq!(decoded, line, "row {addr}");
+            mem.read_raw_line_into(addr, &mut raw);
+            assert_eq!(raw, mem.read_raw_line(addr), "row {addr}");
+        }
+        // The warm buffers were reused, never reallocated.
+        assert_eq!(decoded.as_ptr(), decoded_buf);
+        assert_eq!(raw.as_ptr(), raw_buf);
     }
 
     #[test]

@@ -91,7 +91,39 @@ pub struct MemoryStats {
     pub dead_cells: u64,
 }
 
+impl AddAssign<&MemoryStats> for MemoryStats {
+    fn add_assign(&mut self, rhs: &MemoryStats) {
+        self.row_writes += rhs.row_writes;
+        self.word_writes += rhs.word_writes;
+        self.energy_pj += rhs.energy_pj;
+        self.cells_programmed += rhs.cells_programmed;
+        self.high_energy_programs += rhs.high_energy_programs;
+        self.bit_flips += rhs.bit_flips;
+        self.saw_cells += rhs.saw_cells;
+        self.saw_word_events += rhs.saw_word_events;
+        self.dead_cells += rhs.dead_cells;
+    }
+}
+
+impl AddAssign for MemoryStats {
+    fn add_assign(&mut self, rhs: MemoryStats) {
+        *self += &rhs;
+    }
+}
+
 impl MemoryStats {
+    /// Merges another accumulator into this one (field-wise sum).
+    ///
+    /// The merge is associative and commutative with [`MemoryStats::default`]
+    /// as the identity, so statistics collected over disjoint subsets of a
+    /// workload (e.g. per-bank shards) can be folded in any grouping and
+    /// match the totals a single sequential accumulator would have produced.
+    /// (Table-I programming energies are integer picojoules, so even the
+    /// floating-point `energy_pj` sum is exact and order-independent.)
+    pub fn merge(&mut self, other: &MemoryStats) {
+        *self += other;
+    }
+
     /// Folds one word outcome into the totals.
     pub fn absorb(&mut self, w: &WordWriteOutcome) {
         self.word_writes += 1;
@@ -196,6 +228,71 @@ mod tests {
         assert_eq!(s.energy_per_row_write(), 75.0);
         assert_eq!(s.saw_rate_per_word(), 1.0);
         assert_eq!(s.saw_word_events, 1);
+    }
+
+    #[test]
+    fn merge_is_associative_with_identity() {
+        let mk = |k: u64| MemoryStats {
+            row_writes: k,
+            word_writes: 8 * k,
+            energy_pj: 13.0 * k as f64 + 132.0 * (k / 2) as f64,
+            cells_programmed: 3 * k,
+            high_energy_programs: k / 2,
+            bit_flips: 5 * k,
+            saw_cells: k / 3,
+            saw_word_events: k / 4,
+            dead_cells: k / 7,
+        };
+        let (a, b, c) = (mk(11), mk(29), mk(97));
+
+        // (a + b) + c == a + (b + c)
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // default() is the identity on both sides.
+        let mut with_id = MemoryStats::default();
+        with_id.merge(&a);
+        assert_eq!(with_id, a);
+        let mut a2 = a;
+        a2 += MemoryStats::default();
+        assert_eq!(a2, a);
+    }
+
+    #[test]
+    fn merge_matches_sequential_absorb() {
+        // Absorbing outcomes into one accumulator must equal absorbing them
+        // into two halves and merging.
+        let outcomes: Vec<WordWriteOutcome> = (0..20)
+            .map(|i| WordWriteOutcome {
+                energy_pj: 13.0 * (i % 3) as f64 + 132.0 * (i % 2) as f64,
+                cells_programmed: i as u32,
+                high_energy_programs: (i % 2) as u32,
+                bit_flips: (2 * i) as u32,
+                saw_cells: (i % 4) as u32,
+                new_dead_cells: (i % 5) as u32,
+            })
+            .collect();
+        let mut whole = MemoryStats::default();
+        for o in &outcomes {
+            whole.absorb(o);
+        }
+        let mut first = MemoryStats::default();
+        let mut second = MemoryStats::default();
+        for (i, o) in outcomes.iter().enumerate() {
+            if i % 2 == 0 {
+                first.absorb(o);
+            } else {
+                second.absorb(o);
+            }
+        }
+        first.merge(&second);
+        assert_eq!(first, whole);
     }
 
     #[test]

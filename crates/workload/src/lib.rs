@@ -28,4 +28,4 @@ pub mod trace;
 pub use cache::{Cache, CacheHierarchy, Eviction, HierarchyStats, LineData};
 pub use generator::{generate_scaled_trace, generate_trace, Access, AccessGenerator};
 pub use profile::{BenchmarkProfile, ValueStyle};
-pub use trace::{Trace, TraceStats, WriteBack};
+pub use trace::{Trace, TraceShard, TraceStats, WriteBack};

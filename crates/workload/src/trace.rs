@@ -103,6 +103,75 @@ impl<'a> IntoIterator for &'a Trace {
     }
 }
 
+/// One shard's slice of a [`Trace`]: the write-backs assigned to the shard,
+/// in trace order, together with their positions in the original trace.
+///
+/// Positions let a sharded replay reconstruct global ordering facts (e.g.
+/// "after how many total line writes did this row fail?") without any
+/// cross-shard communication during the replay itself.
+///
+/// Shards own copies of their write-backs rather than indices alone: a
+/// replay worker then scans one contiguous slice instead of gathering
+/// through the source trace, which is worth the one-time O(trace) copy for
+/// workloads that replay each shard many times (the lifetime studies loop
+/// over their shards for millions of writes).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceShard {
+    /// Zero-based positions of this shard's write-backs in the source trace.
+    pub positions: Vec<u64>,
+    /// The write-backs themselves, in trace order.
+    pub writebacks: Vec<WriteBack>,
+}
+
+impl TraceShard {
+    /// Number of write-backs assigned to this shard.
+    pub fn len(&self) -> usize {
+        self.writebacks.len()
+    }
+
+    /// Whether the shard received no write-backs.
+    pub fn is_empty(&self) -> bool {
+        self.writebacks.is_empty()
+    }
+
+    /// Iterates `(source position, write-back)` pairs in trace order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &WriteBack)> {
+        self.positions.iter().copied().zip(self.writebacks.iter())
+    }
+}
+
+impl Trace {
+    /// Partitions the trace into `shards` disjoint [`TraceShard`]s using the
+    /// caller's assignment function (typically "row address modulo shard
+    /// count", which the sharded engine supplies).
+    ///
+    /// Every write-back lands in exactly one shard, shards preserve trace
+    /// order, and position metadata records where each write-back sat in the
+    /// source trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `assign` returns an out-of-range shard
+    /// index.
+    pub fn partition_by<F>(&self, shards: usize, assign: F) -> Vec<TraceShard>
+    where
+        F: Fn(&WriteBack) -> usize,
+    {
+        assert!(shards > 0, "shard count must be non-zero");
+        let mut out = vec![TraceShard::default(); shards];
+        for (pos, wb) in self.writebacks.iter().enumerate() {
+            let s = assign(wb);
+            assert!(
+                s < shards,
+                "assignment {s} out of range for {shards} shards"
+            );
+            out[s].positions.push(pos as u64);
+            out[s].writebacks.push(*wb);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +208,41 @@ mod tests {
         assert_eq!(s.unique_lines, 0);
         assert_eq!(s.max_writes_per_line, 0);
         assert_eq!(s.mean_writes_per_line, 0.0);
+    }
+
+    #[test]
+    fn partition_covers_each_writeback_once_in_order() {
+        let t = Trace::new(
+            "toy",
+            vec![wb(0, 1), wb(64, 2), wb(128, 3), wb(0, 4), wb(192, 5)],
+            100,
+        );
+        let shards = t.partition_by(2, |wb| (wb.line_addr / 64 % 2) as usize);
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].len() + shards[1].len(), t.len());
+        // Shard 0 gets rows 0 and 2; shard 1 gets rows 1 and 3.
+        assert_eq!(shards[0].positions, vec![0, 2, 3]);
+        assert_eq!(shards[1].positions, vec![1, 4]);
+        for (pos, w) in shards[0].iter().chain(shards[1].iter()) {
+            assert_eq!(&t.writebacks[pos as usize], w);
+        }
+        assert!(!shards[0].is_empty());
+    }
+
+    #[test]
+    fn partition_into_one_shard_is_the_whole_trace() {
+        let t = Trace::new("toy", vec![wb(0, 1), wb(64, 2)], 10);
+        let shards = t.partition_by(1, |_| 0);
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].writebacks, t.writebacks);
+        assert_eq!(shards[0].positions, vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partition_rejects_out_of_range_assignment() {
+        let t = Trace::new("toy", vec![wb(0, 1)], 10);
+        t.partition_by(2, |_| 5);
     }
 
     #[test]

@@ -89,4 +89,39 @@ proptest! {
             prop_assert_eq!(recovered.get(&addr), Some(&value), "lost store to {:#x}", addr);
         }
     }
+
+    /// `Trace::partition_by` is an exact partition: every write-back lands
+    /// in exactly one shard, at its original position, in trace order.
+    #[test]
+    fn trace_partition_covers_every_writeback_exactly_once(
+        addrs in prop::collection::vec(0u64..128, 0..300),
+        shards in 1usize..10,
+    ) {
+        let writebacks: Vec<workload::WriteBack> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| workload::WriteBack {
+                line_addr: a * LINE_BYTES,
+                data: [i as u64; 8],
+            })
+            .collect();
+        let t = workload::Trace::new("prop", writebacks, addrs.len() as u64);
+        let parts = t.partition_by(shards, |wb| (wb.line_addr / LINE_BYTES % shards as u64) as usize);
+        prop_assert_eq!(parts.len(), shards);
+        prop_assert_eq!(parts.iter().map(|p| p.len()).sum::<usize>(), t.len());
+
+        let mut seen = vec![false; t.len()];
+        for (shard_id, part) in parts.iter().enumerate() {
+            prop_assert_eq!(part.positions.len(), part.writebacks.len());
+            prop_assert!(part.positions.windows(2).all(|w| w[0] < w[1]));
+            for (pos, wb) in part.iter() {
+                let pos = pos as usize;
+                prop_assert!(!seen[pos], "write-back {} assigned twice", pos);
+                seen[pos] = true;
+                prop_assert_eq!(&t.writebacks[pos], wb);
+                prop_assert_eq!((wb.line_addr / LINE_BYTES % shards as u64) as usize, shard_id);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
 }

@@ -9,6 +9,8 @@
 //! * [`controller`] — the unified `WritePipeline` driving encryption, coset
 //!   encoding, fault protection and the PCM array behind one
 //!   `write_line` / `replay_trace` API,
+//! * [`engine`] — the bank-sharded `ShardedEngine` replaying traces over a
+//!   pool of worker threads with deterministic stats merging,
 //! * [`memcrypt`] — counter-mode memory encryption,
 //! * [`pcm`] — the MLC PCM device/array simulator,
 //! * [`protect`] — SECDED and ECP fault protection,
@@ -54,6 +56,7 @@
 
 pub use controller;
 pub use coset;
+pub use engine;
 pub use experiments;
 pub use hwmodel;
 pub use memcrypt;

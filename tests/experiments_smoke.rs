@@ -2,7 +2,8 @@
 //! Tiny scale and produces structurally sound output.
 
 use vcc_repro::experiments::{
-    fig01, fig02, fig06, fig07, fig08, fig10, fig11, fig13, reproduce, Scale, Selection, Technique,
+    fig01, fig02, fig06, fig07, fig08, fig10, fig11, fig13, reproduce, EngineConfig, Scale,
+    Selection, Technique,
 };
 
 #[test]
@@ -46,7 +47,16 @@ fn lifetime_figure_shows_vcc_and_rcc_ahead() {
         Technique::VccStored { cosets: 64 },
         Technique::Rcc { cosets: 64 },
     ];
-    let r = fig11::run_with(Scale::Tiny, 77, 64, &techniques, &benchmarks[..1]);
+    // Two bank shards exercise the sharded engine end-to-end; unified
+    // keying makes the numbers identical to a single-shard run.
+    let r = fig11::run_with(
+        Scale::Tiny,
+        77,
+        64,
+        &techniques,
+        &benchmarks[..1],
+        EngineConfig::default().with_shards(2),
+    );
     let unenc = r.mean_lifetime("Unencoded");
     assert!(unenc > 0.0);
     assert!(r.mean_lifetime("VCC-64-Stored") > unenc);
