@@ -1,0 +1,165 @@
+//! Raw PCM commit-path throughput: the word-parallel (SWAR) commit versus
+//! the per-cell scalar oracle.
+//!
+//! The encoders were made ~2× faster in an earlier PR, which left the
+//! array-model commit (`Row::commit_word`) dominating pipeline time — an
+//! unencoded write ran at roughly FNW throughput. This bench isolates that
+//! path: `Unencoded` makes the encode stage trivial, so `write_line` /
+//! `write_raw_word` time is almost entirely commit time. The `scalar_*`
+//! rows drive the same memories through `PcmMemory::write_line_scalar_with`
+//! (the `scalar-oracle` feature, i.e. the pre-SWAR commit behind the same
+//! scratch-reusing encode stage), so the
+//! SWAR-vs-scalar speedup is directly visible; the banner prints a
+//! measured headline ratio (target: ≥2×). The `vcc256` rows show how much
+//! of the win survives once a real encoder is back in front.
+//!
+//! `COMMIT_PATH_FAST=1` shrinks the workload for CI smoke runs.
+
+use std::time::Instant;
+
+use controller::WritePipeline;
+use coset::cost::WriteEnergy;
+use coset::{Unencoded, Vcc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcm::{LineWriteScratch, PcmConfig, PcmMemory};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vcc_bench::{print_figure, BENCH_SEED};
+
+const ROWS: u64 = 64;
+
+fn fast_mode() -> bool {
+    std::env::var("COMMIT_PATH_FAST").is_ok_and(|v| v == "1")
+}
+
+/// Endurance high enough that no cell dies while benchmarking, keeping the
+/// measured work stationary across iterations.
+fn bench_config() -> PcmConfig {
+    let mut cfg = PcmConfig::scaled(1 << 20, 1e12);
+    cfg.seed = BENCH_SEED;
+    cfg
+}
+
+fn bench_lines(n: usize) -> Vec<[u64; 8]> {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// One-shot headline measurement: lines/sec through each commit path.
+fn measured_rate(lines: &[[u64; 8]], mut write: impl FnMut(u64, &[u64; 8])) -> f64 {
+    let start = Instant::now();
+    for (i, line) in lines.iter().enumerate() {
+        write(i as u64 % ROWS, line);
+    }
+    lines.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    let headline = bench_lines(if fast_mode() { 2_000 } else { 20_000 });
+    let enc = Unencoded::new(64);
+    let cost = WriteEnergy::mlc();
+
+    let mut scratch = LineWriteScratch::new();
+    let mut swar_mem = PcmMemory::new(bench_config());
+    let swar_rate = measured_rate(&headline, |row, line| {
+        swar_mem.write_line_with(row, line, &enc, &cost, &mut scratch);
+    });
+    let mut scalar_scratch = LineWriteScratch::new();
+    let mut scalar_mem = PcmMemory::new(bench_config());
+    let scalar_rate = measured_rate(&headline, |row, line| {
+        scalar_mem.write_line_scalar_with(row, line, &enc, &cost, &mut scalar_scratch);
+    });
+    assert_eq!(
+        swar_mem.stats().energy_pj,
+        scalar_mem.stats().energy_pj,
+        "the two commit paths must do identical work"
+    );
+    print_figure(
+        &format!(
+            "PCM commit path — {} unencoded 512-bit lines per measurement",
+            headline.len()
+        ),
+        &format!(
+            "word-parallel commit: {:>9.0} lines/s\n\
+             scalar oracle:        {:>9.0} lines/s\n\
+             speedup:              {:>9.2}x  (acceptance target: >= 2x)",
+            swar_rate,
+            scalar_rate,
+            swar_rate / scalar_rate
+        ),
+    );
+
+    let lines = bench_lines(if fast_mode() { 50 } else { 200 });
+    let mut group = c.benchmark_group("commit_path");
+    group.sample_size(10);
+
+    // Raw line commits, SWAR vs scalar (Unencoded isolates the commit).
+    let mut mem = PcmMemory::new(bench_config());
+    let mut scratch = LineWriteScratch::new();
+    group.bench_function("swar_commit_line_unencoded", |b| {
+        b.iter(|| {
+            for (i, line) in lines.iter().enumerate() {
+                mem.write_line_with(i as u64 % ROWS, line, &enc, &cost, &mut scratch);
+            }
+            mem.stats().row_writes
+        })
+    });
+    let mut mem = PcmMemory::new(bench_config());
+    let mut scratch = LineWriteScratch::new();
+    group.bench_function("scalar_commit_line_unencoded", |b| {
+        b.iter(|| {
+            for (i, line) in lines.iter().enumerate() {
+                mem.write_line_scalar_with(i as u64 % ROWS, line, &enc, &cost, &mut scratch);
+            }
+            mem.stats().row_writes
+        })
+    });
+
+    // Raw word writes through the pipeline front door (Figure 7's unit).
+    let mut pipeline = WritePipeline::new(bench_config(), Box::new(Unencoded::new(64)));
+    group.bench_function("swar_write_raw_word_unencoded", |b| {
+        b.iter(|| {
+            let mut out = 0u32;
+            for (i, line) in lines.iter().enumerate() {
+                let o = pipeline.write_raw_word(i as u64 % ROWS, i % 8, line[0]);
+                out += o.cells_programmed;
+            }
+            out
+        })
+    });
+
+    // The encoded path: how much of the commit win the full VCC-256 write
+    // keeps end-to-end.
+    let vcc = Vcc::paper_mlc(256);
+    let mut mem = PcmMemory::new(bench_config());
+    let mut scratch = LineWriteScratch::new();
+    group.bench_function("swar_commit_line_vcc256", |b| {
+        b.iter(|| {
+            for (i, line) in lines.iter().enumerate() {
+                mem.write_line_with(i as u64 % ROWS, line, &vcc, &cost, &mut scratch);
+            }
+            mem.stats().row_writes
+        })
+    });
+    let mut mem = PcmMemory::new(bench_config());
+    let mut scratch = LineWriteScratch::new();
+    group.bench_function("scalar_commit_line_vcc256", |b| {
+        b.iter(|| {
+            for (i, line) in lines.iter().enumerate() {
+                mem.write_line_scalar_with(i as u64 % ROWS, line, &vcc, &cost, &mut scratch);
+            }
+            mem.stats().row_writes
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

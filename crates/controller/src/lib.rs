@@ -15,6 +15,12 @@
 //! one-line warm-up, replaying a trace performs no per-candidate heap
 //! allocation in the encoder hot path, and read-back reuses a
 //! pipeline-owned line buffer ([`PcmMemory::read_line_into`]) the same way.
+//! The programming stage lands in the array through the batched
+//! [`PcmMemory::commit_line`]: one row materialization per line and a
+//! word-parallel (SWAR) commit per word, so [`WritePipeline::write_line`]
+//! and every trace replay built on it — including the sharded engine's —
+//! pay no per-cell loop on the PCM side (see the `pcm` crate docs for the
+//! packed row layout and its invariants).
 //!
 //! A `WritePipeline` is single-threaded by design. For whole-trace replays
 //! where only aggregate statistics matter, the `engine` crate shards the

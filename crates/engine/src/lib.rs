@@ -8,7 +8,10 @@
 //! row-address space into `N` bank shards (`row_addr % N`), gives each
 //! shard its own [`WritePipeline`], and replays traces across a pool of
 //! `std::thread` workers fed by per-shard work queues
-//! ([`workload::Trace::partition_by`]).
+//! ([`workload::Trace::partition_by`]). Within each shard, line writes
+//! land through the batched word-parallel commit
+//! (`pcm::PcmMemory::commit_line`), so sharding multiplies an already
+//! SWAR-fast sequential path.
 //!
 //! # The determinism contract
 //!

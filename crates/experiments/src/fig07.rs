@@ -5,6 +5,10 @@
 //! RCC, VCC with generated kernels and VCC with stored kernels all cut the
 //! write energy by roughly 45 % relative to unencoded writeback, with RCC
 //! marginally ahead and the gap narrowing as the coset count grows.
+//!
+//! This driver works at word granularity ([`WritePipeline::write_raw_word`],
+//! which rides the word-parallel `Row::commit_word`); the `commit_path`
+//! bench measures the same unit in isolation.
 
 use std::fmt;
 

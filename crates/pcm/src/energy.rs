@@ -60,6 +60,81 @@ pub fn classify_mlc(old_symbol: u8, new_symbol: u8) -> TransitionClass {
     }
 }
 
+/// Per-class programming costs for the word-parallel (SWAR) commit path.
+///
+/// Both energy tables the simulator can instantiate — Table I for MLC and
+/// the symmetric SLC model — are fully described by a *transition class*
+/// ([`TransitionClass`]): rewrites are free, and every programmed cell
+/// costs either the low or the high constant. The SWAR commit classifies
+/// all cells of a word at once with bit tricks and multiplies the per-class
+/// population counts by these constants, instead of performing a
+/// `TransitionEnergy::energy` table lookup per cell.
+///
+/// `wear_low`/`wear_high` are the wear units of each class under
+/// energy-weighted wear (`energy / LOW_TRANSITION_PJ`, rounded, at least
+/// one); with plain event-counted wear both are 1. All four energy values
+/// are integer picojoules, so class-count × constant accumulation is exact
+/// in `f64` and bit-identical to the scalar per-cell sum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionCosts {
+    /// Energy of a low-class programming event, in pJ.
+    pub low_pj: f64,
+    /// Energy of a high-class programming event, in pJ (unused for SLC,
+    /// where every flip is low-class).
+    pub high_pj: f64,
+    /// Wear units charged per low-class programming event.
+    pub wear_low: u64,
+    /// Wear units charged per high-class programming event.
+    pub wear_high: u64,
+    /// Whether the cells are MLC (two bits per cell, high class exists).
+    pub is_mlc: bool,
+}
+
+impl TransitionCosts {
+    /// Derives the per-class costs for a cell kind and wear policy.
+    pub fn new(kind: CellKind, energy_weighted_wear: bool) -> Self {
+        let (low_pj, high_pj, is_mlc) = match kind {
+            CellKind::Mlc => (LOW_TRANSITION_PJ, HIGH_TRANSITION_PJ, true),
+            CellKind::Slc => (SLC_TRANSITION_PJ, SLC_TRANSITION_PJ, false),
+        };
+        let wear_of = |e: f64| {
+            if energy_weighted_wear {
+                ((e / LOW_TRANSITION_PJ).round() as u64).max(1)
+            } else {
+                1
+            }
+        };
+        TransitionCosts {
+            low_pj,
+            high_pj,
+            wear_low: wear_of(low_pj),
+            wear_high: wear_of(high_pj),
+            is_mlc,
+        }
+    }
+
+    /// Checks that a transition table has exactly the class structure these
+    /// costs assume: zero diagonal, and every off-diagonal entry equal to
+    /// the class constant ([`classify_mlc`] for MLC, `low_pj` for SLC).
+    /// The memory constructor asserts this, pinning the SWAR commit path to
+    /// tables it can reproduce bit-exactly.
+    pub fn matches(&self, energies: &TransitionEnergy) -> bool {
+        let symbols: &[u8] = if self.is_mlc { &[0, 1, 2, 3] } else { &[0, 1] };
+        symbols.iter().all(|&old| {
+            symbols.iter().all(|&new| {
+                let expect = if old == new {
+                    0.0
+                } else if self.is_mlc && new & 1 == 1 {
+                    self.high_pj
+                } else {
+                    self.low_pj
+                };
+                energies.energy(old, new) == expect
+            })
+        })
+    }
+}
+
 /// Renders Table I (old state rows × new state columns, values "-", "low",
 /// "high") exactly as the paper lays it out, for reports and documentation.
 pub fn render_table_i() -> String {
@@ -130,6 +205,32 @@ mod tests {
         }
         assert_eq!(s.matches("high").count(), 6);
         assert_eq!(s.matches("low").count(), 6);
+    }
+
+    #[test]
+    fn transition_costs_match_their_tables() {
+        for weighted in [false, true] {
+            let mlc = TransitionCosts::new(CellKind::Mlc, weighted);
+            assert!(mlc.matches(&table_i()));
+            assert!(!mlc.matches(&slc_energy()));
+            let slc = TransitionCosts::new(CellKind::Slc, weighted);
+            assert!(slc.matches(&slc_energy()));
+        }
+    }
+
+    #[test]
+    fn transition_cost_wear_units() {
+        let flat = TransitionCosts::new(CellKind::Mlc, false);
+        assert_eq!((flat.wear_low, flat.wear_high), (1, 1));
+        let weighted = TransitionCosts::new(CellKind::Mlc, true);
+        assert_eq!(weighted.wear_low, 1);
+        assert_eq!(
+            weighted.wear_high,
+            (HIGH_TRANSITION_PJ / LOW_TRANSITION_PJ).round() as u64
+        );
+        let slc = TransitionCosts::new(CellKind::Slc, true);
+        assert_eq!((slc.wear_low, slc.wear_high), (1, 1));
+        assert!(!slc.is_mlc);
     }
 
     #[test]

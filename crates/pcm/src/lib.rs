@@ -8,6 +8,42 @@
 //! Writes go through any [`coset::Encoder`], so the same memory model
 //! serves unencoded writeback, DBI/FNW, Flipcy, RCC and VCC.
 //!
+//! # The packed row layout and the word-parallel commit
+//!
+//! Each materialized [`Row`] keeps the state the write hot path touches
+//! packed per word, aligned with the stored bits (LSB-first cell order,
+//! [`coset::symbol::CellKind::bits_per_cell`] bits per cell): the stored
+//! data and auxiliary bits, and stuck-cell mask/value bit fields in which a
+//! stuck cell always covers all of its bits. Only wear counters and
+//! endurance limits remain per-cell arrays, because every cell carries an
+//! individual sampled limit.
+//!
+//! Committing a word ([`Row::commit_word`], driven by
+//! [`PcmMemory::commit_line`] for whole cache lines) is SWAR-style
+//! word-parallel: transition classes are derived for all cells at once with
+//! XOR/shift/popcount over the packed words, Table-I energy is charged as
+//! per-class population counts times the class constants
+//! ([`energy::TransitionCosts`]), stuck cells are masked in bulk, and
+//! per-cell work (wear, death, freezing) happens only for the cells a write
+//! actually programs. The invariants this relies on are:
+//!
+//! * the energy table has the Table-I class structure (zero diagonal, one
+//!   constant per [`energy::TransitionClass`]) — asserted at construction;
+//! * class energies are integer picojoules, so count × constant
+//!   accumulation is bit-identical to the per-cell `f64` sum;
+//! * stuck masks cover whole cells, so per-bit masking is exact at cell
+//!   granularity;
+//! * a cell that exceeds its endurance limit completes its final
+//!   programming and is then frozen at the value just written.
+//!
+//! The original per-cell loop survives as the *scalar oracle*
+//! (`PcmMemory::write_line_scalar` / `PcmMemory::write_word_scalar`),
+//! compiled only for this crate's own tests and under the `scalar-oracle`
+//! cargo feature. The `commit_oracle` differential suite (and the
+//! `commit_path` bench in the workspace bench harness, which enables the
+//! feature) pin the two paths to bit-identical outcomes, statistics,
+//! stored bits and stuck-state evolution.
+//!
 //! ```
 //! use pcm::{PcmConfig, PcmMemory};
 //! use coset::{Vcc, cost::WriteEnergy};

@@ -12,6 +12,14 @@
 //! 4. charge Table-I energy per programmed cell, accrue wear, and retire
 //!    cells that exceed their endurance limit (they become stuck at their
 //!    final value).
+//!
+//! Step 3–4 run word-parallel ([`Row::commit_word`]): transition classes
+//! for all cells of a word are derived at once from packed XOR/popcount
+//! operations and charged by per-class counts, with per-cell work only for
+//! the cells actually programmed. The original per-cell loop is retained as
+//! a reference oracle behind `cfg(any(test, feature = "scalar-oracle"))`
+//! (see `PcmMemory::write_line_scalar`); the `commit_oracle` differential
+//! suite pins the two paths to bit-identical behaviour.
 
 use std::collections::HashMap;
 
@@ -22,6 +30,7 @@ use memcrypt::initial_row_contents;
 
 use crate::config::PcmConfig;
 use crate::endurance::EnduranceModel;
+use crate::energy::TransitionCosts;
 use crate::fault::FaultMap;
 use crate::row::Row;
 use crate::stats::{LineWriteOutcome, MemoryStats, WordWriteOutcome};
@@ -50,6 +59,9 @@ pub struct PcmMemory {
     config: PcmConfig,
     endurance: EnduranceModel,
     energies: TransitionEnergy,
+    /// Per-class commit costs derived once from `energies` (the SWAR commit
+    /// path charges class counts instead of per-cell table lookups).
+    costs: TransitionCosts,
     fault_map: Option<FaultMap>,
     rows: HashMap<u64, Row>,
     stats: MemoryStats,
@@ -79,10 +91,16 @@ impl PcmMemory {
             CellKind::Mlc => TransitionEnergy::mlc_table_i(),
             CellKind::Slc => TransitionEnergy::slc_symmetric(),
         };
+        let costs = TransitionCosts::new(config.cell_kind, config.energy_weighted_wear);
+        assert!(
+            costs.matches(&energies),
+            "transition table must have the per-class structure the SWAR commit assumes"
+        );
         PcmMemory {
             config,
             endurance,
             energies,
+            costs,
             fault_map: None,
             rows: HashMap::new(),
             stats: MemoryStats::default(),
@@ -111,6 +129,14 @@ impl PcmMemory {
     /// The memory configuration.
     pub fn config(&self) -> &PcmConfig {
         &self.config
+    }
+
+    /// The per-transition energy table this memory charges (Table I for
+    /// MLC, the symmetric model for SLC). The hot commit path charges the
+    /// equivalent per-class [`TransitionCosts`] instead of consulting the
+    /// table per cell; the constructor asserts the two agree.
+    pub fn energies(&self) -> &TransitionEnergy {
+        &self.energies
     }
 
     /// Aggregate statistics so far.
@@ -148,37 +174,13 @@ impl PcmMemory {
             // Apply the pre-generated fault map: mapped cells are stuck and
             // the stored value reflects the frozen symbol.
             if let Some(map) = fault_map {
-                let bpc = config.cell_kind.bits_per_cell();
                 let total = row.cells_per_word_total() * words;
                 for cell in 0..total {
                     if let Some(sym) = map.stuck_symbol(row_addr, cell) {
                         row.stick_cell(cell, sym as u8);
                     }
                 }
-                // Force the stored bits of stuck data/aux cells to the frozen
-                // symbol so reads observe the fault.
-                for w in 0..words {
-                    let mut data = row.data_word(w);
-                    let mut aux = row.aux_word(w);
-                    let base = row.first_cell_of_word(w);
-                    for c in 0..row.data_cells_per_word() {
-                        if row.is_stuck(base + c) {
-                            let shift = c * bpc;
-                            let mask = ((1u64 << bpc) - 1) << shift;
-                            data = (data & !mask) | ((row.stuck_symbol(base + c) as u64) << shift);
-                        }
-                    }
-                    let aux_base = row.first_aux_cell_of_word(w);
-                    for c in 0..row.aux_cells_per_word() {
-                        if row.is_stuck(aux_base + c) {
-                            let shift = c * bpc;
-                            let mask = ((1u64 << bpc) - 1) << shift;
-                            aux =
-                                (aux & !mask) | ((row.stuck_symbol(aux_base + c) as u64) << shift);
-                        }
-                    }
-                    row.store_word(w, data, aux);
-                }
+                row.freeze_stuck_values();
             }
             row
         })
@@ -188,6 +190,11 @@ impl PcmMemory {
     pub fn write_context(&mut self, row_addr: u64, w: usize, aux_bits: u32) -> WriteContext {
         let word_bits = self.config.word_bits;
         let row = self.materialize(row_addr);
+        Self::context_for(row, w, word_bits, aux_bits)
+    }
+
+    /// Builds the context for word `w` from an already-materialized row.
+    fn context_for(row: &Row, w: usize, word_bits: usize, aux_bits: u32) -> WriteContext {
         let old_data = row.data_block(w, word_bits);
         let old_aux = row.aux_word(w);
         let stuck = row.stuck_bits_for_data(w, word_bits);
@@ -272,9 +279,287 @@ impl PcmMemory {
         );
     }
 
-    /// Programs the chosen codeword into the array, applying stuck cells,
-    /// charging energy and accruing wear.
+    /// The auxiliary region width in bits: `aux_bits` rounded up to whole
+    /// cells.
+    fn aux_region_bits(&self, aux_bits: u32) -> usize {
+        let bpc = self.config.cell_kind.bits_per_cell();
+        (aux_bits as usize).div_ceil(bpc) * bpc
+    }
+
+    /// Programs the chosen codeword into the array through the word-parallel
+    /// commit, applying stuck cells, charging energy and accruing wear.
     fn commit_word(
+        &mut self,
+        row_addr: u64,
+        w: usize,
+        desired_data: u64,
+        desired_aux: u64,
+        aux_bits: u32,
+    ) -> WordWriteOutcome {
+        let costs = self.costs;
+        let aux_region_bits = self.aux_region_bits(aux_bits);
+        let row = self.materialize(row_addr);
+        let mut outcome = WordWriteOutcome::default();
+        row.commit_word(
+            w,
+            desired_data,
+            desired_aux,
+            aux_region_bits,
+            &costs,
+            &mut outcome,
+        );
+        outcome
+    }
+
+    /// Commits a whole line of already-encoded words in one pass: the row is
+    /// materialized (one hash lookup) once and every word goes through the
+    /// word-parallel [`Row::commit_word`]. This is the batched back end of
+    /// [`PcmMemory::write_line_with`], and therefore of
+    /// `controller::WritePipeline::write_line` and the sharded engine's
+    /// trace replay.
+    ///
+    /// Counts as one row write in [`MemoryStats`] (plus one word write per
+    /// encoded word, like every commit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `encoded` holds more words than the row, or `aux_bits`
+    /// exceeds the per-word auxiliary budget (the aux region would spill
+    /// into the next word's cells).
+    pub fn commit_line(
+        &mut self,
+        row_addr: u64,
+        encoded: &[Encoded],
+        aux_bits: u32,
+    ) -> LineWriteOutcome {
+        assert!(
+            encoded.len() <= self.config.words_per_row(),
+            "encoded line exceeds the row"
+        );
+        assert!(
+            aux_bits <= self.config.aux_bits_per_word,
+            "commit needs {} aux bits but the memory only provides {}",
+            aux_bits,
+            self.config.aux_bits_per_word
+        );
+        self.stats.row_writes += 1;
+        let costs = self.costs;
+        let aux_region_bits = self.aux_region_bits(aux_bits);
+        let row = self.materialize(row_addr);
+        let mut words = Vec::with_capacity(encoded.len());
+        for (w, enc) in encoded.iter().enumerate() {
+            let mut outcome = WordWriteOutcome::default();
+            row.commit_word(
+                w,
+                enc.codeword.as_u64(),
+                enc.aux,
+                aux_region_bits,
+                &costs,
+                &mut outcome,
+            );
+            words.push(outcome);
+        }
+        for outcome in &words {
+            self.stats.absorb(outcome);
+        }
+        LineWriteOutcome { words }
+    }
+
+    /// Writes a full already-encrypted row (cache line) through an encoder.
+    pub fn write_line(
+        &mut self,
+        row_addr: u64,
+        line: &[u64],
+        encoder: &dyn Encoder,
+        cost: &dyn CostFunction,
+    ) -> LineWriteOutcome {
+        self.write_line_with(row_addr, line, encoder, cost, &mut LineWriteScratch::new())
+    }
+
+    /// Session variant of [`PcmMemory::write_line`]: batches the whole line
+    /// through [`Encoder::encode_line`] with reusable scratch buffers and
+    /// commits it with [`PcmMemory::commit_line`] — the entry point the
+    /// write pipeline drives.
+    ///
+    /// Word regions of a row are disjoint (data cells, auxiliary cells and
+    /// wear state never overlap between words), so building every word's
+    /// context up front and committing afterwards is exactly equivalent to
+    /// the word-by-word read-modify-write loop.
+    pub fn write_line_with(
+        &mut self,
+        row_addr: u64,
+        line: &[u64],
+        encoder: &dyn Encoder,
+        cost: &dyn CostFunction,
+        scratch: &mut LineWriteScratch,
+    ) -> LineWriteOutcome {
+        self.encode_line_stage(row_addr, line, encoder, cost, scratch);
+        self.commit_line(row_addr, &scratch.encoded, encoder.aux_bits())
+    }
+
+    /// The shared encode stage of a line write: validates the line and
+    /// encoder, builds every word's [`WriteContext`] from one row
+    /// materialization, and leaves the chosen codewords in
+    /// `scratch.encoded`. Both commit back ends (word-parallel and scalar
+    /// oracle) run behind this.
+    fn encode_line_stage(
+        &mut self,
+        row_addr: u64,
+        line: &[u64],
+        encoder: &dyn Encoder,
+        cost: &dyn CostFunction,
+        scratch: &mut LineWriteScratch,
+    ) {
+        assert_eq!(
+            line.len(),
+            self.config.words_per_row(),
+            "line must contain exactly one row of words"
+        );
+        self.check_encoder(encoder);
+
+        let word_bits = self.config.word_bits;
+        let aux_bits = encoder.aux_bits();
+        let row = self.materialize(row_addr);
+        scratch.ctxs.clear();
+        scratch
+            .ctxs
+            .extend((0..line.len()).map(|w| Self::context_for(row, w, word_bits, aux_bits)));
+        encoder.encode_line(
+            line,
+            &scratch.ctxs,
+            cost,
+            &mut scratch.encode,
+            &mut scratch.encoded,
+        );
+    }
+
+    /// Reads and decodes a full row with the encoder that wrote it.
+    /// Stuck-at-wrong cells naturally corrupt the returned data.
+    pub fn read_line(&mut self, row_addr: u64, encoder: &dyn Encoder) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.read_line_into(row_addr, encoder, &mut out);
+        out
+    }
+
+    /// Session variant of [`PcmMemory::read_line`]: decodes the row into the
+    /// caller's buffer so steady-state reads reuse one allocation (the read
+    /// mirror of [`PcmMemory::write_line_with`]).
+    pub fn read_line_into(&mut self, row_addr: u64, encoder: &dyn Encoder, out: &mut Vec<u64>) {
+        let word_bits = self.config.word_bits;
+        let words = self.config.words_per_row();
+        let row = self.materialize(row_addr);
+        out.clear();
+        out.extend((0..words).map(|w| {
+            let stored = row.data_block(w, word_bits);
+            encoder.decode(&stored, row.aux_word(w)).as_u64()
+        }));
+    }
+
+    /// Reads the raw (still encoded) contents of a row.
+    pub fn read_raw_line(&mut self, row_addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.read_raw_line_into(row_addr, &mut out);
+        out
+    }
+
+    /// Session variant of [`PcmMemory::read_raw_line`], reusing the caller's
+    /// buffer.
+    pub fn read_raw_line_into(&mut self, row_addr: u64, out: &mut Vec<u64>) {
+        let words = self.config.words_per_row();
+        let row = self.materialize(row_addr);
+        out.clear();
+        out.extend((0..words).map(|w| row.data_word(w)));
+    }
+}
+
+/// The per-cell scalar commit path, retained as the reference oracle for
+/// the word-parallel implementation. Compiled only for this crate's own
+/// tests and under the `scalar-oracle` feature (the differential
+/// `commit_oracle` suite and the `commit_path` bench enable it).
+#[cfg(any(test, feature = "scalar-oracle"))]
+impl PcmMemory {
+    /// Scalar-oracle variant of [`PcmMemory::write_line`]: identical encode
+    /// stage, but every word is committed by the per-cell reference loop.
+    pub fn write_line_scalar(
+        &mut self,
+        row_addr: u64,
+        line: &[u64],
+        encoder: &dyn Encoder,
+        cost: &dyn CostFunction,
+    ) -> LineWriteOutcome {
+        self.write_line_scalar_with(row_addr, line, encoder, cost, &mut LineWriteScratch::new())
+    }
+
+    /// Session variant of [`PcmMemory::write_line_scalar`], sharing the
+    /// exact encode stage (and scratch reuse) of
+    /// [`PcmMemory::write_line_with`] so benchmarks comparing the two
+    /// commit back ends measure only the commit difference.
+    pub fn write_line_scalar_with(
+        &mut self,
+        row_addr: u64,
+        line: &[u64],
+        encoder: &dyn Encoder,
+        cost: &dyn CostFunction,
+        scratch: &mut LineWriteScratch,
+    ) -> LineWriteOutcome {
+        self.encode_line_stage(row_addr, line, encoder, cost, scratch);
+        self.stats.row_writes += 1;
+        let aux_bits = encoder.aux_bits();
+        let words = scratch
+            .encoded
+            .iter()
+            .enumerate()
+            .map(|(w, encoded)| {
+                let outcome = self.commit_word_scalar(
+                    row_addr,
+                    w,
+                    encoded.codeword.as_u64(),
+                    encoded.aux,
+                    aux_bits,
+                );
+                self.stats.absorb(&outcome);
+                outcome
+            })
+            .collect();
+        LineWriteOutcome { words }
+    }
+
+    /// Scalar-oracle variant of [`PcmMemory::write_word`].
+    pub fn write_word_scalar(
+        &mut self,
+        row_addr: u64,
+        w: usize,
+        data: u64,
+        encoder: &dyn Encoder,
+        cost: &dyn CostFunction,
+    ) -> WordWriteOutcome {
+        self.check_encoder(encoder);
+        assert!(w < self.config.words_per_row(), "word index out of range");
+        let ctx = self.write_context(row_addr, w, encoder.aux_bits());
+        let mut scratch = LineWriteScratch::new();
+        encoder.encode_line(
+            &[data],
+            std::slice::from_ref(&ctx),
+            cost,
+            &mut scratch.encode,
+            &mut scratch.encoded,
+        );
+        let encoded = &scratch.encoded[0];
+        let outcome = self.commit_word_scalar(
+            row_addr,
+            w,
+            encoded.codeword.as_u64(),
+            encoded.aux,
+            encoder.aux_bits(),
+        );
+        self.stats.absorb(&outcome);
+        outcome
+    }
+
+    /// The original cell-by-cell commit: walks every cell of the word,
+    /// looks its transition up in the [`TransitionEnergy`] table (borrowed
+    /// once, not cloned) and accrues wear through [`Row::add_wear`].
+    fn commit_word_scalar(
         &mut self,
         row_addr: u64,
         w: usize,
@@ -286,11 +571,13 @@ impl PcmMemory {
         let cell_mask = (1u64 << bpc) - 1;
         let is_mlc = self.config.cell_kind == CellKind::Mlc;
         let energy_weighted = self.config.energy_weighted_wear;
-        let energies = self.energies.clone();
         let data_cells = self.config.cells_per_word();
         let aux_cells_used = (aux_bits as usize).div_ceil(bpc);
 
-        let row = self.materialize(row_addr);
+        self.materialize(row_addr);
+        // Disjoint field borrows: the row mutably, the energy table shared.
+        let row = self.rows.get_mut(&row_addr).expect("just materialized");
+        let energies = &self.energies;
         let mut outcome = WordWriteOutcome::default();
 
         let old_data = row.data_word(w);
@@ -367,110 +654,6 @@ impl PcmMemory {
 
         row.store_word(w, stored_data, stored_aux);
         outcome
-    }
-
-    /// Writes a full already-encrypted row (cache line) through an encoder.
-    pub fn write_line(
-        &mut self,
-        row_addr: u64,
-        line: &[u64],
-        encoder: &dyn Encoder,
-        cost: &dyn CostFunction,
-    ) -> LineWriteOutcome {
-        self.write_line_with(row_addr, line, encoder, cost, &mut LineWriteScratch::new())
-    }
-
-    /// Session variant of [`PcmMemory::write_line`]: batches the whole line
-    /// through [`Encoder::encode_line`] with reusable scratch buffers, the
-    /// entry point the write pipeline drives.
-    ///
-    /// Word regions of a row are disjoint (data cells, auxiliary cells and
-    /// wear state never overlap between words), so building every word's
-    /// context up front and committing afterwards is exactly equivalent to
-    /// the word-by-word read-modify-write loop.
-    pub fn write_line_with(
-        &mut self,
-        row_addr: u64,
-        line: &[u64],
-        encoder: &dyn Encoder,
-        cost: &dyn CostFunction,
-        scratch: &mut LineWriteScratch,
-    ) -> LineWriteOutcome {
-        assert_eq!(
-            line.len(),
-            self.config.words_per_row(),
-            "line must contain exactly one row of words"
-        );
-        self.check_encoder(encoder);
-        self.stats.row_writes += 1;
-
-        scratch.ctxs.clear();
-        for w in 0..line.len() {
-            let ctx = self.write_context(row_addr, w, encoder.aux_bits());
-            scratch.ctxs.push(ctx);
-        }
-        encoder.encode_line(
-            line,
-            &scratch.ctxs,
-            cost,
-            &mut scratch.encode,
-            &mut scratch.encoded,
-        );
-        let words = scratch
-            .encoded
-            .iter()
-            .enumerate()
-            .map(|(w, encoded)| {
-                let outcome = self.commit_word(
-                    row_addr,
-                    w,
-                    encoded.codeword.as_u64(),
-                    encoded.aux,
-                    encoder.aux_bits(),
-                );
-                self.stats.absorb(&outcome);
-                outcome
-            })
-            .collect();
-        LineWriteOutcome { words }
-    }
-
-    /// Reads and decodes a full row with the encoder that wrote it.
-    /// Stuck-at-wrong cells naturally corrupt the returned data.
-    pub fn read_line(&mut self, row_addr: u64, encoder: &dyn Encoder) -> Vec<u64> {
-        let mut out = Vec::new();
-        self.read_line_into(row_addr, encoder, &mut out);
-        out
-    }
-
-    /// Session variant of [`PcmMemory::read_line`]: decodes the row into the
-    /// caller's buffer so steady-state reads reuse one allocation (the read
-    /// mirror of [`PcmMemory::write_line_with`]).
-    pub fn read_line_into(&mut self, row_addr: u64, encoder: &dyn Encoder, out: &mut Vec<u64>) {
-        let word_bits = self.config.word_bits;
-        let words = self.config.words_per_row();
-        let row = self.materialize(row_addr);
-        out.clear();
-        out.extend((0..words).map(|w| {
-            let stored = row.data_block(w, word_bits);
-            encoder.decode(&stored, row.aux_word(w)).as_u64()
-        }));
-    }
-
-    /// Reads the raw (still encoded) contents of a row.
-    pub fn read_raw_line(&mut self, row_addr: u64) -> Vec<u64> {
-        let mut out = Vec::new();
-        self.read_raw_line_into(row_addr, &mut out);
-        out
-    }
-
-    /// Session variant of [`PcmMemory::read_raw_line`], reusing the caller's
-    /// buffer.
-    pub fn read_raw_line_into(&mut self, row_addr: u64, out: &mut Vec<u64>) {
-        let words = self.config.words_per_row();
-        let row = self.materialize(row_addr);
-        out.clear();
-        out.extend((0..words).map(|w| row.data_word(w)));
     }
 }
 
@@ -662,6 +845,130 @@ mod tests {
         // The warm buffers were reused, never reallocated.
         assert_eq!(decoded.as_ptr(), decoded_buf);
         assert_eq!(raw.as_ptr(), raw_buf);
+    }
+
+    #[test]
+    fn read_into_variants_agree_on_rows_with_stuck_and_dead_cells() {
+        // Rows holding both map-induced stuck cells and wear-induced dead
+        // cells must read back identically through the buffer-reuse paths
+        // and the allocating paths (the raw stored bits include frozen
+        // values in both cases).
+        let mut cfg = PcmConfig::scaled(64 * 1024, 150.0);
+        cfg.seed = 99;
+        let map = FaultMap::uniform(2e-2, CellKind::Mlc, 13);
+        let mut mem = PcmMemory::new(cfg).with_fault_map(map);
+        let enc = Unencoded::new(64);
+        let cf = WriteEnergy::mlc();
+        let mut rng = StdRng::seed_from_u64(68);
+        let mapped_stuck = {
+            // Touch the rows once so the fault map has been applied.
+            for addr in 0..4u64 {
+                let line: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+                mem.write_line(addr, &line, &enc, &cf);
+            }
+            mem.total_stuck_cells()
+        };
+        assert!(mapped_stuck > 0, "fault map should stick some cells");
+        // Hammer the same rows until wear kills additional cells.
+        for i in 0..400u64 {
+            let line: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+            mem.write_line(i % 4, &line, &enc, &cf);
+        }
+        assert!(
+            mem.stats().dead_cells > 0,
+            "the hammer loop should kill cells"
+        );
+        assert!(mem.total_stuck_cells() > mapped_stuck);
+
+        let mut decoded = Vec::new();
+        let mut raw = Vec::new();
+        for addr in 0..4u64 {
+            mem.read_line_into(addr, &enc, &mut decoded);
+            assert_eq!(decoded, mem.read_line(addr, &enc), "row {addr}");
+            mem.read_raw_line_into(addr, &mut raw);
+            assert_eq!(raw, mem.read_raw_line(addr), "row {addr}");
+            // Unencoded decode is the identity, so both views agree.
+            assert_eq!(decoded, raw, "row {addr}");
+        }
+    }
+
+    #[test]
+    fn commit_line_matches_per_word_commits() {
+        // Committing a line in one batched pass must equal word-by-word
+        // writes of the same data (words of a row are disjoint).
+        let mut rng = StdRng::seed_from_u64(70);
+        let vcc = Vcc::paper_mlc(64);
+        let cf = WriteEnergy::mlc();
+        let lines: Vec<Vec<u64>> = (0..30)
+            .map(|_| (0..8).map(|_| rng.gen()).collect())
+            .collect();
+
+        let mut cfg = PcmConfig::scaled(64 * 1024, 500.0);
+        cfg.seed = 17;
+        let mut batched = PcmMemory::new(cfg.clone());
+        for (i, line) in lines.iter().enumerate() {
+            batched.write_line(i as u64 % 4, line, &vcc, &cf);
+        }
+
+        let mut word_by_word = PcmMemory::new(cfg);
+        for (i, line) in lines.iter().enumerate() {
+            for (w, word) in line.iter().enumerate() {
+                word_by_word.write_word(i as u64 % 4, w, *word, &vcc, &cf);
+            }
+        }
+        let mut expected = *word_by_word.stats();
+        expected.row_writes = batched.stats().row_writes;
+        assert_eq!(*batched.stats(), expected);
+        for addr in 0..4u64 {
+            assert_eq!(
+                batched.read_raw_line(addr),
+                word_by_word.read_raw_line(addr)
+            );
+        }
+    }
+
+    #[test]
+    fn swar_commit_matches_scalar_oracle_on_a_wear_heavy_stream() {
+        // End-to-end differential check inside the crate (the full
+        // property-based suite lives in tests/commit_oracle.rs): a
+        // fault-mapped, low-endurance memory driven by both commit paths
+        // stays bit-identical in outcomes, stats, stored bits and deaths.
+        let mut cfg = PcmConfig::scaled(64 * 1024, 120.0);
+        cfg.seed = 3;
+        cfg.energy_weighted_wear = true;
+        let map = FaultMap::uniform(2e-2, CellKind::Mlc, 7);
+        let fnw = Fnw::with_sub_block(64, 16);
+        let cf = opt_saw_then_energy();
+
+        let mut swar = PcmMemory::new(cfg.clone()).with_fault_map(map);
+        let mut scalar = PcmMemory::new(cfg).with_fault_map(map);
+        let mut rng = StdRng::seed_from_u64(71);
+        for i in 0..300u64 {
+            let line: Vec<u64> = (0..8).map(|_| rng.gen()).collect();
+            let a = swar.write_line(i % 4, &line, &fnw, &cf);
+            let b = scalar.write_line_scalar(i % 4, &line, &fnw, &cf);
+            assert_eq!(a, b, "line {i}");
+        }
+        assert_eq!(swar.stats(), scalar.stats());
+        assert!(swar.stats().dead_cells > 0, "stream should kill cells");
+        for addr in 0..4u64 {
+            assert_eq!(swar.read_raw_line(addr), scalar.read_raw_line(addr));
+        }
+        assert_eq!(swar.total_stuck_cells(), scalar.total_stuck_cells());
+    }
+
+    #[test]
+    #[should_panic(expected = "aux bits")]
+    fn commit_line_rejects_oversized_aux_budget() {
+        // The public batched commit must bound the aux region itself: an
+        // oversized width would spill wear accounting into the next word.
+        let mut mem = PcmMemory::new(tiny_config());
+        let encoded = vec![Encoded {
+            codeword: coset::block::Block::zeros(64),
+            aux: 0,
+            cost: coset::cost::Cost::ZERO,
+        }];
+        mem.commit_line(0, &encoded, 64);
     }
 
     #[test]

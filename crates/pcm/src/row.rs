@@ -1,5 +1,22 @@
 //! Per-row cell state: stored values, wear counters, endurance limits and
-//! stuck-at status.
+//! stuck-at status — plus the word-parallel (SWAR) commit primitive.
+//!
+//! # Packed layout
+//!
+//! All per-cell state that the write hot path consults is kept packed per
+//! word, aligned with the stored bits themselves:
+//!
+//! * `data[w]` / `aux[w]` — the stored bits of word `w`'s data and
+//!   auxiliary regions (LSB-first cell order, `bits_per_cell` bits each);
+//! * `stuck_data_mask[w]` / `stuck_data_value[w]` — a bitmask over the same
+//!   bit positions marking stuck cells (both bits of a stuck MLC cell are
+//!   set) and the values they are frozen at;
+//! * `stuck_aux_mask[w]` / `stuck_aux_value[w]` — the same for the
+//!   auxiliary region.
+//!
+//! Only wear counters and endurance limits remain per-cell arrays (each
+//! cell has an individual limit), and [`Row::commit_word`] touches them
+//! only for the cells a write actually programs.
 
 use coset::block::Block;
 use coset::symbol::CellKind;
@@ -7,6 +24,21 @@ use coset::StuckBits;
 
 use crate::config::PcmConfig;
 use crate::endurance::EnduranceModel;
+use crate::energy::TransitionCosts;
+use crate::stats::WordWriteOutcome;
+
+/// Bit mask selecting the marker (right-digit) bit of every MLC cell.
+const MLC_RIGHT_DIGITS: u64 = 0x5555_5555_5555_5555;
+
+/// Mask covering the low `bits` bits of a word.
+#[inline]
+fn low_mask(bits: usize) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
 
 /// The mutable state of one memory row (cache line) and its cells.
 ///
@@ -19,14 +51,18 @@ pub struct Row {
     data: Vec<u64>,
     /// Stored auxiliary bits per word.
     aux: Vec<u64>,
+    /// Packed stuck mask over the data bits of each word.
+    stuck_data_mask: Vec<u64>,
+    /// Frozen values at the stuck data bit positions of each word.
+    stuck_data_value: Vec<u64>,
+    /// Packed stuck mask over the auxiliary bits of each word.
+    stuck_aux_mask: Vec<u64>,
+    /// Frozen values at the stuck auxiliary bit positions of each word.
+    stuck_aux_value: Vec<u64>,
     /// Programming events endured by each cell.
     wear: Vec<u64>,
     /// Endurance limit of each cell.
     limit: Vec<u64>,
-    /// Whether each cell is stuck.
-    stuck: Vec<bool>,
-    /// The symbol a stuck cell is frozen at (valid only where `stuck`).
-    stuck_value: Vec<u8>,
     cells_per_word: usize,
     aux_cells_per_word: usize,
     bits_per_cell: usize,
@@ -54,10 +90,12 @@ impl Row {
         Row {
             data: initial.to_vec(),
             aux: vec![0u64; words],
+            stuck_data_mask: vec![0u64; words],
+            stuck_data_value: vec![0u64; words],
+            stuck_aux_mask: vec![0u64; words],
+            stuck_aux_value: vec![0u64; words],
             wear: vec![0u64; total_cells],
             limit,
-            stuck: vec![false; total_cells],
-            stuck_value: vec![0u8; total_cells],
             cells_per_word: cpw,
             aux_cells_per_word: acw,
             bits_per_cell: config.cell_kind.bits_per_cell(),
@@ -84,6 +122,20 @@ impl Row {
         self.first_cell_of_word(w) + self.cells_per_word
     }
 
+    /// Locates a row-local cell: `(word, region is aux, bit shift within
+    /// the region)`.
+    #[inline]
+    fn locate(&self, cell: usize) -> (usize, bool, usize) {
+        let total = self.cells_per_word_total();
+        let w = cell / total;
+        let offset = cell % total;
+        if offset < self.cells_per_word {
+            (w, false, offset * self.bits_per_cell)
+        } else {
+            (w, true, (offset - self.cells_per_word) * self.bits_per_cell)
+        }
+    }
+
     /// Currently stored data word `w`.
     pub fn data_word(&self, w: usize) -> u64 {
         self.data[w]
@@ -108,18 +160,50 @@ impl Row {
 
     /// Whether a cell is stuck.
     pub fn is_stuck(&self, cell: usize) -> bool {
-        self.stuck[cell]
+        let (w, aux, shift) = self.locate(cell);
+        let mask = if aux {
+            self.stuck_aux_mask[w]
+        } else {
+            self.stuck_data_mask[w]
+        };
+        (mask >> shift) & low_mask(self.bits_per_cell) != 0
     }
 
     /// The symbol a stuck cell is frozen at.
     pub fn stuck_symbol(&self, cell: usize) -> u8 {
-        self.stuck_value[cell]
+        let (w, aux, shift) = self.locate(cell);
+        let value = if aux {
+            self.stuck_aux_value[w]
+        } else {
+            self.stuck_data_value[w]
+        };
+        ((value >> shift) & low_mask(self.bits_per_cell)) as u8
     }
 
     /// Marks a cell stuck at `symbol`.
     pub fn stick_cell(&mut self, cell: usize, symbol: u8) {
-        self.stuck[cell] = true;
-        self.stuck_value[cell] = symbol;
+        let (w, aux, shift) = self.locate(cell);
+        let cell_mask = low_mask(self.bits_per_cell) << shift;
+        let value_bits = ((symbol as u64) << shift) & cell_mask;
+        let (mask, value) = if aux {
+            (&mut self.stuck_aux_mask[w], &mut self.stuck_aux_value[w])
+        } else {
+            (&mut self.stuck_data_mask[w], &mut self.stuck_data_value[w])
+        };
+        *mask |= cell_mask;
+        *value = (*value & !cell_mask) | value_bits;
+    }
+
+    /// Forces the stored bits of every stuck cell to its frozen value, so
+    /// reads observe the fault (used after applying a pre-generated fault
+    /// map to a freshly materialized row).
+    pub fn freeze_stuck_values(&mut self) {
+        for w in 0..self.data.len() {
+            self.data[w] = (self.data[w] & !self.stuck_data_mask[w])
+                | (self.stuck_data_value[w] & self.stuck_data_mask[w]);
+            self.aux[w] = (self.aux[w] & !self.stuck_aux_mask[w])
+                | (self.stuck_aux_value[w] & self.stuck_aux_mask[w]);
+        }
     }
 
     /// Wear endured by a cell.
@@ -137,42 +221,35 @@ impl Row {
     /// marks it stuck at its final value).
     pub fn add_wear(&mut self, cell: usize, amount: u64) -> bool {
         self.wear[cell] = self.wear[cell].saturating_add(amount);
-        self.wear[cell] >= self.limit[cell] && !self.stuck[cell]
+        self.wear[cell] >= self.limit[cell] && !self.is_stuck(cell)
     }
 
     /// Number of stuck cells in the whole row.
     pub fn stuck_cells(&self) -> usize {
-        self.stuck.iter().filter(|s| **s).count()
+        // Stuck masks always cover whole cells, so the bit count is an
+        // exact multiple of the cell width.
+        let bits: u32 = self
+            .stuck_data_mask
+            .iter()
+            .chain(&self.stuck_aux_mask)
+            .map(|m| m.count_ones())
+            .sum();
+        bits as usize / self.bits_per_cell
     }
 
-    /// Builds the [`StuckBits`] view (wear-induced faults only) for the data
-    /// portion of word `w`.
+    /// Builds the [`StuckBits`] view of every stuck cell — fault-map-applied
+    /// and wear-induced alike — for the data portion of word `w`.
     pub fn stuck_bits_for_data(&self, w: usize, word_bits: usize) -> StuckBits {
-        let mut out = StuckBits::none(word_bits);
-        let base = self.first_cell_of_word(w);
-        for c in 0..self.cells_per_word {
-            if self.stuck[base + c] {
-                out.stick_cell(c, self.bits_per_cell, self.stuck_value[base + c] as u64);
-            }
-        }
-        out
+        StuckBits::new(
+            Block::from_u64(self.stuck_data_mask[w], word_bits),
+            Block::from_u64(self.stuck_data_value[w], word_bits),
+        )
     }
 
     /// Builds the stuck mask/value pair for the auxiliary cells of word `w`
     /// as packed bit fields.
     pub fn stuck_bits_for_aux(&self, w: usize) -> (u64, u64) {
-        let base = self.first_aux_cell_of_word(w);
-        let mut mask = 0u64;
-        let mut value = 0u64;
-        for c in 0..self.aux_cells_per_word {
-            if self.stuck[base + c] {
-                let shift = c * self.bits_per_cell;
-                let cell_mask = (1u64 << self.bits_per_cell) - 1;
-                mask |= cell_mask << shift;
-                value |= (self.stuck_value[base + c] as u64) << shift;
-            }
-        }
-        (mask, value)
+        (self.stuck_aux_mask[w], self.stuck_aux_value[w])
     }
 
     /// Cell kind width in bits.
@@ -188,6 +265,134 @@ impl Row {
     /// Number of auxiliary cells per word.
     pub fn aux_cells_per_word(&self) -> usize {
         self.aux_cells_per_word
+    }
+
+    /// Programs one word (data region, then `aux_region_bits` worth of
+    /// auxiliary cells) with the word-parallel commit: transition classes
+    /// are derived for all cells at once from packed XOR/popcount operations
+    /// and charged by per-class counts, stuck cells are masked in bulk, and
+    /// only the cells actually programmed pay per-cell wear accounting.
+    ///
+    /// Equivalent to the per-cell scalar loop (`PcmMemory` retains that as
+    /// the `scalar-oracle` reference): identical stored bits, outcome
+    /// counters, wear and stuck-state evolution, with `energy_pj` exact to
+    /// the bit because Table-I class energies are integer picojoules.
+    pub fn commit_word(
+        &mut self,
+        w: usize,
+        desired_data: u64,
+        desired_aux: u64,
+        aux_region_bits: usize,
+        costs: &TransitionCosts,
+        outcome: &mut WordWriteOutcome,
+    ) {
+        let data_region_bits = self.cells_per_word * self.bits_per_cell;
+        self.commit_region(w, false, data_region_bits, desired_data, costs, outcome);
+        self.commit_region(w, true, aux_region_bits, desired_aux, costs, outcome);
+    }
+
+    /// SWAR-commits one region (data or auxiliary cells) of word `w`.
+    fn commit_region(
+        &mut self,
+        w: usize,
+        aux: bool,
+        region_bits: usize,
+        desired: u64,
+        costs: &TransitionCosts,
+        outcome: &mut WordWriteOutcome,
+    ) {
+        let bpc = self.bits_per_cell;
+        let region = low_mask(region_bits);
+        let (old, stuck_mask, stuck_value, base_cell) = if aux {
+            (
+                self.aux[w],
+                self.stuck_aux_mask[w],
+                self.stuck_aux_value[w],
+                self.first_aux_cell_of_word(w),
+            )
+        } else {
+            (
+                self.data[w],
+                self.stuck_data_mask[w],
+                self.stuck_data_value[w],
+                self.first_cell_of_word(w),
+            )
+        };
+        let stuck = stuck_mask & region;
+        // Fold per-bit flags onto one marker bit per cell (the right digit
+        // for MLC; every bit is its own cell for SLC).
+        let fold_cells = |bits: u64| -> u64 {
+            if bpc == 2 {
+                (bits | (bits >> 1)) & MLC_RIGHT_DIGITS
+            } else {
+                bits
+            }
+        };
+
+        // Stuck-at-wrong cells: stuck and frozen at a value that differs
+        // from what this write wants.
+        let saw_cells = fold_cells((desired ^ stuck_value) & stuck);
+        outcome.saw_cells += saw_cells.count_ones();
+
+        // Programmed cells: changed and not stuck. Stuck masks cover whole
+        // cells, so the per-bit mask is exact at cell granularity.
+        let changed_bits = (old ^ desired) & region & !stuck;
+        outcome.bit_flips += changed_bits.count_ones();
+        let programmed = fold_cells(changed_bits);
+        let programmed_count = programmed.count_ones();
+        outcome.cells_programmed += programmed_count;
+
+        // Transition classes by per-class population count: an MLC cell
+        // programmed into a right-digit-1 symbol is high class, everything
+        // else (including every SLC flip) is low class.
+        let high_cells = if costs.is_mlc {
+            (programmed & desired).count_ones()
+        } else {
+            0
+        };
+        let low_cells = programmed_count - high_cells;
+        outcome.high_energy_programs += high_cells;
+        outcome.energy_pj += high_cells as f64 * costs.high_pj + low_cells as f64 * costs.low_pj;
+
+        // Stored bits: stuck cells keep their frozen value, everything else
+        // in the region takes the new value, bits above the region are
+        // untouched.
+        let stored = (old & !region) | (((desired & !stuck) | (stuck_value & stuck)) & region);
+        if aux {
+            self.aux[w] = stored;
+        } else {
+            self.data[w] = stored;
+        }
+
+        // Wear accounting for the programmed cells only, in ascending cell
+        // order (matching the scalar loop). A cell that exceeds its limit
+        // still completes this final programming — it is frozen at the value
+        // just written.
+        let mut markers = programmed;
+        while markers != 0 {
+            let bit = markers.trailing_zeros() as usize;
+            markers &= markers - 1;
+            let cell_offset = bit / bpc;
+            let cell = base_cell + cell_offset;
+            let units = if costs.is_mlc && (desired >> bit) & 1 == 1 {
+                costs.wear_high
+            } else {
+                costs.wear_low
+            };
+            self.wear[cell] = self.wear[cell].saturating_add(units);
+            if self.wear[cell] >= self.limit[cell] {
+                outcome.new_dead_cells += 1;
+                let shift = cell_offset * bpc;
+                let cell_mask = low_mask(bpc) << shift;
+                let (mask, value) = if aux {
+                    (&mut self.stuck_aux_mask[w], &mut self.stuck_aux_value[w])
+                } else {
+                    (&mut self.stuck_data_mask[w], &mut self.stuck_data_value[w])
+                };
+                *mask |= cell_mask;
+                *value = (*value & !cell_mask) | (desired & cell_mask);
+            }
+        }
     }
 }
 
@@ -281,6 +486,100 @@ mod tests {
         // Word 0 is unaffected.
         assert_eq!(row.stuck_bits_for_data(0, 64).stuck_count(), 0);
         assert_eq!(row.stuck_bits_for_aux(0), (0, 0));
+        assert_eq!(row.stuck_cells(), 2);
+    }
+
+    #[test]
+    fn freeze_stuck_values_forces_stored_bits() {
+        let cfg = small_config();
+        let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
+        let mut row = Row::new(&cfg, &end, 4, &[u64::MAX; 8]);
+        row.stick_cell(0, 0b00); // data cell 0 of word 0
+        let aux_cell = row.first_aux_cell_of_word(0);
+        row.stick_cell(aux_cell, 0b10);
+        row.freeze_stuck_values();
+        assert_eq!(row.data_word(0) & 0b11, 0b00);
+        assert_eq!(row.aux_word(0) & 0b11, 0b10);
+        // Unstuck bits are untouched.
+        assert_eq!(row.data_word(0) >> 2, u64::MAX >> 2);
+        assert_eq!(row.data_word(1), u64::MAX);
+    }
+
+    #[test]
+    fn commit_word_programs_classes_and_masks_stuck_cells() {
+        let cfg = small_config();
+        let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
+        let mut row = Row::new(&cfg, &end, 5, &[0u64; 8]);
+        let costs = TransitionCosts::new(CellKind::Mlc, false);
+        // Stick data cell 1 of word 0 at 0b11; write wants 0b00 there → SAW.
+        row.stick_cell(1, 0b11);
+        let mut outcome = WordWriteOutcome::default();
+        // Cell 0: 00→10 (low class); cell 1: stuck; cell 2: 00→01 (high).
+        let desired = 0b01_00_10u64;
+        row.commit_word(0, desired, 0b0, 0, &costs, &mut outcome);
+        assert_eq!(outcome.cells_programmed, 2);
+        assert_eq!(outcome.high_energy_programs, 1);
+        assert_eq!(outcome.saw_cells, 1);
+        assert_eq!(outcome.bit_flips, 2);
+        assert_eq!(
+            outcome.energy_pj,
+            crate::energy::LOW_TRANSITION_PJ + crate::energy::HIGH_TRANSITION_PJ
+        );
+        // Stored: stuck cell keeps 0b11, others take the new value.
+        assert_eq!(row.data_word(0), 0b01_11_10);
+        assert_eq!(row.wear(0), 1);
+        assert_eq!(row.wear(1), 0, "stuck cell endures no wear");
+        assert_eq!(row.wear(2), 1);
+    }
+
+    #[test]
+    fn commit_word_kills_cells_at_their_limit_and_freezes_them() {
+        let cfg = small_config();
+        let end = EnduranceModel::new(4.0, 0.0, 0.0, 1);
+        let mut row = Row::new(&cfg, &end, 6, &[0u64; 8]);
+        let costs = TransitionCosts::new(CellKind::Mlc, false);
+        let limit = row.limit(0);
+        let mut deaths = 0;
+        // Alternate cell 0 between symbols until it dies.
+        for i in 0..2 * limit {
+            let mut outcome = WordWriteOutcome::default();
+            let desired = if i % 2 == 0 { 0b10 } else { 0b00 };
+            row.commit_word(0, desired, 0, 0, &costs, &mut outcome);
+            deaths += outcome.new_dead_cells;
+            if row.is_stuck(0) {
+                break;
+            }
+        }
+        assert_eq!(deaths, 1, "the cell dies exactly once");
+        assert!(row.is_stuck(0));
+        assert_eq!(row.wear(0), limit);
+        // Frozen at the value of its final (successful) programming.
+        assert_eq!(row.stuck_symbol(0) as u64, row.data_word(0) & 0b11);
+        // Further writes to the dead cell are SAW, not programming.
+        let frozen = row.stuck_symbol(0);
+        let mut outcome = WordWriteOutcome::default();
+        row.commit_word(0, (frozen ^ 0b10) as u64, 0, 0, &costs, &mut outcome);
+        assert_eq!(outcome.saw_cells, 1);
+        assert_eq!(outcome.cells_programmed, 0);
+    }
+
+    #[test]
+    fn commit_word_aux_region_is_bounded() {
+        let cfg = small_config();
+        let end = EnduranceModel::paper_default(cfg.endurance_mean, cfg.seed);
+        let mut row = Row::new(&cfg, &end, 7, &[0u64; 8]);
+        let costs = TransitionCosts::new(CellKind::Mlc, false);
+        let mut outcome = WordWriteOutcome::default();
+        // Only 4 aux bits (2 cells) in the region: bits above must not be
+        // programmed even though desired_aux sets them.
+        row.commit_word(0, 0, u64::MAX, 4, &costs, &mut outcome);
+        assert_eq!(row.aux_word(0), 0b1111);
+        assert_eq!(outcome.cells_programmed, 2);
+        // Zero-width aux region is a no-op.
+        let mut o2 = WordWriteOutcome::default();
+        row.commit_word(1, 0, u64::MAX, 0, &costs, &mut o2);
+        assert_eq!(row.aux_word(1), 0);
+        assert_eq!(o2.cells_programmed, 0);
     }
 
     #[test]

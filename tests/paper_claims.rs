@@ -6,7 +6,8 @@ use rand::SeedableRng;
 
 use vcc_repro::coset::analysis::{evaluation_ops, fig1_point};
 use vcc_repro::coset::{Encoder, Rcc, Vcc};
-use vcc_repro::experiments::{fig13, Scale, Technique};
+use vcc_repro::engine::EngineConfig;
+use vcc_repro::experiments::{fig13, reproduce_with_engine, Scale, Selection, Technique};
 use vcc_repro::hwmodel::EncoderHwConfig;
 use vcc_repro::perfmodel::{PerfModel, SystemConfig};
 use vcc_repro::workload::spec_like;
@@ -76,6 +77,58 @@ fn performance_claims_hold() {
     assert!(vcc >= rcc);
     assert!(dbi >= vcc);
     assert!(1.0 - rcc < 0.03, "average RCC slowdown should be below 3%");
+}
+
+/// Golden-report regression net: the tiny-scale reproduction (everything
+/// except the lifetime figures, which are covered by the slower
+/// `GOLDEN_FULL` variant below) must stay byte-identical to the checked-in
+/// fixture, so performance PRs touching the write path cannot silently
+/// drift any figure. The fixture is the verbatim stdout of
+/// `reproduce -- tiny nolifetime 24301 --shards 1`; regenerate it with that
+/// command if a PR intentionally changes reported numbers, and say so in
+/// the PR.
+#[test]
+fn tiny_reproduce_report_is_byte_identical_to_golden_fixture() {
+    let report = reproduce_with_engine(
+        Scale::Tiny,
+        0x5EED,
+        Selection {
+            lifetime: false,
+            ..Selection::all()
+        },
+        EngineConfig::default(),
+    );
+    let expected = include_str!("fixtures/reproduce_tiny_nolifetime.txt");
+    // The CLI prints the rendered report through `println!`, hence the
+    // trailing newline.
+    assert_eq!(
+        format!("{report}\n"),
+        expected,
+        "tiny-scale report drifted from tests/fixtures/reproduce_tiny_nolifetime.txt"
+    );
+}
+
+/// Full-selection variant including the lifetime figures (minutes of
+/// runtime): opt-in via `GOLDEN_FULL=1`, which the CI commit-oracle job
+/// sets on release builds.
+#[test]
+fn tiny_reproduce_full_report_matches_golden_fixture() {
+    if std::env::var("GOLDEN_FULL").ok().as_deref() != Some("1") {
+        eprintln!("skipping full golden comparison; set GOLDEN_FULL=1 to run it");
+        return;
+    }
+    let report = reproduce_with_engine(
+        Scale::Tiny,
+        0x5EED,
+        Selection::all(),
+        EngineConfig::default(),
+    );
+    let expected = include_str!("fixtures/reproduce_tiny_all.txt");
+    assert_eq!(
+        format!("{report}\n"),
+        expected,
+        "tiny-scale report drifted from tests/fixtures/reproduce_tiny_all.txt"
+    );
 }
 
 /// The encode latencies fed into the performance model come from the
