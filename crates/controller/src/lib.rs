@@ -15,6 +15,19 @@
 //! one-line warm-up, replaying a trace performs no per-candidate heap
 //! allocation in the encoder hot path, and read-back reuses a
 //! pipeline-owned line buffer ([`PcmMemory::read_line_into`]) the same way.
+//!
+//! The encode stage itself routes through `coset`'s broadcast-SWAR cost
+//! engine: each per-word [`coset::WriteContext`] built by
+//! [`PcmMemory::write_line_with`] materializes a per-write
+//! [`coset::CostModel`] (destination bit-planes + the objective's compiled
+//! transition classes), so VCC/RCC/FNW evaluate all partitions and both
+//! complement forms of every candidate as parallel word operations with
+//! fixed-point integer costs. This is automatic for the stock objectives
+//! ([`WriteEnergy`], flips/ones/SAW counts and their lexicographic
+//! combinations); a custom [`CostFunction`] without transition classes —
+//! or one wrapped in [`coset::cost::ScalarOnly`] — routes the same writes
+//! through the encoders' scalar reference path with bit-identical results
+//! (see the `coset` crate docs for the full fallback matrix).
 //! The programming stage lands in the array through the batched
 //! [`PcmMemory::commit_line`]: one row materialization per line and a
 //! word-parallel (SWAR) commit per word, so [`WritePipeline::write_line`]

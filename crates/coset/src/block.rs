@@ -104,11 +104,48 @@ impl Block {
 
     /// Makes `self` a copy of `other`, reusing the existing allocation —
     /// the in-place counterpart of `clone` used by the zero-allocation
-    /// encoding sessions.
+    /// encoding sessions. Allocates only when `self`'s capacity is smaller
+    /// than `other`'s word count (a straight `memcpy` otherwise).
     pub fn copy_from(&mut self, other: &Block) {
-        self.words.clear();
-        self.words.extend_from_slice(&other.words);
+        self.words.resize(other.words.len(), 0);
+        self.words.copy_from_slice(&other.words);
         self.len = other.len;
+    }
+
+    /// Makes `self` the word-wise XOR of `a` and `b` (`self = a ^ b`),
+    /// reusing the existing allocation — the single-pass candidate
+    /// materialization of the broadcast coset search (`data ^ coset`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` have different lengths.
+    pub fn xor_words_from(&mut self, a: &Block, b: &Block) {
+        assert_eq!(a.len, b.len, "xor_words_from length mismatch");
+        self.words.resize(a.words.len(), 0);
+        for (out, (x, y)) in self
+            .words
+            .iter_mut()
+            .zip(a.words.iter().zip(b.words.iter()))
+        {
+            *out = x ^ y;
+        }
+        self.len = a.len;
+    }
+
+    /// Overwrites the bits of backing word `idx` selected by `mask` with
+    /// the corresponding bits of `value`, leaving the rest untouched — the
+    /// masked-insert primitive of the broadcast candidate search.
+    ///
+    /// The caller must keep bits above `len()` zero (i.e. `mask` must not
+    /// select tail bits beyond the block length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn insert_word_masked(&mut self, idx: usize, value: u64, mask: u64) {
+        let w = &mut self.words[idx];
+        *w = (*w & !mask) | (value & mask);
     }
 
     /// Resizes `self` to `len` bits and clears every bit, reusing the
@@ -563,6 +600,58 @@ mod tests {
             assert_eq!(total, b.count_ones());
             assert!(b.count_ones() as usize <= len);
         }
+    }
+
+    #[test]
+    fn copy_from_reuses_allocation_and_tracks_length() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let big = Block::random(&mut rng, 512);
+        let small = Block::random(&mut rng, 40);
+        let mut buf = Block::zeros(1);
+        buf.copy_from(&big);
+        assert_eq!(buf, big);
+        let cap_after_big = buf.words.capacity();
+        // Shrinking to a smaller block must not reallocate, and growing
+        // back within the retained capacity must not either.
+        buf.copy_from(&small);
+        assert_eq!(buf, small);
+        assert_eq!(buf.words.capacity(), cap_after_big);
+        buf.copy_from(&big);
+        assert_eq!(buf, big);
+        assert_eq!(buf.words.capacity(), cap_after_big);
+    }
+
+    #[test]
+    fn xor_words_from_matches_xor() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for len in [40usize, 64, 128, 512] {
+            let a = Block::random(&mut rng, len);
+            let b = Block::random(&mut rng, len);
+            let mut out = Block::zeros(1);
+            out.xor_words_from(&a, &b);
+            assert_eq!(out, a.xor(&b), "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_words_from_rejects_mismatched_lengths() {
+        let a = Block::zeros(64);
+        let b = Block::zeros(32);
+        Block::zeros(1).xor_words_from(&a, &b);
+    }
+
+    #[test]
+    fn insert_word_masked_touches_only_masked_bits() {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(13);
+        let orig = Block::random(&mut rng, 128);
+        let mut b = orig.clone();
+        let mask = 0x0000_FFFF_0000_FFFFu64;
+        let value = rng.gen::<u64>();
+        b.insert_word_masked(1, value, mask);
+        assert_eq!(b.words()[0], orig.words()[0]);
+        assert_eq!(b.words()[1], (orig.words()[1] & !mask) | (value & mask));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! the stuck-at state of a bit range.
 
 use crate::block::Block;
-use crate::cost::{Cost, CostFunction, Field};
+use crate::cost::{ClassSet, Cost, CostFunction, Field, FixedCost};
 
 /// Stuck-at information for a block-sized region of memory.
 ///
@@ -209,6 +209,11 @@ impl WriteContext {
     }
 
     /// Costs writing `candidate` (data portion only) into this destination.
+    ///
+    /// Stays on the scalar per-field route: for a one-off region cost the
+    /// class-compilation overhead of [`CostFunction::cost_words`] outweighs
+    /// its SWAR win — encoders that evaluate many candidates build a
+    /// [`CostModel`] once via [`WriteContext::cost_model`] instead.
     pub fn data_cost(&self, cf: &dyn CostFunction, candidate: &Block) -> Cost {
         assert_eq!(candidate.len(), self.old_data.len(), "candidate length");
         cf.region_cost(
@@ -259,6 +264,46 @@ impl WriteContext {
         })
     }
 
+    /// Materializes the per-write broadcast-SWAR cost engine for this
+    /// destination, or `None` when `cf` admits no word-batched integer
+    /// path (see [`CostFunction::classes`]) — callers then run their scalar
+    /// fallback.
+    pub fn cost_model<'a>(&'a self, cf: &dyn CostFunction) -> Option<CostModel<'a>> {
+        let classes = cf.classes()?;
+        // MLC classes fold per-cell flags onto even bit positions: the data
+        // region must be a whole number of cells for the planes (and the
+        // scalar path's own assertion) to line up.
+        if !self
+            .data_bits()
+            .is_multiple_of(classes.cell_bits() as usize)
+        {
+            return None;
+        }
+        let aux_bits = if self.aux_bits % 2 == 1 {
+            self.aux_bits + 1
+        } else {
+            self.aux_bits
+        };
+        let aux_mask = if aux_bits == 0 {
+            0
+        } else if aux_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << aux_bits) - 1
+        };
+        Some(CostModel {
+            classes,
+            old: self.old_data.words(),
+            stuck_mask: self.stuck.mask().words(),
+            stuck_value: self.stuck.value().words(),
+            bits: self.data_bits(),
+            aux_old: self.old_aux,
+            aux_stuck_mask: self.stuck_aux_mask,
+            aux_stuck_value: self.stuck_aux_value,
+            aux_mask,
+        })
+    }
+
     /// Total stuck-at-wrong count if `candidate` + `aux` were written.
     pub fn total_saw(&self, candidate: &Block, aux: u64) -> u32 {
         let data_saw = self.stuck.saw_count(candidate);
@@ -269,6 +314,176 @@ impl WriteContext {
         };
         let aux_saw = ((aux ^ self.stuck_aux_value) & self.stuck_aux_mask & aux_mask).count_ones();
         data_saw + aux_saw
+    }
+}
+
+/// The per-write broadcast-SWAR cost engine: destination bit-planes
+/// borrowed from a [`WriteContext`] plus the objective's compiled
+/// transition classes ([`ClassSet`]).
+///
+/// Materialized once per write by [`WriteContext::cost_model`], then driven
+/// by the encoders' hot loops: whole candidate words are costed with a
+/// handful of masked popcounts per transition class
+/// ([`CostModel::word_cost`]), and VCC/FNW-style per-partition selection
+/// derives the class planes once per candidate word
+/// ([`CostModel::planes`]) and pops each partition mask out of them
+/// ([`CostModel::plane_cost`]) — evaluating all partitions of a block as
+/// parallel bit operations, the way the paper's VCC hardware evaluates all
+/// partitions and both complement forms at once.
+///
+/// Costs accumulate in fixed-point [`FixedCost`] and compare via
+/// [`FixedCost::packed`]; `f64` appears only at the [`crate::Encoded`]
+/// boundary. All built-in class costs are integers (counts or integer-pJ
+/// Table I energies), so results are bit-identical to the scalar path.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel<'a> {
+    classes: ClassSet,
+    old: &'a [u64],
+    stuck_mask: &'a [u64],
+    stuck_value: &'a [u64],
+    bits: usize,
+    aux_old: u64,
+    aux_stuck_mask: u64,
+    aux_stuck_value: u64,
+    aux_mask: u64,
+}
+
+impl CostModel<'_> {
+    /// The compiled transition classes.
+    pub fn classes(&self) -> &ClassSet {
+        &self.classes
+    }
+
+    /// Width of the modeled data region in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of backing words of the data region.
+    pub fn word_count(&self) -> usize {
+        self.old.len()
+    }
+
+    /// Mask of significant bits in word `w` (all ones except the tail).
+    #[inline(always)]
+    pub fn word_mask(&self, w: usize) -> u64 {
+        let rem = self.bits - (w * 64).min(self.bits);
+        if rem >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << rem) - 1
+        }
+    }
+
+    /// Class planes for writing `new` over word `w` of the destination,
+    /// covering the word's significant bits.
+    #[inline(always)]
+    pub fn planes(&self, w: usize, new: u64) -> [u64; ClassSet::MAX] {
+        self.classes.planes(
+            new,
+            self.old[w],
+            self.stuck_mask[w],
+            self.stuck_value[w],
+            self.word_mask(w),
+        )
+    }
+
+    /// Cost of precomputed planes restricted to `mask` (a partition of the
+    /// word the planes were derived for). For MLC classes the mask must
+    /// cover whole symbols.
+    #[inline(always)]
+    pub fn plane_cost(&self, planes: &[u64; ClassSet::MAX], mask: u64) -> FixedCost {
+        self.classes.plane_cost(planes, mask)
+    }
+
+    /// Fused class planes for a candidate word and its complement form
+    /// `new ^ cmask` over word `w` (see [`ClassSet::planes_pair`]).
+    #[inline(always)]
+    pub fn planes_pair(
+        &self,
+        w: usize,
+        new: u64,
+        cmask: u64,
+    ) -> ([u64; ClassSet::MAX], [u64; ClassSet::MAX]) {
+        self.classes.planes_pair(
+            new,
+            cmask,
+            self.old[w],
+            self.stuck_mask[w],
+            self.stuck_value[w],
+            self.word_mask(w),
+        )
+    }
+
+    /// Whether weighted per-field cost words fit `field_bits`-wide fields
+    /// (see [`ClassSet::weighted_fields_fit`]).
+    pub fn weighted_fields_fit(&self, field_bits: usize) -> bool {
+        self.classes.weighted_fields_fit(field_bits)
+    }
+
+    /// Weighted per-field cost words from per-field counts (see
+    /// [`ClassSet::weighted_fields`]).
+    #[inline(always)]
+    pub fn weighted_fields(&self, counts: &[u64; ClassSet::MAX]) -> (u64, u64) {
+        self.classes.weighted_fields(counts)
+    }
+
+    /// Per-partition popcounts of precomputed planes
+    /// ([`ClassSet::field_counts`]); `field_bits` must be a power of two.
+    #[inline(always)]
+    pub fn field_counts(
+        &self,
+        planes: &[u64; ClassSet::MAX],
+        field_bits: usize,
+    ) -> [u64; ClassSet::MAX] {
+        self.classes.field_counts(planes, field_bits)
+    }
+
+    /// Cost of one partition out of precomputed
+    /// [`CostModel::field_counts`] (see [`ClassSet::count_cost`]).
+    #[inline(always)]
+    pub fn count_cost(
+        &self,
+        counts: &[u64; ClassSet::MAX],
+        shift: usize,
+        field_mask: u64,
+    ) -> FixedCost {
+        self.classes.count_cost(counts, shift, field_mask)
+    }
+
+    /// Cost of writing `new` over word `w`, restricted to `mask`.
+    #[inline(always)]
+    pub fn word_cost_masked(&self, w: usize, new: u64, mask: u64) -> FixedCost {
+        self.classes.cost(
+            new,
+            self.old[w],
+            self.stuck_mask[w],
+            self.stuck_value[w],
+            mask & self.word_mask(w),
+        )
+    }
+
+    /// Cost of writing `new` over the whole of word `w`.
+    #[inline(always)]
+    pub fn word_cost(&self, w: usize, new: u64) -> FixedCost {
+        self.word_cost_masked(w, new, u64::MAX)
+    }
+
+    /// Cost of writing `aux` into the auxiliary cells (the fixed-point
+    /// mirror of [`WriteContext::aux_cost`], including the odd-width
+    /// padding).
+    #[inline(always)]
+    pub fn aux_cost(&self, aux: u64) -> FixedCost {
+        if self.aux_mask == 0 {
+            return FixedCost::ZERO;
+        }
+        self.classes.cost(
+            aux,
+            self.aux_old,
+            self.aux_stuck_mask,
+            self.aux_stuck_value,
+            self.aux_mask,
+        )
     }
 }
 
@@ -331,6 +546,57 @@ mod tests {
         let cand = Block::from_u64(0b0010, 4); // writes 1 into stuck-at-0 bit
         assert_eq!(ctx.total_saw(&cand, 0b100), 2); // plus aux bit 2 stuck at 0
         assert_eq!(ctx.data_cost(&SawCount, &cand).primary, 1.0);
+    }
+
+    #[test]
+    fn cost_model_matches_scalar_costs() {
+        use crate::cost::{opt_saw_then_energy, WriteEnergy};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..100 {
+            let old = Block::random(&mut rng, 64);
+            let mut stuck = StuckBits::none(64);
+            for cell in 0..32 {
+                if rng.gen_bool(0.05) {
+                    stuck.stick_cell(cell, 2, rng.gen_range(0..4u64));
+                }
+            }
+            let ctx = WriteContext::new(old, rng.gen::<u64>() & 0xFF, 8)
+                .with_stuck(stuck)
+                .with_stuck_aux(rng.gen::<u64>() & 0x3C, rng.gen::<u64>() & 0xFF);
+            for cf in [
+                Box::new(WriteEnergy::mlc()) as Box<dyn CostFunction>,
+                Box::new(opt_saw_then_energy()),
+            ] {
+                let model = ctx.cost_model(cf.as_ref()).expect("classes available");
+                let cand = rng.gen::<u64>();
+                let cand_block = Block::from_u64(cand, 64);
+                assert_eq!(
+                    model.word_cost(0, cand).to_cost(),
+                    ctx.data_cost(cf.as_ref(), &cand_block),
+                    "word cost diverged for {}",
+                    cf.name()
+                );
+                let aux = rng.gen::<u64>() & 0xFF;
+                assert_eq!(
+                    model.aux_cost(aux).to_cost(),
+                    ctx.aux_cost(cf.as_ref(), aux),
+                    "aux cost diverged for {}",
+                    cf.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_declines_odd_mlc_regions_and_scalar_only() {
+        use crate::cost::{ScalarOnly, WriteEnergy};
+        let ctx = WriteContext::blank(63, 0);
+        assert!(ctx.cost_model(&WriteEnergy::mlc()).is_none());
+        assert!(ctx.cost_model(&crate::cost::OnesCount).is_some());
+        let ctx = WriteContext::blank(64, 0);
+        assert!(ctx.cost_model(&ScalarOnly(WriteEnergy::mlc())).is_none());
     }
 
     #[test]

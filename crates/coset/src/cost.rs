@@ -23,7 +23,521 @@
 use std::fmt;
 use std::ops::Add;
 
-use crate::symbol::CellKind;
+use crate::symbol::{CellKind, MLC_RIGHT_DIGITS};
+
+/// Largest per-bit class cost admitted by the fixed-point path. Keeps every
+/// realistic accumulation (≤ 64 bits/word × 8 words/line) exactly
+/// representable in both `u64` and `f64`, so the fixed-point sums convert
+/// back to the scalar path's `f64` costs bit-identically.
+const MAX_CLASS_UNIT: f64 = (1u64 << 32) as f64;
+
+/// Fixed-point integer cost used by the word-batched (SWAR) candidate
+/// search. The hot encoder loops accumulate costs as plain `u64` counters
+/// and compare them with [`FixedCost::packed`]; `f64` [`Cost`] values only
+/// reappear at the [`crate::Encoded`] boundary via [`FixedCost::to_cost`].
+///
+/// All built-in objectives have integer per-bit class costs (counts, or the
+/// integer-picojoule Table I energies), so the conversion is exact and the
+/// SWAR path selects the same candidates as the scalar `f64` path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedCost {
+    /// Dominant component of the objective.
+    pub primary: u64,
+    /// Tie-breaking component of the objective.
+    pub secondary: u64,
+}
+
+impl FixedCost {
+    /// The zero cost.
+    pub const ZERO: FixedCost = FixedCost {
+        primary: 0,
+        secondary: 0,
+    };
+
+    /// Packs the two components into one `u128` whose integer ordering is
+    /// the lexicographic cost ordering (primary dominates). Valid as long as
+    /// each component stays below `2^64`, which [`MAX_CLASS_UNIT`]
+    /// guarantees by a wide margin.
+    #[inline]
+    pub fn packed(self) -> u128 {
+        ((self.primary as u128) << 64) | self.secondary as u128
+    }
+
+    /// Converts to the scalar `f64` [`Cost`]. Exact for every value the
+    /// class machinery can produce (integer sums far below `2^53`).
+    #[inline]
+    pub fn to_cost(self) -> Cost {
+        Cost {
+            primary: self.primary as f64,
+            secondary: self.secondary as f64,
+        }
+    }
+
+    /// Branch-free cheaper-of-two: returns `(1, b)` when `b` is strictly
+    /// cheaper than `a` (packed lexicographic compare, matching
+    /// [`Cost::is_better_than`] on integer costs), else `(0, a)` — the
+    /// per-partition select of the broadcast candidate search.
+    #[inline(always)]
+    pub fn select_min(a: FixedCost, b: FixedCost) -> (u64, FixedCost) {
+        let take_b = (b.packed() < a.packed()) as u64;
+        let chosen = FixedCost {
+            primary: if take_b == 1 { b.primary } else { a.primary },
+            secondary: if take_b == 1 {
+                b.secondary
+            } else {
+                a.secondary
+            },
+        };
+        (take_b, chosen)
+    }
+}
+
+impl Add for FixedCost {
+    type Output = FixedCost;
+
+    #[inline]
+    fn add(self, rhs: FixedCost) -> FixedCost {
+        FixedCost {
+            primary: self.primary + rhs.primary,
+            secondary: self.secondary + rhs.secondary,
+        }
+    }
+}
+
+impl std::ops::AddAssign for FixedCost {
+    #[inline]
+    fn add_assign(&mut self, rhs: FixedCost) {
+        self.primary += rhs.primary;
+        self.secondary += rhs.secondary;
+    }
+}
+
+/// How one transition class derives its programmed-bit plane from a
+/// candidate word and the destination planes (old data, stuck mask, stuck
+/// values). A class's cost is its per-bit unit times the population count
+/// of the plane — the software analogue of the paper's per-class counting
+/// hardware, and the same trick the PCM commit path uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClassRule {
+    /// Bits set in the candidate itself ([`OnesCount`]).
+    #[default]
+    Ones,
+    /// Bits that differ from the stored data ([`BitFlips`]).
+    Flips,
+    /// MLC cells being programmed into a right-digit-`1` symbol, folded
+    /// onto the right-digit (even) bit positions. Requires symbol-aligned
+    /// evaluation masks.
+    MlcHigh,
+    /// MLC cells being programmed into a right-digit-`0` symbol.
+    MlcLow,
+    /// SLC cells programmed `0 → 1`.
+    SlcSet,
+    /// SLC cells programmed `1 → 0`.
+    SlcReset,
+    /// Stuck bits frozen at the wrong value ([`SawCount`]).
+    Saw,
+}
+
+impl ClassRule {
+    /// Cell width this rule's planes assume: MLC rules fold per-cell flags
+    /// onto even bit positions, so evaluation masks must cover whole 2-bit
+    /// symbols; every other rule is position-independent.
+    #[inline]
+    pub fn cell_bits(self) -> u32 {
+        match self {
+            ClassRule::MlcHigh | ClassRule::MlcLow => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// One transition class: a plane-derivation rule plus its fixed-point
+/// per-bit cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostClass {
+    /// Plane derivation rule.
+    pub rule: ClassRule,
+    /// Primary cost charged per plane bit.
+    pub primary: u64,
+    /// Secondary (tie-break) cost charged per plane bit.
+    pub secondary: u64,
+}
+
+/// A [`CostClass`] compiled to a branchless mask-parameterized plane
+/// formula, so the hot loops evaluate every rule with the same dozen
+/// straight-line ALU operations:
+///
+/// ```text
+/// diffish = new ^ (old & a) ^ (stuck_value & b)
+/// base    = select(fold, (diffish | diffish >> 1) & RIGHT, diffish)
+/// smx     = select(fold, (sm | sm >> 1) & RIGHT, sm)
+/// plane   = base & ((smx & c) | (!smx & d)) & ((new & e) | (!new & f)) & mask
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct CompiledClass {
+    /// Old-data XOR selector (`MAX` for difference-based rules).
+    a: u64,
+    /// Stuck-value XOR selector (`MAX` for the SAW rule).
+    b: u64,
+    /// MLC right-digit fold selector (`MAX` folds per-cell flags).
+    fold: u64,
+    /// Stuck-gate selector pair: keep stuck bits (`c`) / non-stuck (`d`).
+    c: u64,
+    /// See `c`.
+    d: u64,
+    /// Candidate-polarity selector pair: keep `1`s (`e`) / `0`s (`f`).
+    e: u64,
+    /// See `e`.
+    f: u64,
+}
+
+impl CompiledClass {
+    fn compile(rule: ClassRule) -> CompiledClass {
+        let max = u64::MAX;
+        match rule {
+            ClassRule::Ones => CompiledClass {
+                a: 0,
+                b: 0,
+                fold: 0,
+                c: max,
+                d: max,
+                e: max,
+                f: max,
+            },
+            ClassRule::Flips => CompiledClass {
+                a: max,
+                b: 0,
+                fold: 0,
+                c: max,
+                d: max,
+                e: max,
+                f: max,
+            },
+            ClassRule::MlcHigh | ClassRule::MlcLow => CompiledClass {
+                a: max,
+                b: 0,
+                fold: max,
+                c: 0,
+                d: max,
+                e: if rule == ClassRule::MlcHigh { max } else { 0 },
+                f: if rule == ClassRule::MlcHigh { 0 } else { max },
+            },
+            ClassRule::SlcSet | ClassRule::SlcReset => CompiledClass {
+                a: max,
+                b: 0,
+                fold: 0,
+                c: 0,
+                d: max,
+                e: if rule == ClassRule::SlcSet { max } else { 0 },
+                f: if rule == ClassRule::SlcSet { 0 } else { max },
+            },
+            ClassRule::Saw => CompiledClass {
+                a: 0,
+                b: max,
+                fold: 0,
+                c: max,
+                d: 0,
+                e: max,
+                f: max,
+            },
+        }
+    }
+
+    /// Branchless plane derivation (see the struct docs for the formula).
+    #[inline(always)]
+    fn plane(&self, new: u64, old: u64, sm: u64, sv: u64, mask: u64) -> u64 {
+        let diffish = new ^ (old & self.a) ^ (sv & self.b);
+        let folded = (diffish | (diffish >> 1)) & MLC_RIGHT_DIGITS;
+        let base = (folded & self.fold) | (diffish & !self.fold);
+        let smf = (sm | (sm >> 1)) & MLC_RIGHT_DIGITS;
+        let smx = (smf & self.fold) | (sm & !self.fold);
+        let gate = (smx & self.c) | (!smx & self.d);
+        let pol = (new & self.e) | (!new & self.f);
+        base & gate & pol & mask
+    }
+
+    /// Fused plane derivation for a candidate `new` and its complement form
+    /// `new ^ cmask`: `new` enters the formula linearly, so the complement's
+    /// difference plane is one extra XOR and the stuck gate is shared. This
+    /// is the per-kernel workhorse of the VCC/FNW cheaper-of-two search.
+    #[inline(always)]
+    fn plane_pair(
+        &self,
+        new: u64,
+        cmask: u64,
+        old: u64,
+        sm: u64,
+        sv: u64,
+        mask: u64,
+    ) -> (u64, u64) {
+        let diffish = new ^ (old & self.a) ^ (sv & self.b);
+        let diffish_c = diffish ^ cmask;
+        let folded = (diffish | (diffish >> 1)) & MLC_RIGHT_DIGITS;
+        let folded_c = (diffish_c | (diffish_c >> 1)) & MLC_RIGHT_DIGITS;
+        let base = (folded & self.fold) | (diffish & !self.fold);
+        let base_c = (folded_c & self.fold) | (diffish_c & !self.fold);
+        let smf = (sm | (sm >> 1)) & MLC_RIGHT_DIGITS;
+        let smx = (smf & self.fold) | (sm & !self.fold);
+        let gate = (smx & self.c) | (!smx & self.d);
+        let new_c = new ^ cmask;
+        let pol = (new & self.e) | (!new & self.f);
+        let pol_c = (new_c & self.e) | (!new_c & self.f);
+        let gm = gate & mask;
+        (base & pol & gm, base_c & pol_c & gm)
+    }
+}
+
+/// The transition classes of a cost function (at most [`ClassSet::MAX`]).
+///
+/// Obtained from [`CostFunction::classes`]; evaluated either over whole
+/// words ([`ClassSet::cost`]) or over precomputed planes restricted to
+/// partition masks ([`ClassSet::planes`] + [`ClassSet::plane_cost`]) — the
+/// latter is what lets the VCC encoder cost every partition of a block with
+/// a handful of popcounts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClassSet {
+    classes: [CostClass; ClassSet::MAX],
+    compiled: [CompiledClass; ClassSet::MAX],
+    len: u8,
+    /// Whether any class charges a secondary (tie-break) unit; when false
+    /// the hot loops skip the secondary accumulation entirely.
+    has_secondary: bool,
+}
+
+/// Splits a word into `field_bits`-wide fields (a power of two dividing 64)
+/// and returns a word holding each field's population count in place — the
+/// SWAR primitive that costs every VCC partition of a class plane at once.
+#[inline(always)]
+pub fn per_field_popcount(x: u64, field_bits: usize) -> u64 {
+    debug_assert!(field_bits.is_power_of_two() && field_bits <= 64);
+    if field_bits == 1 {
+        return x;
+    }
+    let mut x = x - ((x >> 1) & 0x5555_5555_5555_5555);
+    if field_bits == 2 {
+        return x;
+    }
+    x = (x & 0x3333_3333_3333_3333) + ((x >> 2) & 0x3333_3333_3333_3333);
+    if field_bits == 4 {
+        return x;
+    }
+    x = (x + (x >> 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    if field_bits == 8 {
+        return x;
+    }
+    x = (x + (x >> 8)) & 0x00FF_00FF_00FF_00FF;
+    if field_bits == 16 {
+        return x;
+    }
+    x = (x + (x >> 16)) & 0x0000_FFFF_0000_FFFF;
+    if field_bits == 32 {
+        return x;
+    }
+    (x + (x >> 32)) & 0x7F
+}
+
+impl ClassSet {
+    /// Maximum number of classes (enough for a lexicographic combination of
+    /// a count objective and a two-class energy objective, or two energies).
+    pub const MAX: usize = 4;
+
+    /// A single-class set with the given primary unit cost.
+    pub fn single(rule: ClassRule, unit: u64) -> Self {
+        let mut set = ClassSet::default();
+        set.push(CostClass {
+            rule,
+            primary: unit,
+            secondary: 0,
+        });
+        set
+    }
+
+    /// Appends a class; returns `false` (set unchanged) when full.
+    pub fn push(&mut self, class: CostClass) -> bool {
+        if (self.len as usize) < Self::MAX {
+            self.classes[self.len as usize] = class;
+            self.compiled[self.len as usize] = CompiledClass::compile(class.rule);
+            self.len += 1;
+            self.has_secondary |= class.secondary != 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Per-partition population counts of precomputed planes: each entry is
+    /// a word whose `field_bits`-wide fields hold that partition's plane
+    /// popcount ([`per_field_popcount`]). `field_bits` must be a power of
+    /// two — always the case in the broadcast fast paths, whose gate
+    /// requires partition widths dividing 64.
+    #[inline(always)]
+    pub fn field_counts(&self, planes: &[u64; Self::MAX], field_bits: usize) -> [u64; Self::MAX] {
+        let mut counts = [0u64; Self::MAX];
+        for (c, p) in counts.iter_mut().zip(planes[..self.len as usize].iter()) {
+            *c = per_field_popcount(*p, field_bits);
+        }
+        counts
+    }
+
+    /// Whether weighted per-field cost words stay within `field_bits`-wide
+    /// fields: the worst-case field cost `Σ units × field_bits` must fit a
+    /// field without carrying into its neighbour (checked separately for
+    /// the primary and secondary components).
+    pub fn weighted_fields_fit(&self, field_bits: usize) -> bool {
+        if field_bits >= 64 {
+            return false;
+        }
+        let cap = 1u128 << field_bits;
+        let worst = |unit_of: fn(&CostClass) -> u64| -> u128 {
+            self.classes()
+                .iter()
+                .map(|c| unit_of(c) as u128 * field_bits as u128)
+                .sum()
+        };
+        worst(|c| c.primary) < cap && worst(|c| c.secondary) < cap
+    }
+
+    /// Folds per-field counts into weighted per-field cost words: each
+    /// field of the returned `(primary, secondary)` words holds that
+    /// partition's full fixed-point cost component. Only valid when
+    /// [`ClassSet::weighted_fields_fit`] holds for the counts' field width
+    /// (otherwise the per-field products carry across fields).
+    #[inline(always)]
+    pub fn weighted_fields(&self, counts: &[u64; Self::MAX]) -> (u64, u64) {
+        let mut primary = 0u64;
+        let mut secondary = 0u64;
+        for (c, class) in counts[..self.len as usize].iter().zip(self.classes()) {
+            primary = primary.wrapping_add(c.wrapping_mul(class.primary));
+            if self.has_secondary {
+                secondary = secondary.wrapping_add(c.wrapping_mul(class.secondary));
+            }
+        }
+        (primary, secondary)
+    }
+
+    /// Cost of one partition from precomputed [`ClassSet::field_counts`]:
+    /// the partition's counts sit at `shift` under `field_mask`.
+    #[inline(always)]
+    pub fn count_cost(
+        &self,
+        counts: &[u64; Self::MAX],
+        shift: usize,
+        field_mask: u64,
+    ) -> FixedCost {
+        let mut cost = FixedCost::ZERO;
+        for (c, class) in counts[..self.len as usize].iter().zip(self.classes()) {
+            let n = (c >> shift) & field_mask;
+            cost.primary += n * class.primary;
+            if self.has_secondary {
+                cost.secondary += n * class.secondary;
+            }
+        }
+        cost
+    }
+
+    /// The classes as a slice.
+    #[inline]
+    pub fn classes(&self) -> &[CostClass] {
+        &self.classes[..self.len as usize]
+    }
+
+    /// Widest cell any class assumes (2 when an MLC class is present):
+    /// evaluation masks must cover whole cells of this width.
+    pub fn cell_bits(&self) -> u32 {
+        self.classes()
+            .iter()
+            .map(|c| c.rule.cell_bits())
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Derives every class's programmed-bit plane for writing `new` over a
+    /// destination word described by `old` / `stuck_mask` / `stuck_value`,
+    /// restricted to `mask`. Unused slots stay zero.
+    #[inline(always)]
+    pub fn planes(
+        &self,
+        new: u64,
+        old: u64,
+        stuck_mask: u64,
+        stuck_value: u64,
+        mask: u64,
+    ) -> [u64; Self::MAX] {
+        let mut planes = [0u64; Self::MAX];
+        for (p, compiled) in planes
+            .iter_mut()
+            .zip(self.compiled[..self.len as usize].iter())
+        {
+            *p = compiled.plane(new, old, stuck_mask, stuck_value, mask);
+        }
+        planes
+    }
+
+    /// Fused variant of [`ClassSet::planes`] deriving the planes of a
+    /// candidate `new` *and* of its complement form `new ^ cmask` in one
+    /// pass (shared difference/stuck subexpressions): the per-kernel
+    /// workhorse of the cheaper-of-two partition search.
+    #[inline(always)]
+    pub fn planes_pair(
+        &self,
+        new: u64,
+        cmask: u64,
+        old: u64,
+        stuck_mask: u64,
+        stuck_value: u64,
+        mask: u64,
+    ) -> ([u64; Self::MAX], [u64; Self::MAX]) {
+        let mut direct = [0u64; Self::MAX];
+        let mut comp = [0u64; Self::MAX];
+        for ((p, q), compiled) in direct
+            .iter_mut()
+            .zip(comp.iter_mut())
+            .zip(self.compiled[..self.len as usize].iter())
+        {
+            let (a, b) = compiled.plane_pair(new, cmask, old, stuck_mask, stuck_value, mask);
+            *p = a;
+            *q = b;
+        }
+        (direct, comp)
+    }
+
+    /// Sums the class costs of precomputed planes restricted to `mask`
+    /// (e.g. one VCC partition). `mask` must be a subset of the mask the
+    /// planes were derived with, and must cover whole cells for MLC rules.
+    #[inline(always)]
+    pub fn plane_cost(&self, planes: &[u64; Self::MAX], mask: u64) -> FixedCost {
+        let mut cost = FixedCost::ZERO;
+        for (p, class) in planes.iter().zip(self.classes()) {
+            let n = (p & mask).count_ones() as u64;
+            cost.primary += n * class.primary;
+            if self.has_secondary {
+                cost.secondary += n * class.secondary;
+            }
+        }
+        cost
+    }
+
+    /// Full cost of writing `new` over one destination word, restricted to
+    /// `mask`.
+    #[inline(always)]
+    pub fn cost(
+        &self,
+        new: u64,
+        old: u64,
+        stuck_mask: u64,
+        stuck_value: u64,
+        mask: u64,
+    ) -> FixedCost {
+        let planes = self.planes(new, old, stuck_mask, stuck_value, mask);
+        self.plane_cost(&planes, mask)
+    }
+}
+
+/// Converts an `f64` class cost to its exact fixed-point unit, if it has
+/// one (non-negative integer below [`MAX_CLASS_UNIT`]).
+fn integer_unit(x: f64) -> Option<u64> {
+    ((0.0..=MAX_CLASS_UNIT).contains(&x) && x.fract() == 0.0).then_some(x as u64)
+}
 
 /// A candidate cost. Ordering is lexicographic: `primary` dominates,
 /// `secondary` breaks ties. Plain single-objective cost functions put their
@@ -209,6 +723,83 @@ pub trait CostFunction: Send + Sync {
         }
         total
     }
+
+    /// The transition classes of this objective, if it admits the
+    /// word-batched integer (SWAR) evaluation path.
+    ///
+    /// `None` (the default) routes every batched entry point — and the
+    /// encoders' broadcast candidate search — through the scalar
+    /// [`CostFunction::field_cost`] fallback. All five built-in objectives
+    /// override this; [`WriteEnergy`] returns `None` for custom transition
+    /// tables that are not per-class shaped or not integer-valued.
+    fn classes(&self) -> Option<ClassSet> {
+        None
+    }
+
+    /// Word-batched counterpart of [`CostFunction::region_cost`]: costs a
+    /// multi-word region through the transition-class planes when
+    /// [`CostFunction::classes`] provides them, and falls back to the
+    /// scalar per-field path otherwise. Results are bit-identical to the
+    /// scalar path for every built-in objective.
+    fn cost_words(
+        &self,
+        new: &[u64],
+        old: &[u64],
+        stuck_mask: &[u64],
+        stuck_value: &[u64],
+        bits: usize,
+    ) -> Cost {
+        if let Some(classes) = self.classes() {
+            // MLC classes need whole symbols; odd widths take the scalar
+            // path so its cell-alignment assertion stays authoritative.
+            if bits.is_multiple_of(classes.cell_bits() as usize) {
+                let words = bits.div_ceil(64);
+                assert!(new.len() >= words && old.len() >= words);
+                assert!(stuck_mask.len() >= words && stuck_value.len() >= words);
+                let mut total = FixedCost::ZERO;
+                let mut remaining = bits;
+                for w in 0..words {
+                    let b = remaining.min(64);
+                    let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+                    total += classes.cost(new[w], old[w], stuck_mask[w], stuck_value[w], mask);
+                    remaining -= b;
+                }
+                return total.to_cost();
+            }
+        }
+        self.region_cost(new, old, stuck_mask, stuck_value, bits)
+    }
+}
+
+/// Testing/debug wrapper that forces the scalar [`CostFunction::field_cost`]
+/// path by hiding the inner objective's transition classes. The
+/// differential `cost_oracle` suite pins the broadcast-SWAR encoders to the
+/// scalar reference by running the same encoder with and without this
+/// wrapper.
+#[derive(Debug, Clone)]
+pub struct ScalarOnly<C>(pub C);
+
+impl<C: CostFunction> CostFunction for ScalarOnly<C> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn field_cost(&self, field: &Field) -> Cost {
+        self.0.field_cost(field)
+    }
+
+    fn region_cost(
+        &self,
+        new: &[u64],
+        old: &[u64],
+        stuck_mask: &[u64],
+        stuck_value: &[u64],
+        bits: usize,
+    ) -> Cost {
+        self.0.region_cost(new, old, stuck_mask, stuck_value, bits)
+    }
+
+    // `classes` intentionally left at the default `None`.
 }
 
 /// Counts the `1` bits written (the paper's Figure 3 objective).
@@ -226,6 +817,10 @@ impl CostFunction for OnesCount {
     fn field_cost(&self, field: &Field) -> Cost {
         Cost::new((field.new & field.bit_mask()).count_ones() as f64)
     }
+
+    fn classes(&self) -> Option<ClassSet> {
+        Some(ClassSet::single(ClassRule::Ones, 1))
+    }
 }
 
 /// Counts bits that differ from the data already stored (Flip-N-Write /
@@ -241,6 +836,10 @@ impl CostFunction for BitFlips {
     fn field_cost(&self, field: &Field) -> Cost {
         Cost::new(((field.new ^ field.old) & field.bit_mask()).count_ones() as f64)
     }
+
+    fn classes(&self) -> Option<ClassSet> {
+        Some(ClassSet::single(ClassRule::Flips, 1))
+    }
 }
 
 /// Counts stuck-at-wrong cells only.
@@ -254,6 +853,10 @@ impl CostFunction for SawCount {
 
     fn field_cost(&self, field: &Field) -> Cost {
         Cost::new(field.saw_bits() as f64)
+    }
+
+    fn classes(&self) -> Option<ClassSet> {
+        Some(ClassSet::single(ClassRule::Saw, 1))
     }
 }
 
@@ -389,9 +992,6 @@ enum FastEnergy {
     },
 }
 
-/// Bit mask selecting the right (low) digit of every MLC symbol in a word.
-const MLC_RIGHT_DIGITS: u64 = 0x5555_5555_5555_5555;
-
 impl TransitionEnergy {
     /// Detects whether this table admits a bit-parallel cost evaluation.
     fn fast_kind(&self) -> Option<FastEnergy> {
@@ -439,6 +1039,9 @@ impl TransitionEnergy {
 pub struct WriteEnergy {
     energies: TransitionEnergy,
     fast: Option<FastEnergy>,
+    /// Transition classes compiled once at construction (the per-call
+    /// rebuild showed up in encoder profiles).
+    class_set: Option<ClassSet>,
 }
 
 impl Default for WriteEnergy {
@@ -455,7 +1058,13 @@ impl WriteEnergy {
     /// Creates an energy objective from a transition table.
     pub fn new(energies: TransitionEnergy) -> Self {
         let fast = energies.fast_kind();
-        WriteEnergy { energies, fast }
+        let mut this = WriteEnergy {
+            energies,
+            fast,
+            class_set: None,
+        };
+        this.class_set = this.compile_classes();
+        this
     }
 
     /// The Table I MLC PCM energy objective.
@@ -535,6 +1144,40 @@ impl CostFunction for WriteEnergy {
             None => self.field_cost_generic(field),
         }
     }
+
+    fn classes(&self) -> Option<ClassSet> {
+        self.class_set
+    }
+}
+
+impl WriteEnergy {
+    /// Derives the transition classes from the detected table shape
+    /// (see [`CostFunction::classes`]); run once by [`WriteEnergy::new`].
+    fn compile_classes(&self) -> Option<ClassSet> {
+        match self.fast {
+            Some(FastEnergy::MlcByRightDigit { low, high }) => {
+                let (low, high) = (integer_unit(low)?, integer_unit(high)?);
+                let mut set = ClassSet::single(ClassRule::MlcHigh, high);
+                set.push(CostClass {
+                    rule: ClassRule::MlcLow,
+                    primary: low,
+                    secondary: 0,
+                });
+                Some(set)
+            }
+            Some(FastEnergy::SlcDiagonalZero { set, reset }) => {
+                let (set_u, reset_u) = (integer_unit(set)?, integer_unit(reset)?);
+                let mut cs = ClassSet::single(ClassRule::SlcSet, set_u);
+                cs.push(CostClass {
+                    rule: ClassRule::SlcReset,
+                    primary: reset_u,
+                    secondary: 0,
+                });
+                Some(cs)
+            }
+            None => None,
+        }
+    }
 }
 
 /// Lexicographic combination of two objectives: minimize `primary` first and
@@ -547,17 +1190,59 @@ pub struct Lexico<P, S> {
     primary: P,
     secondary: S,
     name: String,
+    /// Folded transition classes compiled once at construction.
+    class_set: Option<ClassSet>,
 }
 
 impl<P: CostFunction, S: CostFunction> Lexico<P, S> {
     /// Combines two objectives lexicographically.
     pub fn new(primary: P, secondary: S) -> Self {
         let name = format!("{}-then-{}", primary.name(), secondary.name());
-        Lexico {
+        let mut this = Lexico {
             primary,
             secondary,
             name,
+            class_set: None,
+        };
+        this.class_set = this.compile_classes();
+        this
+    }
+
+    /// Folds the two objectives' classes (see [`CostFunction::classes`]);
+    /// run once by [`Lexico::new`].
+    fn compile_classes(&self) -> Option<ClassSet> {
+        // Mirror the scalar fold: the primary objective's classes charge the
+        // primary component, the secondary objective's classes charge the
+        // tie-break component; either side's own secondary is discarded, so
+        // nested lexicographic combinations (which would need it) fall back.
+        let p = self.primary.classes()?;
+        let s = self.secondary.classes()?;
+        let mut out = ClassSet::default();
+        for c in p.classes() {
+            if c.secondary != 0 {
+                return None;
+            }
+            if !out.push(CostClass {
+                rule: c.rule,
+                primary: c.primary,
+                secondary: 0,
+            }) {
+                return None;
+            }
         }
+        for c in s.classes() {
+            if c.secondary != 0 {
+                return None;
+            }
+            if !out.push(CostClass {
+                rule: c.rule,
+                primary: 0,
+                secondary: c.primary,
+            }) {
+                return None;
+            }
+        }
+        Some(out)
     }
 }
 
@@ -572,6 +1257,10 @@ impl<P: CostFunction, S: CostFunction> CostFunction for Lexico<P, S> {
         // Fold a two-level lexicographic cost: the secondary objective's own
         // secondary component is discarded (it is zero for all built-ins).
         Cost::with_secondary(p.primary, s.primary)
+    }
+
+    fn classes(&self) -> Option<ClassSet> {
+        self.class_set
     }
 }
 
@@ -784,6 +1473,142 @@ mod tests {
             mlc.field_cost_generic(&f).primary
         );
         assert_eq!(mlc.field_cost(&f).primary, MLC_HIGH_TRANSITION_PJ);
+    }
+
+    #[test]
+    fn fixed_cost_packing_orders_lexicographically() {
+        let a = FixedCost {
+            primary: 1,
+            secondary: 1 << 40,
+        };
+        let b = FixedCost {
+            primary: 2,
+            secondary: 0,
+        };
+        assert!(a.packed() < b.packed());
+        let c = FixedCost {
+            primary: 1,
+            secondary: 3,
+        };
+        assert!(c.packed() < a.packed());
+        assert_eq!((a + c).primary, 2);
+        let cost = FixedCost {
+            primary: 15,
+            secondary: 132,
+        }
+        .to_cost();
+        assert_eq!(cost, Cost::with_secondary(15.0, 132.0));
+    }
+
+    #[test]
+    fn per_field_popcount_all_widths() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let x: u64 = rng.gen();
+            for field in [1usize, 2, 4, 8, 16, 32, 64] {
+                let counts = per_field_popcount(x, field);
+                let mask = if field == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << field) - 1
+                };
+                for j in 0..64 / field {
+                    let expect = ((x >> (j * field)) & mask).count_ones() as u64;
+                    assert_eq!(
+                        (counts >> (j * field)) & mask,
+                        expect,
+                        "field {field} index {j} of {x:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class_sets_of_builtins() {
+        assert_eq!(OnesCount.classes().unwrap().classes().len(), 1);
+        assert_eq!(BitFlips.classes().unwrap().classes().len(), 1);
+        assert_eq!(SawCount.classes().unwrap().classes().len(), 1);
+        let mlc = WriteEnergy::mlc().classes().unwrap();
+        assert_eq!(mlc.classes().len(), 2);
+        assert_eq!(mlc.cell_bits(), 2);
+        assert_eq!(mlc.classes()[0].primary, MLC_HIGH_TRANSITION_PJ as u64);
+        assert_eq!(mlc.classes()[1].primary, MLC_LOW_TRANSITION_PJ as u64);
+        let slc = WriteEnergy::slc().classes().unwrap();
+        assert_eq!(slc.cell_bits(), 1);
+        // Lexico folds: primary classes charge primary, secondary classes
+        // charge the tie-break component.
+        let lex = opt_saw_then_energy().classes().unwrap();
+        assert_eq!(lex.classes().len(), 3);
+        assert_eq!(lex.classes()[0].rule, ClassRule::Saw);
+        assert_eq!(lex.classes()[0].secondary, 0);
+        assert!(lex.classes()[1..].iter().all(|c| c.primary == 0));
+        // Non-integer custom tables decline the class path.
+        let mut frac = [[0.5f64; 4]; 4];
+        for (i, row) in frac.iter_mut().enumerate() {
+            row[i] = 0.0;
+        }
+        assert!(WriteEnergy::new(TransitionEnergy::custom_mlc(frac))
+            .classes()
+            .is_none());
+    }
+
+    #[test]
+    fn scalar_only_hides_classes_but_delegates_costs() {
+        let wrapped = ScalarOnly(WriteEnergy::mlc());
+        assert!(wrapped.classes().is_none());
+        assert_eq!(wrapped.name(), WriteEnergy::mlc().name());
+        let f = Field::new(0b10_01, 0b00_00, 4);
+        assert_eq!(wrapped.field_cost(&f), WriteEnergy::mlc().field_cost(&f));
+    }
+
+    #[test]
+    fn cost_words_matches_region_cost_for_builtins() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(19);
+        let fns: Vec<Box<dyn CostFunction>> = vec![
+            Box::new(OnesCount),
+            Box::new(BitFlips),
+            Box::new(SawCount),
+            Box::new(WriteEnergy::mlc()),
+            Box::new(WriteEnergy::slc()),
+            Box::new(opt_saw_then_energy()),
+            Box::new(opt_energy_then_saw()),
+        ];
+        for _ in 0..200 {
+            let new = [rng.gen::<u64>(), rng.gen()];
+            let old = [rng.gen::<u64>(), rng.gen()];
+            let mut sym_mask = || {
+                let m = rng.gen::<u64>() & rng.gen::<u64>() & 0x5555_5555_5555_5555;
+                m | (m << 1)
+            };
+            let sm = [sym_mask(), sym_mask()];
+            let sv = [rng.gen::<u64>(), rng.gen()];
+            for bits in [64usize, 100, 128] {
+                for cf in &fns {
+                    assert_eq!(
+                        cf.cost_words(&new, &old, &sm, &sv, bits),
+                        cf.region_cost(&new, &old, &sm, &sv, bits),
+                        "{} over {bits} bits",
+                        cf.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_fields_bound_check() {
+        let mlc = WriteEnergy::mlc().classes().unwrap();
+        // 16-bit fields hold 8 cells × 132 pJ comfortably; 8-bit fields
+        // cannot hold 4 × 132.
+        assert!(mlc.weighted_fields_fit(16));
+        assert!(!mlc.weighted_fields_fit(8));
+        let ones = OnesCount.classes().unwrap();
+        assert!(ones.weighted_fields_fit(8));
     }
 
     #[test]

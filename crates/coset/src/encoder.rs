@@ -91,7 +91,14 @@ impl EncodeScratch {
         EncodeScratch::default()
     }
 
-    /// Borrows a slot, resized to `len` zeroed bits.
+    /// Borrows a slot, resized to exactly `len` zeroed bits.
+    ///
+    /// This is the **only** way encoder code obtains a scratch buffer, and
+    /// the returned block is always correctly sized regardless of what a
+    /// previous encode (possibly at a different width, possibly swapping
+    /// buffers around) left behind. Callers must not swap a slot with a
+    /// buffer of a different length mid-loop — park winners in a second
+    /// same-width slot instead (see `Vcc::encode_full_block_scalar`).
     pub(crate) fn slot(slot: &mut Option<Block>, len: usize) -> &mut Block {
         let b = slot.get_or_insert_with(|| Block::zeros(len));
         b.reset_zeros(len);
@@ -302,6 +309,47 @@ mod tests {
         let enc = Unencoded::new(32);
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(check_roundtrip(&enc, &BitFlips, &mut rng, 50), 50);
+    }
+
+    /// Regression test for the `EncodeScratch::slot` stale-length footgun:
+    /// one scratch and one `Encoded` slot driven back-to-back through
+    /// encoders of different block widths (the scalar candidate loops used
+    /// to swap stale-width buffers into the scratch mid-loop).
+    #[test]
+    fn scratch_and_output_survive_width_changes() {
+        use crate::cost::{ScalarOnly, WriteEnergy};
+        use crate::{Fnw, Rcc, Vcc};
+        let mut rng = StdRng::seed_from_u64(9);
+        let encoders: Vec<Box<dyn Encoder>> = vec![
+            Box::new(Vcc::stored(64, 16, 4, &mut rng)),
+            Box::new(Vcc::stored(32, 16, 4, &mut rng)),
+            Box::new(Vcc::paper_mlc(64)),
+            Box::new(Rcc::random(48, 8, &mut rng)),
+            Box::new(Fnw::with_sub_block(512, 16)),
+            Box::new(Vcc::stored(64, 32, 4, &mut rng)),
+        ];
+        let mut scratch = EncodeScratch::new();
+        let mut out = Encoded::placeholder(1);
+        // Run both the broadcast and the scalar-forced routes through the
+        // same scratch/output pair; every encode must match a fresh call.
+        for cost in [
+            Box::new(WriteEnergy::slc()) as Box<dyn crate::cost::CostFunction>,
+            Box::new(ScalarOnly(WriteEnergy::slc())),
+        ] {
+            for round in 0..3 {
+                for e in &encoders {
+                    let data = Block::random(&mut rng, e.block_bits());
+                    let ctx =
+                        WriteContext::new(Block::random(&mut rng, e.block_bits()), 0, e.aux_bits());
+                    e.encode_into(&data, &ctx, cost.as_ref(), &mut scratch, &mut out);
+                    let fresh = e.encode(&data, &ctx, cost.as_ref());
+                    assert_eq!(out.codeword, fresh.codeword, "{} round {round}", e.name());
+                    assert_eq!(out.aux, fresh.aux, "{} round {round}", e.name());
+                    assert_eq!(out.cost, fresh.cost, "{} round {round}", e.name());
+                    assert_eq!(e.decode(&out.codeword, out.aux), data);
+                }
+            }
+        }
     }
 
     #[test]

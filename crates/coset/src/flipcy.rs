@@ -112,6 +112,51 @@ impl Encoder for Flipcy {
     ) {
         assert_eq!(data.len(), self.block_bits, "data width mismatch");
         assert_eq!(ctx.data_bits(), self.block_bits, "context width mismatch");
+        // Broadcast-SWAR path: the identity and one's-complement candidates
+        // are costed word-by-word straight off the data (one NOT per word);
+        // only the two's complement needs materializing (carry chain), and
+        // only the winner is written to the output. With just three
+        // candidates the per-write model build only amortizes on multi-word
+        // blocks, so single-word Flipcy stays on the scalar route.
+        if self.block_bits > 64 {
+            if let Some(model) = ctx.cost_model(cost) {
+                let cand = EncodeScratch::slot(&mut scratch.cand, self.block_bits);
+                cand.copy_from(data);
+                Self::twos_complement_in_place(cand);
+                let words = data.words();
+                let mut best = crate::cost::FixedCost::ZERO;
+                let mut best_v = Variant::Identity;
+                let mut found = false;
+                for v in [
+                    Variant::Identity,
+                    Variant::OnesComplement,
+                    Variant::TwosComplement,
+                ] {
+                    let mut c = model.aux_cost(v as u64);
+                    for (w, &dw) in words.iter().enumerate() {
+                        let new = match v {
+                            Variant::Identity => dw,
+                            Variant::OnesComplement => !dw,
+                            Variant::TwosComplement => cand.words()[w],
+                        };
+                        c += model.word_cost(w, new);
+                    }
+                    if !found || c.packed() < best.packed() {
+                        best = c;
+                        best_v = v;
+                        found = true;
+                    }
+                }
+                match best_v {
+                    Variant::TwosComplement => out.codeword.copy_from(cand),
+                    v => Self::apply_into(data, v, &mut out.codeword),
+                }
+                out.aux = best_v as u64;
+                out.cost = best.to_cost();
+                return;
+            }
+        }
+        // Scalar fallback (objectives without transition classes).
         let cand = EncodeScratch::slot(&mut scratch.cand, self.block_bits);
         let mut found = false;
         for v in [

@@ -13,7 +13,7 @@
 
 use crate::block::Block;
 use crate::context::WriteContext;
-use crate::cost::CostFunction;
+use crate::cost::{CostFunction, FixedCost};
 use crate::encoder::{EncodeScratch, Encoded, Encoder};
 
 /// Flip-N-Write-style selective inversion encoder.
@@ -138,6 +138,51 @@ impl Encoder for Fnw {
         } else {
             (1u64 << self.sub_bits) - 1
         };
+        // Broadcast-SWAR path: a sub-block's two candidates are the data
+        // word and its bitwise NOT, so each word's class planes are derived
+        // twice and every section is selected with two masked popcount
+        // costs — no per-section extract/insert at all. Requires sections
+        // that do not straddle word boundaries and cell-aligned sections.
+        let sections_tile_words = 64 % self.sub_bits == 0 || self.block_bits <= 64;
+        if sections_tile_words {
+            if let Some(model) = ctx.cost_model(cost) {
+                if self
+                    .sub_bits
+                    .is_multiple_of(model.classes().cell_bits() as usize)
+                {
+                    let words = data.words();
+                    let mut aux = 0u64;
+                    let mut data_cost = FixedCost::ZERO;
+                    out.codeword.reset_zeros(self.block_bits);
+                    let mut j = 0usize;
+                    for (w, &dw) in words.iter().enumerate() {
+                        if j >= self.sections() {
+                            break;
+                        }
+                        let (direct, inverted) = model.planes_pair(w, dw, u64::MAX);
+                        let base = w * 64;
+                        let mut flip = 0u64;
+                        let mut sh = 0usize;
+                        while sh < 64 && j < self.sections() && base + sh < self.block_bits {
+                            let pmask = sub_mask << sh;
+                            let c_direct = model.plane_cost(&direct, pmask);
+                            let c_inverted = model.plane_cost(&inverted, pmask);
+                            let (take_inv, chosen) = FixedCost::select_min(c_direct, c_inverted);
+                            aux |= take_inv << j;
+                            flip |= pmask & take_inv.wrapping_neg();
+                            data_cost += chosen;
+                            sh += self.sub_bits;
+                            j += 1;
+                        }
+                        out.codeword
+                            .insert_word_masked(w, dw ^ flip, model.word_mask(w));
+                    }
+                    out.aux = aux;
+                    out.cost = (data_cost + model.aux_cost(aux)).to_cost();
+                    return;
+                }
+            }
+        }
         // FNW picks per-section, so the winner is assembled directly in the
         // output codeword — no candidate buffers needed.
         out.codeword.reset_zeros(self.block_bits);

@@ -20,6 +20,12 @@ use crate::block::Block;
 pub struct KernelSet {
     kernel_bits: usize,
     kernels: Vec<u64>,
+    /// Per-kernel broadcast words (the kernel repeated across a full 64-bit
+    /// word), precomputed whenever the kernel width divides 64. The
+    /// broadcast-SWAR candidate search forms a whole block's worth of
+    /// coset candidate with one XOR per word against these; empty when the
+    /// width does not tile a word (callers then use the scalar path).
+    broadcasts: Vec<u64>,
 }
 
 impl Default for KernelSet {
@@ -29,8 +35,31 @@ impl Default for KernelSet {
         KernelSet {
             kernel_bits: 1,
             kernels: Vec::new(),
+            broadcasts: Vec::new(),
         }
     }
+}
+
+/// Repeats the low `m` bits of `value` across a 64-bit word.
+///
+/// # Panics
+///
+/// Panics (in debug builds) unless `m` divides 64.
+#[inline]
+pub fn broadcast_word(value: u64, m: usize) -> u64 {
+    debug_assert!(m > 0 && 64 % m == 0, "broadcast width must divide 64");
+    let masked = if m >= 64 {
+        value
+    } else {
+        value & ((1u64 << m) - 1)
+    };
+    let mut out = 0u64;
+    let mut pos = 0;
+    while pos < 64 {
+        out |= masked << pos;
+        pos += m;
+    }
+    out
 }
 
 impl KernelSet {
@@ -52,10 +81,23 @@ impl KernelSet {
             "kernel count must be a power of two"
         );
         let mask = Self::mask_for(kernel_bits);
-        let kernels = kernels.into_iter().map(|k| k & mask).collect();
+        let kernels: Vec<u64> = kernels.into_iter().map(|k| k & mask).collect();
+        let broadcasts = Self::broadcasts_for(kernel_bits, &kernels);
         KernelSet {
             kernel_bits,
             kernels,
+            broadcasts,
+        }
+    }
+
+    fn broadcasts_for(kernel_bits: usize, kernels: &[u64]) -> Vec<u64> {
+        if 64 % kernel_bits == 0 {
+            kernels
+                .iter()
+                .map(|&k| broadcast_word(k, kernel_bits))
+                .collect()
+        } else {
+            Vec::new()
         }
     }
 
@@ -103,6 +145,22 @@ impl KernelSet {
     /// All kernels as a slice.
     pub fn kernels(&self) -> &[u64] {
         &self.kernels
+    }
+
+    /// Whether per-kernel broadcast words are available (the kernel width
+    /// divides 64, so kernels tile a 64-bit word).
+    pub fn has_broadcasts(&self) -> bool {
+        !self.broadcasts.is_empty()
+    }
+
+    /// Kernel `i` repeated across a full 64-bit word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if broadcasts are unavailable ([`KernelSet::has_broadcasts`]).
+    #[inline]
+    pub fn broadcast(&self, i: usize) -> u64 {
+        self.broadcasts[i]
     }
 
     /// Number of auxiliary bits needed to name a kernel.
@@ -181,6 +239,7 @@ pub fn generate_kernels(seed: &Block, config: GeneratorConfig) -> KernelSet {
     let mut out = KernelSet {
         kernel_bits: config.kernel_bits,
         kernels: Vec::with_capacity(config.num_kernels),
+        broadcasts: Vec::new(),
     };
     generate_kernels_into(seed, config, &mut out);
     out
@@ -222,6 +281,11 @@ pub fn generate_kernels_into(seed: &Block, config: GeneratorConfig, out: &mut Ke
             out.kernels.push(seed.extract(j * m, m) ^ mask);
         }
     }
+    // Runtime-generated sets carry no broadcast words: the generated-kernel
+    // encoder builds its symbol-domain broadcasts directly from `kernel()`
+    // (and the decoder never needs them), so regenerating the word-domain
+    // vector here would be dead work on the per-write hot path.
+    out.broadcasts.clear();
 }
 
 /// Repeats the low `mask_bits` bits of `mask` across an `m`-bit word.
@@ -370,6 +434,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn broadcast_word_repeats_kernel() {
+        assert_eq!(broadcast_word(0xAB, 8), 0xABAB_ABAB_ABAB_ABAB);
+        assert_eq!(broadcast_word(0xBEEF, 16), 0xBEEF_BEEF_BEEF_BEEF);
+        assert_eq!(broadcast_word(0x1, 32), 0x0000_0001_0000_0001);
+        assert_eq!(broadcast_word(u64::MAX, 64), u64::MAX);
+        // The value is masked to the kernel width first.
+        assert_eq!(broadcast_word(0x1FF, 8), 0xFFFF_FFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn kernel_set_precomputes_broadcasts() {
+        let ks = KernelSet::new(16, vec![0xAAAA, 0x1234]);
+        assert!(ks.has_broadcasts());
+        assert_eq!(ks.broadcast(0), 0xAAAA_AAAA_AAAA_AAAA);
+        assert_eq!(ks.broadcast(1), 0x1234_1234_1234_1234);
+        // Widths that do not tile a word provide no broadcasts.
+        let odd = KernelSet::new(24, vec![0x0, 0x1]);
+        assert!(!odd.has_broadcasts());
+    }
+
+    #[test]
+    fn generated_kernels_carry_no_stale_broadcasts() {
+        let mut rng = StdRng::seed_from_u64(35);
+        // A stored set has broadcasts; regenerating into it must clear
+        // them (nothing consumes broadcasts of runtime-generated sets, and
+        // stale stored-set values would be wrong).
+        let mut out = KernelSet::random(8, 8, &mut rng);
+        assert!(out.has_broadcasts());
+        let seed = Block::random(&mut rng, 32);
+        generate_kernels_into(&seed, GeneratorConfig::new(8, 8), &mut out);
+        assert!(!out.has_broadcasts());
     }
 
     #[test]

@@ -61,14 +61,49 @@
 //! `WritePipeline` wraps encryption, encoding sessions, PCM programming and
 //! fault correction behind one `write_line` call.
 //!
+//! # The broadcast-SWAR cost engine
+//!
+//! The paper's VCC hardware evaluates every partition and both complement
+//! forms of every kernel *in parallel*; the encoder hot path mirrors that
+//! data-parallelism in software. Each objective that admits it compiles to
+//! a handful of **transition classes** ([`cost::CostFunction::classes`]):
+//! a per-bit integer cost plus a branchless rule deriving the
+//! "programmed-bit plane" of a candidate word from the destination's
+//! bit-planes. Per write, [`WriteContext::cost_model`] materializes a
+//! [`CostModel`] — the destination's old-data / stuck-mask / stuck-value
+//! words plus the compiled classes — and the encoders then:
+//!
+//! * broadcast each kernel across the block (`kernel_broadcast` words
+//!   precomputed in [`KernelSet`], or regenerated per write for the
+//!   Algorithm-2 deployment) and form whole-block candidate and complement
+//!   words with two XORs,
+//! * cost **every partition at once** with per-field popcounts over the
+//!   class planes ([`cost::per_field_popcount`]), and
+//! * pick the cheaper complement form per partition branch-free.
+//!
+//! Hot-loop costs accumulate in fixed-point [`FixedCost`] (`u64`
+//! primary/secondary, compared as one packed `u128`); `f64` only reappears
+//! at the [`Encoded`] boundary. Every built-in class cost is an integer
+//! (counts, or the integer-picojoule Table I energies), so the fixed-point
+//! sums convert exactly and the broadcast path is **bit-identical** to the
+//! scalar route — pinned by the differential `cost_oracle` suite.
+//!
+//! **When the scalar fallback runs:** objectives without classes (custom
+//! non-per-class or non-integer energy tables, or any cost wrapped in
+//! [`cost::ScalarOnly`]), kernel widths that do not tile a 64-bit word,
+//! partition widths that break the classes' cell alignment (odd widths
+//! under an MLC objective), generated-kernel blocks wider than one word,
+//! and single-word Flipcy (three candidates never amortize the model
+//! build). The scalar loops are retained verbatim as the reference oracle.
+//!
 //! # Crate layout
 //!
 //! | module | contents |
 //! |--------|----------|
 //! | [`block`] | [`Block`], the bit container every encoder operates on |
-//! | [`symbol`] | MLC Gray-code helpers, left/right digit extraction |
-//! | [`cost`] | [`cost::CostFunction`] and the paper's objectives |
-//! | [`context`] | [`WriteContext`] and [`StuckBits`] (read-modify-write state) |
+//! | [`symbol`] | MLC Gray-code helpers, Morton-table digit shuffles |
+//! | [`cost`] | [`cost::CostFunction`], the paper's objectives, transition classes |
+//! | [`context`] | [`WriteContext`], [`StuckBits`] and the per-write [`CostModel`] |
 //! | [`encoder`] | the [`Encoder`] trait, [`EncodeScratch`] sessions, unencoded baseline |
 //! | [`fnw`] | Flip-N-Write, DBI and BCC |
 //! | [`flipcy`] | Flipcy (identity / one's / two's complement) |
@@ -93,12 +128,12 @@ pub mod symbol;
 pub mod vcc;
 
 pub use block::Block;
-pub use context::{StuckBits, WriteContext};
-pub use cost::{Cost, CostFunction};
+pub use context::{CostModel, StuckBits, WriteContext};
+pub use cost::{Cost, CostFunction, FixedCost};
 pub use encoder::{check_roundtrip, EncodeScratch, Encoded, Encoder, Unencoded};
 pub use flipcy::Flipcy;
 pub use fnw::Fnw;
-pub use kernel::{generate_kernels, GeneratorConfig, KernelSet};
+pub use kernel::{broadcast_word, generate_kernels, GeneratorConfig, KernelSet};
 pub use rcc::Rcc;
 pub use symbol::CellKind;
 pub use vcc::{Vcc, VccMode};

@@ -33,6 +33,11 @@ use crate::encoder::{EncodeScratch, Encoded, Encoder};
 pub struct Rcc {
     block_bits: usize,
     cosets: Vec<Block>,
+    /// All coset candidates' backing words, flattened contiguously
+    /// (`words_per_block` words per candidate) so the broadcast-SWAR
+    /// candidate loop streams them without per-Block pointer chasing.
+    coset_words: Vec<u64>,
+    words_per_block: usize,
     aux_bits: u32,
 }
 
@@ -57,9 +62,16 @@ impl Rcc {
             assert_eq!(c.len(), block_bits, "coset width mismatch");
         }
         let aux_bits = cosets.len().trailing_zeros();
+        let words_per_block = block_bits.div_ceil(64);
+        let coset_words = cosets
+            .iter()
+            .flat_map(|c| c.words().iter().copied())
+            .collect();
         Rcc {
             block_bits,
             cosets,
+            coset_words,
+            words_per_block,
             aux_bits,
         }
     }
@@ -126,6 +138,42 @@ impl Encoder for Rcc {
     ) {
         assert_eq!(data.len(), self.block_bits, "data width mismatch");
         assert_eq!(ctx.data_bits(), self.block_bits, "context width mismatch");
+        // Broadcast-SWAR path: cost every coset candidate word-by-word with
+        // masked popcounts over the transition-class planes — candidate
+        // words are formed on the fly with one XOR each, and only the
+        // winning candidate is ever materialized into a Block.
+        if let Some(model) = ctx.cost_model(cost) {
+            let words = data.words();
+            let mut best = crate::cost::FixedCost::ZERO;
+            let mut best_idx = 0usize;
+            let mut found = false;
+            for (i, cws) in self
+                .coset_words
+                .chunks_exact(self.words_per_block)
+                .enumerate()
+            {
+                let mut c = crate::cost::FixedCost::ZERO;
+                for (w, (&dw, &cw)) in words.iter().zip(cws.iter()).enumerate() {
+                    c += model.word_cost(w, dw ^ cw);
+                }
+                // Aux-cost pruning: costs are non-negative, so a candidate
+                // whose data cost alone already loses cannot win.
+                if found && c.packed() >= best.packed() {
+                    continue;
+                }
+                let total = c + model.aux_cost(i as u64);
+                if !found || total.packed() < best.packed() {
+                    best = total;
+                    best_idx = i;
+                    found = true;
+                }
+            }
+            out.codeword.xor_words_from(data, &self.cosets[best_idx]);
+            out.aux = best_idx as u64;
+            out.cost = best.to_cost();
+            return;
+        }
+        // Scalar fallback (objectives without transition classes).
         let cand = EncodeScratch::slot(&mut scratch.cand, self.block_bits);
         let mut found = false;
         for (i, coset) in self.cosets.iter().enumerate() {

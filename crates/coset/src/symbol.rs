@@ -15,6 +15,11 @@
 
 use crate::block::Block;
 
+/// Bit mask selecting the right (low, energy-determining) digit of every
+/// MLC symbol in a 64-bit word — the load-bearing constant of the
+/// digit-layout invariant this module owns.
+pub(crate) const MLC_RIGHT_DIGITS: u64 = 0x5555_5555_5555_5555;
+
 /// Number of bits stored per memory cell.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize, Default,
@@ -119,28 +124,95 @@ pub fn symbols(block: &Block) -> impl Iterator<Item = u8> + '_ {
     (0..block.len() / 2).map(move |s| block.extract(2 * s, 2) as u8)
 }
 
+/// `MORTON_EXPAND_BYTE[b]` spreads byte `b` onto the even bit positions of
+/// a 16-bit chunk — the byte-granular Morton expansion step.
+static MORTON_EXPAND_BYTE: [u16; 256] = build_morton_expand_byte();
+
+/// `MORTON_COMPRESS_NIBBLE[b]` packs the four even bits of byte `b` into a
+/// nibble — the byte-granular Morton compression step.
+static MORTON_COMPRESS_NIBBLE: [u8; 256] = build_morton_compress_nibble();
+
+const fn build_morton_expand_byte() -> [u16; 256] {
+    let mut table = [0u16; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut v = 0u16;
+        let mut i = 0;
+        while i < 8 {
+            v |= (((b >> i) & 1) as u16) << (2 * i);
+            i += 1;
+        }
+        table[b] = v;
+        b += 1;
+    }
+    table
+}
+
+const fn build_morton_compress_nibble() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        let mut v = 0u8;
+        let mut i = 0;
+        while i < 4 {
+            v |= (((b >> (2 * i)) & 1) as u8) << i;
+            i += 1;
+        }
+        table[b] = v;
+        b += 1;
+    }
+    table
+}
+
 /// Compresses the bits at even positions of `x` (0, 2, 4, …) into the low
-/// 32 bits — the word-parallel inverse of Morton interleaving.
+/// 32 bits — the word-parallel inverse of Morton interleaving, one nibble
+/// table lookup per byte.
 #[inline]
 fn compress_even_bits(x: u64) -> u64 {
-    let mut x = x & 0x5555_5555_5555_5555;
-    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
-    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
-    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
-    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
-    (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF
+    let mut out = 0u64;
+    let mut i = 0;
+    while i < 8 {
+        out |= (MORTON_COMPRESS_NIBBLE[((x >> (8 * i)) & 0xFF) as usize] as u64) << (4 * i);
+        i += 1;
+    }
+    out
 }
 
 /// Spreads the low 32 bits of `x` onto the even positions of a 64-bit word —
-/// the word-parallel Morton expansion.
+/// the word-parallel Morton expansion, one byte table lookup per byte.
 #[inline]
 fn expand_to_even_bits(x: u64) -> u64 {
-    let mut x = x & 0x0000_0000_FFFF_FFFF;
-    x = (x | (x << 16)) & 0x0000_FFFF_0000_FFFF;
-    x = (x | (x << 8)) & 0x00FF_00FF_00FF_00FF;
-    x = (x | (x << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
-    x = (x | (x << 2)) & 0x3333_3333_3333_3333;
-    (x | (x << 1)) & 0x5555_5555_5555_5555
+    let mut out = 0u64;
+    let mut i = 0;
+    while i < 4 {
+        out |= (MORTON_EXPAND_BYTE[((x >> (8 * i)) & 0xFF) as usize] as u64) << (16 * i);
+        i += 1;
+    }
+    out
+}
+
+/// Spreads the low 32 bits of `x` onto the right-digit (even) positions of
+/// a 64-bit symbol word. This is how the broadcast-SWAR VCC encoder turns a
+/// right-digit kernel broadcast into a whole-block symbol-domain XOR mask.
+#[inline]
+pub fn spread_to_right_digits(x: u64) -> u64 {
+    expand_to_even_bits(x)
+}
+
+/// Packs the bits at even positions of `x` into the low 32 bits — the
+/// word-granular digit compression (right digits of a symbol word; shift
+/// the word right by one first for left digits).
+#[inline]
+pub fn compress_even_bits_word(x: u64) -> u64 {
+    compress_even_bits(x)
+}
+
+/// Interleaves up-to-32-bit left/right digit vectors into a symbol-group
+/// word: symbol `s` takes right bit `s` at position `2s` and left bit `s`
+/// at position `2s + 1`. Bits of the inputs above 32 are ignored.
+#[inline]
+pub fn interleave_word(left: u64, right: u64) -> u64 {
+    expand_to_even_bits(right) | (expand_to_even_bits(left) << 1)
 }
 
 /// Word-parallel digit extraction: digit bits of every symbol (selected by
@@ -358,6 +430,56 @@ mod tests {
         new.insert(4, 2, 0b01);
         assert_eq!(count_high_energy_transitions(&old, &new), 1);
         assert_eq!(count_symbol_transitions(&old, &new), 2);
+    }
+
+    /// Per-bit reference for the Morton expansion.
+    fn expand_reference(x: u64) -> u64 {
+        let mut out = 0u64;
+        for i in 0..32 {
+            out |= ((x >> i) & 1) << (2 * i);
+        }
+        out
+    }
+
+    /// Per-bit reference for the Morton compression.
+    fn compress_reference(x: u64) -> u64 {
+        let mut out = 0u64;
+        for i in 0..32 {
+            out |= ((x >> (2 * i)) & 1) << i;
+        }
+        out
+    }
+
+    #[test]
+    fn morton_tables_match_per_bit_reference() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..2000 {
+            let x: u64 = rand::Rng::gen(&mut rng);
+            assert_eq!(expand_to_even_bits(x), expand_reference(x), "expand {x:#x}");
+            assert_eq!(
+                compress_even_bits(x),
+                compress_reference(x),
+                "compress {x:#x}"
+            );
+            assert_eq!(compress_even_bits_word(x), compress_reference(x));
+            assert_eq!(spread_to_right_digits(x), expand_reference(x));
+        }
+        // Expansion and compression invert each other on their domains.
+        for _ in 0..200 {
+            let x: u64 = rand::Rng::gen::<u32>(&mut rng) as u64;
+            assert_eq!(compress_even_bits(expand_to_even_bits(x)), x);
+        }
+    }
+
+    #[test]
+    fn interleave_word_matches_digit_blocks() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..200 {
+            let b = Block::random(&mut rng, 64);
+            let left = extract_left_digits(&b);
+            let right = extract_right_digits(&b);
+            assert_eq!(interleave_word(left.as_u64(), right.as_u64()), b.as_u64());
+        }
     }
 
     #[test]

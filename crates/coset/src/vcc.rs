@@ -24,15 +24,16 @@
 use rand::Rng;
 
 use crate::block::Block;
-use crate::context::WriteContext;
-use crate::cost::{Cost, CostFunction};
+use crate::context::{CostModel, WriteContext};
+use crate::cost::{Cost, CostFunction, FixedCost};
 use crate::encoder::{EncodeScratch, Encoded, Encoder};
 use crate::kernel::{
     ceil_log2, generate_kernels, generate_kernels_into, GeneratorConfig, KernelSet,
 };
 use crate::symbol::{
     extract_left_digits, extract_left_digits_into, extract_right_digits, extract_right_digits_into,
-    interleave_digits, interleave_digits_into,
+    interleave_digits, interleave_digits_into, interleave_word, spread_to_right_digits,
+    MLC_RIGHT_DIGITS,
 };
 
 /// How a [`Vcc`] instance obtains kernels and which bits it encodes.
@@ -273,8 +274,10 @@ impl Vcc {
 
     /// Encodes in full-block mode: partition j covers bits [j·m, (j+1)·m).
     ///
-    /// Candidate codewords are assembled in the scratch's candidate buffer
-    /// and swapped into the output when they win — no per-kernel allocation.
+    /// Routes through the broadcast-SWAR search whenever the objective
+    /// compiles to transition classes ([`WriteContext::cost_model`]), the
+    /// kernels tile 64-bit words and the partitions respect the classes'
+    /// cell alignment; otherwise the retained scalar path runs.
     fn encode_full_block(
         &self,
         data: &Block,
@@ -284,8 +287,184 @@ impl Vcc {
         scratch: &mut EncodeScratch,
         out: &mut Encoded,
     ) {
+        if kernels.has_broadcasts() {
+            if let Some(model) = ctx.cost_model(cost) {
+                if self
+                    .kernel_bits
+                    .is_multiple_of(model.classes().cell_bits() as usize)
+                {
+                    self.encode_full_block_fast(data, &model, kernels, out);
+                    return;
+                }
+            }
+        }
+        self.encode_full_block_scalar(data, ctx, cost, kernels, scratch, out);
+    }
+
+    /// Broadcast-SWAR full-block search: each kernel is XORed across the
+    /// whole block one word at a time (its complement form is the bitwise
+    /// NOT of the same word), every partition is costed with masked
+    /// popcounts over the per-candidate class planes, and the
+    /// cheaper-of-two per partition is selected with a packed fixed-point
+    /// compare — all partitions and both complement forms evaluated as
+    /// data-parallel word operations, mirroring the paper's VCC hardware.
+    /// Only the winning kernel's codeword is ever materialized.
+    fn encode_full_block_fast(
+        &self,
+        data: &Block,
+        model: &CostModel<'_>,
+        kernels: &KernelSet,
+        out: &mut Encoded,
+    ) {
         let m = self.kernel_bits;
-        let cand = EncodeScratch::slot(&mut scratch.cand, self.block_bits);
+        let m_mask = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+        let words = data.words();
+        let mut best = FixedCost::ZERO;
+        let mut best_aux = 0u64;
+        let mut best_kernel = 0usize;
+        let mut best_flags = 0u64;
+        let mut found = false;
+        let weighted = model.weighted_fields_fit(m);
+        if words.len() == 1 {
+            // Single-word block (the paper's 64-bit configurations): the
+            // partition walk collapses to one tight loop per kernel.
+            let dw = words[0];
+            for i in 0..kernels.len() {
+                let y = dw ^ kernels.broadcast(i);
+                // All partitions costed at once: fused class planes for
+                // both complement forms, then per-field popcounts.
+                let (dp, cp) = model.planes_pair(0, y, u64::MAX);
+                let direct = model.field_counts(&dp, m);
+                let comp = model.field_counts(&cp, m);
+                let mut flags = 0u64;
+                let mut data_cost = FixedCost::ZERO;
+                if weighted {
+                    // Counts fold into weighted per-field cost words, so
+                    // each partition's cost is one shift-and-mask away.
+                    let (pd, sd) = model.weighted_fields(&direct);
+                    let (pc, sc) = model.weighted_fields(&comp);
+                    for j in 0..self.partitions {
+                        let sh = j * m;
+                        let c = FixedCost {
+                            primary: (pd >> sh) & m_mask,
+                            secondary: (sd >> sh) & m_mask,
+                        };
+                        let c_c = FixedCost {
+                            primary: (pc >> sh) & m_mask,
+                            secondary: (sc >> sh) & m_mask,
+                        };
+                        let (take_c, chosen) = FixedCost::select_min(c, c_c);
+                        flags |= take_c << j;
+                        data_cost += chosen;
+                    }
+                } else {
+                    for j in 0..self.partitions {
+                        let c = model.count_cost(&direct, j * m, m_mask);
+                        let c_c = model.count_cost(&comp, j * m, m_mask);
+                        let (take_c, chosen) = FixedCost::select_min(c, c_c);
+                        flags |= take_c << j;
+                        data_cost += chosen;
+                    }
+                }
+                // Aux-cost pruning: costs are non-negative, so a kernel
+                // whose data cost alone is not better than the incumbent
+                // total can never win — skip its aux evaluation.
+                if found && data_cost.packed() >= best.packed() {
+                    continue;
+                }
+                let aux = self.pack_aux(i, flags);
+                let total = data_cost + model.aux_cost(aux);
+                if !found || total.packed() < best.packed() {
+                    best = total;
+                    best_aux = aux;
+                    best_kernel = i;
+                    best_flags = flags;
+                    found = true;
+                }
+            }
+        } else {
+            for i in 0..kernels.len() {
+                let kb = kernels.broadcast(i);
+                let mut flags = 0u64;
+                let mut data_cost = FixedCost::ZERO;
+                let mut j = 0usize;
+                for (w, &dw) in words.iter().enumerate() {
+                    if j >= self.partitions {
+                        break;
+                    }
+                    let y = dw ^ kb;
+                    let (dp, cp) = model.planes_pair(w, y, u64::MAX);
+                    let direct = model.field_counts(&dp, m);
+                    let comp = model.field_counts(&cp, m);
+                    let base = w * 64;
+                    let mut sh = 0usize;
+                    while sh < 64 && j < self.partitions && base + sh < self.block_bits {
+                        let c = model.count_cost(&direct, sh, m_mask);
+                        let c_c = model.count_cost(&comp, sh, m_mask);
+                        let (take_c, chosen) = FixedCost::select_min(c, c_c);
+                        flags |= take_c << j;
+                        data_cost += chosen;
+                        sh += m;
+                        j += 1;
+                    }
+                }
+                if found && data_cost.packed() >= best.packed() {
+                    continue;
+                }
+                let aux = self.pack_aux(i, flags);
+                let total = data_cost + model.aux_cost(aux);
+                if !found || total.packed() < best.packed() {
+                    best = total;
+                    best_aux = aux;
+                    best_kernel = i;
+                    best_flags = flags;
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "at least one kernel");
+
+        // Materialize only the winner: data ^ broadcast kernel, flipping the
+        // partitions whose complement form won.
+        out.codeword.reset_zeros(self.block_bits);
+        let kb = kernels.broadcast(best_kernel);
+        let mut j = 0usize;
+        for (w, &dw) in words.iter().enumerate() {
+            let mut flip = 0u64;
+            let base = w * 64;
+            let mut sh = 0usize;
+            while sh < 64 && j < self.partitions && base + sh < self.block_bits {
+                if (best_flags >> j) & 1 == 1 {
+                    flip |= m_mask << sh;
+                }
+                sh += m;
+                j += 1;
+            }
+            out.codeword
+                .insert_word_masked(w, dw ^ kb ^ flip, model.word_mask(w));
+        }
+        out.aux = best_aux;
+        out.cost = best.to_cost();
+    }
+
+    /// Scalar full-block reference path: per-partition extract / XOR /
+    /// `field_cost` virtual calls. Runs for objectives without transition
+    /// classes (e.g. custom energy tables, [`crate::cost::ScalarOnly`]) and
+    /// for kernel widths that do not tile a 64-bit word; also the oracle
+    /// the differential `cost_oracle` suite pins the fast path against.
+    fn encode_full_block_scalar(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        cost: &dyn CostFunction,
+        kernels: &KernelSet,
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
+        let m = self.kernel_bits;
+        let (cand_slot, best_slot) = (&mut scratch.cand, &mut scratch.best);
+        let cand = EncodeScratch::slot(cand_slot, self.block_bits);
+        let best = EncodeScratch::slot(best_slot, self.block_bits);
         let mut found = false;
         for i in 0..kernels.len() {
             let mut flags = 0u64;
@@ -309,29 +488,157 @@ impl Vcc {
             let aux = self.pack_aux(i, flags);
             let total = data_cost + ctx.aux_cost(cost, aux);
             if !found || total.is_better_than(&out.cost) {
-                // The partitions tile the whole block, so `cand` was fully
-                // overwritten this iteration and can be swapped out whole.
-                std::mem::swap(&mut out.codeword, cand);
-                // After the swap `cand` may have a stale length; the next
-                // iteration overwrites every partition, so only the length
-                // needs fixing.
-                if cand.len() != self.block_bits {
-                    cand.reset_zeros(self.block_bits);
-                }
+                // The winner parks in `best` (same width as `cand` for the
+                // whole loop, so the swap can never leave a stale length —
+                // see the `EncodeScratch::slot` contract).
+                std::mem::swap(best, cand);
                 out.aux = aux;
                 out.cost = total;
                 found = true;
             }
         }
         assert!(found, "at least one kernel");
+        out.codeword.copy_from(best);
     }
 
     /// Encodes in MLC generated mode: only the right digits are transformed;
     /// costs are evaluated on whole symbols (left digit interleaved back in).
     ///
-    /// All intermediates — digit vectors, the Algorithm-2 kernel set and the
-    /// candidate right-digit vectors — live in the scratch.
+    /// Blocks that fit one word route through the broadcast-SWAR search
+    /// whenever the objective compiles to transition classes; the retained
+    /// scalar path runs otherwise.
     fn encode_mlc_generated(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        cost: &dyn CostFunction,
+        config: &GeneratorConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
+        if self.block_bits <= 64 && (2 * self.kernel_bits).is_power_of_two() {
+            if let Some(model) = ctx.cost_model(cost) {
+                self.encode_mlc_generated_fast(data, ctx, &model, config, scratch, out);
+                return;
+            }
+        }
+        self.encode_mlc_generated_scalar(data, ctx, cost, config, scratch, out);
+    }
+
+    /// Broadcast-SWAR generated-kernel search. The whole candidate block is
+    /// formed in the symbol domain with one XOR: spreading the kernel
+    /// broadcast onto the right-digit positions
+    /// ([`spread_to_right_digits`]) turns the per-partition right-digit
+    /// XOR into `data ^ k_sym`, and the complement form is a further XOR
+    /// with the right-digit mask. Partition costs are masked popcounts over
+    /// the candidate's class planes; digit extraction and re-interleaving
+    /// vanish from the per-kernel loop entirely (the winner needs no
+    /// interleave at all — its symbol word is already assembled).
+    fn encode_mlc_generated_fast(
+        &self,
+        data: &Block,
+        ctx: &WriteContext,
+        model: &CostModel<'_>,
+        config: &GeneratorConfig,
+        scratch: &mut EncodeScratch,
+        out: &mut Encoded,
+    ) {
+        let m = self.kernel_bits; // right-digit bits per partition
+        let digit_bits = self.block_bits / 2;
+        let dw = data.words()[0];
+        let sm = ctx.stuck.mask().words()[0];
+        let sv = ctx.stuck.value().words()[0];
+        // Seed Algorithm 2 with the left digits as they will actually be
+        // stored (stuck cells keep their frozen value), like the scalar
+        // path and the decoder.
+        let stored = (dw & !sm) | (sv & sm);
+        let seed = EncodeScratch::slot(&mut scratch.stored_left, digit_bits);
+        seed.set_from_u64(
+            crate::symbol::compress_even_bits_word(stored >> 1),
+            digit_bits,
+        );
+        generate_kernels_into(seed, *config, &mut scratch.kernels);
+        let kernels = &scratch.kernels;
+
+        let block_mask = if self.block_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.block_bits) - 1
+        };
+        let right_mask = MLC_RIGHT_DIGITS & block_mask;
+        let sym_mask = if 2 * m == 64 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * m)) - 1
+        };
+        // Kernel broadcast across the right-digit vector: the fast-path
+        // gate guarantees m is a power of two (so it tiles a word), letting
+        // the stored-path primitive serve here too, masked to digit_bits.
+        let digit_mask = if digit_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << digit_bits) - 1
+        };
+        let broadcast_digits = |k: u64| crate::kernel::broadcast_word(k, m) & digit_mask;
+        let mut best = FixedCost::ZERO;
+        let mut best_aux = 0u64;
+        let mut best_kernel = 0usize;
+        let mut best_flags = 0u64;
+        let mut found = false;
+        for i in 0..kernels.len() {
+            let k_sym = spread_to_right_digits(broadcast_digits(kernels.kernel(i)));
+            let y = dw ^ k_sym;
+            // Partition fields are symbol groups of 2m bits; cost all of
+            // them at once with per-field popcounts over the fused class
+            // planes (the complement form flips only the right digits).
+            let (dp, cp) = model.planes_pair(0, y, right_mask);
+            let direct = model.field_counts(&dp, 2 * m);
+            let comp = model.field_counts(&cp, 2 * m);
+            let mut flags = 0u64;
+            let mut data_cost = FixedCost::ZERO;
+            for j in 0..self.partitions {
+                let sh = 2 * j * m;
+                let c = model.count_cost(&direct, sh, sym_mask);
+                let c_c = model.count_cost(&comp, sh, sym_mask);
+                let (take_c, chosen) = FixedCost::select_min(c, c_c);
+                flags |= take_c << j;
+                data_cost += chosen;
+            }
+            // Aux-cost pruning (see encode_full_block_fast).
+            if found && data_cost.packed() >= best.packed() {
+                continue;
+            }
+            let aux = self.pack_aux(i, flags);
+            let total = data_cost + model.aux_cost(aux);
+            if !found || total.packed() < best.packed() {
+                best = total;
+                best_aux = aux;
+                best_kernel = i;
+                best_flags = flags;
+                found = true;
+            }
+        }
+        assert!(found, "at least one kernel");
+
+        // Materialize the winner: flip the right digits of the partitions
+        // whose complement form won.
+        let k_sym = spread_to_right_digits(broadcast_digits(kernels.kernel(best_kernel)));
+        let mut flip = 0u64;
+        for j in 0..self.partitions {
+            if (best_flags >> j) & 1 == 1 {
+                flip |= right_mask & (sym_mask << (2 * j * m));
+            }
+        }
+        out.codeword
+            .set_from_u64((dw ^ k_sym ^ flip) & block_mask, self.block_bits);
+        out.aux = best_aux;
+        out.cost = best.to_cost();
+    }
+
+    /// Scalar generated-kernel reference path (digit extraction, per-bit
+    /// interleave, per-partition `field_cost` calls); see
+    /// [`Vcc::encode_full_block_scalar`] for when it runs.
+    fn encode_mlc_generated_scalar(
         &self,
         data: &Block,
         ctx: &WriteContext,
@@ -404,15 +711,13 @@ impl Vcc {
 }
 
 /// Interleaves `m` left-digit bits and `m` right-digit bits into a `2m`-bit
-/// symbol-group word: symbol `s` = (left bit `s`, right bit `s`).
+/// symbol-group word: symbol `s` = (left bit `s`, right bit `s`). Backed by
+/// the precomputed Morton byte tables of [`crate::symbol`] instead of a
+/// per-bit loop; callers pass values already masked to `m ≤ 32` bits.
 #[inline]
 fn interleave_bits(left: u64, right: u64, m: usize) -> u64 {
-    let mut out = 0u64;
-    for s in 0..m {
-        out |= ((right >> s) & 1) << (2 * s);
-        out |= ((left >> s) & 1) << (2 * s + 1);
-    }
-    out
+    debug_assert!(m <= 32, "symbol-group words hold at most 32 symbols");
+    interleave_word(left, right)
 }
 
 impl Encoder for Vcc {
