@@ -1,0 +1,201 @@
+//! Streaming vs materialized trace-replay throughput, plus the
+//! capacity-class scenario proving the streaming frontend's bounded
+//! peak-memory contract.
+//!
+//! The Criterion benches compare the two ways a figure driver can replay a
+//! workload end-to-end (generation included, since streaming fuses
+//! generation into the replay):
+//!
+//! * `materialize/...` — generate the whole [`workload::Trace`] up front,
+//!   then replay it through the sharded engine (memory scales with trace
+//!   length);
+//! * `stream/...` — feed a [`workload::WorkloadSource`] through the
+//!   engine's bounded queues ([`engine::ShardedEngine::stream_replay`]),
+//!   with cache-miss fills served from the modeled memory (peak memory
+//!   independent of trace length).
+//!
+//! `STREAM_FAST=1` shrinks the workload for CI smoke runs.
+//!
+//! `STREAM_CAPACITY=1` skips Criterion and runs the capacity scenario
+//! instead: stream ≥ 10 million write-back lines through a 4-shard engine
+//! with the default queue bound, asserting after every source that the
+//! number of in-flight events never exceeded `shards × queue_capacity`,
+//! and reporting the process peak RSS (`VmHWM`) before and after — the
+//! footprint is the engine's row map plus the bounded queues, not the
+//! stream (a materialized 10M-line trace alone would be ~720 MB).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use coset::cost::opt_saw_then_energy;
+use engine::{EngineConfig, ShardedEngine, DEFAULT_STREAM_QUEUE_CAPACITY};
+use experiments::common::trace_for;
+use experiments::{Scale, Technique};
+use vcc_bench::{print_figure, BENCH_SEED};
+
+fn fast_mode() -> bool {
+    std::env::var("STREAM_FAST").is_ok_and(|v| v == "1")
+}
+
+fn capacity_mode() -> bool {
+    std::env::var("STREAM_CAPACITY").is_ok_and(|v| v == "1")
+}
+
+fn accesses() -> u64 {
+    if fast_mode() {
+        3_000
+    } else {
+        Scale::Tiny.trace_accesses()
+    }
+}
+
+fn build_engine(technique: Technique, shards: usize) -> ShardedEngine {
+    technique.engine(
+        EngineConfig::default().with_shards(shards),
+        Scale::Tiny.pcm_config(BENCH_SEED),
+        None,
+        BENCH_SEED,
+        BENCH_SEED,
+        || Box::new(opt_saw_then_energy()),
+    )
+}
+
+/// Peak resident set size of this process in KiB (Linux `VmHWM`), if
+/// available.
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The capacity-class scenario: ≥ 10M streamed lines at bounded peak
+/// memory. Streams fresh deterministic sources (distinct seeds) through
+/// one persistent 4-shard engine until the line budget is met.
+fn run_capacity_scenario() {
+    const TARGET_LINES: u64 = 10_000_000;
+    const SHARDS: usize = 4;
+    // A churning profile: large footprint, hot set bigger than L2, so the
+    // stream exercises memory-backed fills throughout.
+    let profile = workload::BenchmarkProfile::new(
+        "capacity_churn",
+        64 << 20,
+        0.6,
+        0.7,
+        1 << 20,
+        0.1,
+        64,
+        workload::ValueStyle::Random,
+        10.0,
+        10.0,
+    );
+    let mut engine = build_engine(Technique::Unencoded, SHARDS);
+    let rss_before = peak_rss_kib();
+    let start = std::time::Instant::now();
+    let (mut lines, mut fills, mut round) = (0u64, 0u64, 0u64);
+    while lines < TARGET_LINES {
+        let mut source =
+            workload::WorkloadSource::new(profile.clone(), 4_000_000, BENCH_SEED ^ round);
+        let summary = engine.stream_replay(&mut source);
+        assert!(
+            summary.max_in_flight <= SHARDS * summary.queue_capacity,
+            "in-flight events {} exceeded the structural bound {}",
+            summary.max_in_flight,
+            SHARDS * summary.queue_capacity
+        );
+        lines += summary.events;
+        fills += summary.memory_fills;
+        round += 1;
+        println!(
+            "  round {round}: +{} lines ({lines} total, {} memory fills, \
+             max {} in flight)",
+            summary.events, summary.memory_fills, summary.max_in_flight
+        );
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let rss_after = peak_rss_kib();
+    println!(
+        "streamed {lines} lines in {secs:.1}s ({:.0} lines/s), {fills} fills from memory",
+        lines as f64 / secs
+    );
+    if let (Some(before), Some(after)) = (rss_before, rss_after) {
+        println!(
+            "peak RSS: {before} KiB before, {after} KiB after \
+             (queues bound {} events/shard; growth is the engine's row map, \
+             not the stream)",
+            DEFAULT_STREAM_QUEUE_CAPACITY
+        );
+    }
+    assert!(lines >= TARGET_LINES);
+    assert_eq!(
+        engine.memory_stats().row_writes,
+        lines,
+        "every streamed line must have landed in the array"
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    if capacity_mode() {
+        run_capacity_scenario();
+        return;
+    }
+
+    let accesses = accesses();
+    let profile = &Scale::Tiny.benchmarks()[0];
+    let trace = trace_for(profile, Scale::Tiny, BENCH_SEED);
+    print_figure(
+        &format!(
+            "Streaming vs materialized replay — {} accesses -> {} write-back \
+             lines at Tiny scale (STREAM_FAST shrinks, STREAM_CAPACITY=1 runs \
+             the 10M-line bounded-memory scenario instead)",
+            accesses,
+            trace.len()
+        ),
+        "materialize = generate Trace vector, then engine.replay_trace;\n\
+         stream      = WorkloadSource -> bounded queues -> shard pool, fills\n\
+         served from the modeled memory (engine.stream_replay)",
+    );
+
+    let mut group = c.benchmark_group("stream_throughput");
+    group.sample_size(10);
+    for (label, technique) in [
+        ("unencoded", Technique::Unencoded),
+        ("vcc64", Technique::VccGenerated { cosets: 64 }),
+    ] {
+        group.bench_function(format!("materialize/{label}"), |b| {
+            b.iter_batched(
+                || build_engine(technique, 2),
+                |mut engine| {
+                    let trace = {
+                        let scaled = profile.scaled_down(Scale::Tiny.working_set_divisor());
+                        workload::generate_trace(&scaled, accesses, BENCH_SEED)
+                    };
+                    engine.replay_trace(&trace);
+                    engine.stats().lines_written
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("stream/{label}"), |b| {
+            b.iter_batched(
+                || build_engine(technique, 2),
+                |mut engine| {
+                    let scaled = profile.scaled_down(Scale::Tiny.working_set_divisor());
+                    let mut source = workload::WorkloadSource::new(scaled, accesses, BENCH_SEED);
+                    engine.stream_replay(&mut source);
+                    engine.stats().lines_written
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1500));
+    targets = bench
+}
+criterion_main!(benches);

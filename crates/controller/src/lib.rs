@@ -62,14 +62,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use coset::cost::{CostFunction, WriteEnergy};
 use coset::Encoder;
 use memcrypt::{simulation_encryption, SimulationEncryption, LINE_WORDS};
 use pcm::{FaultMap, LineWriteOutcome, LineWriteScratch, MemoryStats, PcmConfig, PcmMemory};
 use protect::{CorrectionScheme, NoCorrection};
-use workload::{Trace, WriteBack};
+use workload::{MemoryReader, Trace, TraceSource, WriteBack};
 
 /// Outcome of pushing one cache line through the pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,6 +143,11 @@ pub struct WritePipeline {
     saw_buf: Vec<u32>,
     read_buf: Vec<u64>,
     failed_rows: HashSet<u64>,
+    /// Which line address last wrote each row through the encrypted path
+    /// (rows written raw have no owner). Read-back is only meaningful for
+    /// the owner: under scaled configs several lines alias one row, and
+    /// decrypting a neighbour's ciphertext would yield garbage.
+    row_owner: HashMap<u64, u64>,
     stats: PipelineStats,
 }
 
@@ -171,6 +176,7 @@ impl WritePipeline {
             saw_buf: Vec::new(),
             read_buf: Vec::new(),
             failed_rows: HashSet::new(),
+            row_owner: HashMap::new(),
             stats: PipelineStats::default(),
         }
     }
@@ -253,6 +259,7 @@ impl WritePipeline {
     pub fn write_line(&mut self, line_addr: u64, plaintext: &[u64; LINE_WORDS]) -> LineReport {
         let (ciphertext, _ctr) = self.encryption.encrypt_writeback(line_addr, plaintext);
         let row_addr = self.memory.config().row_of_byte_addr(line_addr);
+        self.row_owner.insert(row_addr, line_addr);
         self.commit(row_addr, &ciphertext)
     }
 
@@ -264,15 +271,20 @@ impl WritePipeline {
     /// Writes an already-encrypted (or synthetically random) line directly
     /// to a row, bypassing the encryption stage but keeping the correction
     /// bookkeeping — for studies that model ciphertext as random data at
-    /// line granularity.
+    /// line granularity. The row's contents no longer belong to any
+    /// encrypted line, so [`WritePipeline::read_line`] answers `None` for
+    /// it afterwards.
     pub fn write_raw_line(&mut self, row_addr: u64, line: &[u64]) -> LineReport {
+        self.row_owner.remove(&row_addr);
         self.commit(row_addr, line)
     }
 
     /// Writes a single already-encrypted word, bypassing encryption; `w` is
     /// the word index within the row. The random-data study (Figure 7)
-    /// drives this.
+    /// drives this. Like [`WritePipeline::write_raw_line`], it clears the
+    /// row's encrypted-line ownership.
     pub fn write_raw_word(&mut self, row_addr: u64, w: usize, data: u64) -> pcm::WordWriteOutcome {
+        self.row_owner.remove(&row_addr);
         self.memory.write_word_with(
             row_addr,
             w,
@@ -316,20 +328,62 @@ impl WritePipeline {
         *self.memory.stats()
     }
 
-    /// Reads a line back through decode + decrypt; `None` if its row was
-    /// never written. Stuck-at-wrong cells naturally corrupt the result.
+    /// Reads a line back through decode + decrypt; `None` unless this
+    /// line's ciphertext is what the row currently holds. Stuck-at-wrong
+    /// cells naturally corrupt the result.
+    ///
+    /// "Holds" is tracked explicitly: each encrypted `write_line` records
+    /// its line address as the row's owner, and raw `write_raw_*` writes
+    /// clear it. A line that was never written, a row only touched by the
+    /// raw studies, and — in scaled-memory configurations where several
+    /// line addresses alias onto one row — a line whose row has since been
+    /// overwritten by an aliasing neighbour all answer `None` (decrypting
+    /// another line's ciphertext with this line's pad would return
+    /// pseudo-random bytes, not stored data; callers like the cache-fill
+    /// path then fall back to their synthetic initial pattern).
     ///
     /// Like the write path, reads reuse a pipeline-owned line buffer
     /// ([`PcmMemory::read_line_into`]), so steady-state read-back performs no
     /// per-line heap allocation.
     pub fn read_line(&mut self, line_addr: u64) -> Option<[u64; LINE_WORDS]> {
         let row_addr = self.memory.config().row_of_byte_addr(line_addr);
+        if self.row_owner.get(&row_addr) != Some(&line_addr) {
+            return None;
+        }
         self.memory.row(row_addr)?;
         self.memory
             .read_line_into(row_addr, self.encoder.as_ref(), &mut self.read_buf);
         let ct: [u64; LINE_WORDS] = self.read_buf.as_slice().try_into().ok()?;
         let counter = self.encryption.counter(line_addr);
         Some(self.encryption.decrypt_read(line_addr, counter, &ct))
+    }
+
+    /// Replays a streaming [`TraceSource`] to exhaustion, servicing the
+    /// source's cache-miss fills from this pipeline's own memory
+    /// ([`WritePipeline::read_line`]: decode + decrypt), so the bytes the
+    /// cache re-reads are the bytes the array actually stores. Returns the
+    /// accumulated array statistics, like [`WritePipeline::replay_trace`].
+    ///
+    /// This is the sequential reference for the sharded engine's streaming
+    /// replay (`engine::ShardedEngine::stream_replay`): under unified
+    /// keying the engine's merged statistics are bit-identical to this
+    /// method's for the same source parameters, at any shard count.
+    pub fn stream_replay(&mut self, source: &mut dyn TraceSource) -> MemoryStats {
+        // The source borrows the pipeline as its fill reader; that borrow
+        // ends before the produced event is written back through it.
+        while let Some(wb) = source.next_event(self) {
+            self.write_back(&wb);
+        }
+        *self.memory.stats()
+    }
+}
+
+/// A pipeline answers cache-miss fills with the current (decoded,
+/// decrypted) contents of its own memory — the coupling that makes
+/// streamed workload generation read the bytes the array actually stores.
+impl MemoryReader for WritePipeline {
+    fn read_line(&mut self, line_addr: u64) -> Option<workload::LineData> {
+        WritePipeline::read_line(self, line_addr)
     }
 }
 
@@ -367,6 +421,78 @@ mod tests {
     fn unwritten_lines_read_as_none() {
         let mut p = WritePipeline::new(tiny_config(), Box::new(Unencoded::new(64)));
         assert_eq!(p.read_line(0x1000), None);
+        // A raw (unencrypted) row write leaves no counter, so the encrypted
+        // read path still reports the *line* as never written.
+        p.write_raw_line(0x40, &[1u64; 8]);
+        let row_byte_addr = 0x40 * 64;
+        assert_eq!(p.read_line(row_byte_addr), None);
+    }
+
+    #[test]
+    fn aliased_lines_read_as_none_until_rewritten() {
+        // scaled(1 << 20) wraps byte addresses onto 16384 rows, so line B =
+        // A + 1 MiB lands on A's row. Read-back must only answer for the
+        // line whose ciphertext the row currently holds — never decrypt a
+        // neighbour's bytes with the wrong pad.
+        let mut p = WritePipeline::new(tiny_config(), Box::new(Vcc::paper_mlc(64)));
+        let a = 0x40u64;
+        let b = a + (1 << 20);
+        assert_eq!(
+            p.memory().config().row_of_byte_addr(a),
+            p.memory().config().row_of_byte_addr(b),
+            "test precondition: A and B alias the same row"
+        );
+        p.write_line(a, &[1u64; 8]);
+        assert_eq!(p.read_line(a), Some([1u64; 8]));
+        p.write_line(b, &[2u64; 8]);
+        assert_eq!(p.read_line(b), Some([2u64; 8]));
+        assert_eq!(p.read_line(a), None, "A's ciphertext was overwritten");
+        p.write_line(a, &[3u64; 8]);
+        assert_eq!(p.read_line(a), Some([3u64; 8]));
+        assert_eq!(p.read_line(b), None);
+    }
+
+    #[test]
+    fn stream_replay_matches_materialized_replay_without_fills() {
+        // Replaying a materialized trace involves no fills at all, so the
+        // streaming and materialized paths must agree bit for bit.
+        let profile = &workload::spec_like::quick_profiles()[0];
+        let trace = workload::generate_scaled_trace(profile, 4096, 8_000, 21);
+        let build =
+            || WritePipeline::new(tiny_config(), Box::new(Vcc::paper_mlc(64))).with_crypt_seed(7);
+        let mut materialized = build();
+        let expect = materialized.replay_trace(&trace);
+        let mut streamed = build();
+        let got = streamed.stream_replay(&mut trace.source());
+        assert_eq!(got, expect);
+        assert_eq!(streamed.stats(), materialized.stats());
+    }
+
+    #[test]
+    fn stream_replay_fills_from_own_memory() {
+        // A workload whose hot set exceeds the 256 KiB L2 keeps cycling
+        // lines out to memory and back in, so misses on previously-written
+        // lines must be served by the pipeline's read path.
+        let profile = workload::BenchmarkProfile::new(
+            "churn",
+            4 << 20,
+            0.6,
+            0.9,
+            1 << 20,
+            0.0,
+            64,
+            workload::ValueStyle::Random,
+            10.0,
+            10.0,
+        );
+        let mut source = workload::WorkloadSource::new(profile, 40_000, 3);
+        let mut p = WritePipeline::new(tiny_config(), Box::new(Unencoded::new(64)));
+        let stats = p.stream_replay(&mut source);
+        assert!(stats.row_writes > 0);
+        assert!(
+            source.fills_from_memory() > 0,
+            "a churning working set must refetch stored lines from memory"
+        );
     }
 
     #[test]

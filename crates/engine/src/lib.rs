@@ -36,6 +36,20 @@
 //! statistics then legitimately differ across shard counts (different
 //! keystreams produce different ciphertext).
 //!
+//! # Streaming replay
+//!
+//! [`ShardedEngine::stream_replay`] (the [`stream`] module) feeds the same
+//! shard pool from a [`workload::TraceSource`] through bounded per-shard
+//! queues with backpressure instead of a materialized [`Trace`]: peak
+//! memory is `shards × queue capacity` in-flight events regardless of
+//! stream length, and cache-miss fills are serviced from the modeled
+//! memory itself ([`controller::WritePipeline::read_line`], decode +
+//! decrypt) so the cache re-reads the bytes the array actually stores.
+//! The determinism contract extends unchanged: under unified keying a
+//! streamed N-shard replay is bit-identical to the sequential
+//! [`controller::WritePipeline::stream_replay`] and, for materialized
+//! traces, to [`ShardedEngine::replay_trace`].
+//!
 //! # When to reach for `ShardedEngine` vs plain `WritePipeline`
 //!
 //! Use a bare [`WritePipeline`] for single-row studies, word-granularity
@@ -66,6 +80,10 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod stream;
+
+pub use stream::{StreamSummary, DEFAULT_STREAM_QUEUE_CAPACITY};
 
 use std::sync::Mutex;
 
@@ -119,7 +137,9 @@ pub struct EngineConfig {
     pub shards: usize,
     /// Worker threads replaying shards. `0` (the default) means "one per
     /// shard, capped by the machine's available parallelism". The thread
-    /// count never affects results, only wall-clock time.
+    /// count never affects results, only wall-clock time. (Streaming
+    /// replays always run one worker per shard — see the [`stream`] module
+    /// — so this cap applies to materialized replays only.)
     pub threads: usize,
     /// Per-shard encryption keying policy.
     pub keying: ShardKeying,
@@ -210,8 +230,8 @@ pub struct LifetimeSummary {
 /// calls accumulate wear and statistics exactly like repeated sequential
 /// replays.
 pub struct ShardedEngine {
-    config: EngineConfig,
-    shards: Vec<WritePipeline>,
+    pub(crate) config: EngineConfig,
+    pub(crate) shards: Vec<WritePipeline>,
 }
 
 impl std::fmt::Debug for ShardedEngine {

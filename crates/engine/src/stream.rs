@@ -1,0 +1,430 @@
+//! Streaming trace replay: feed the shard pool from a [`TraceSource`]
+//! through bounded queues instead of materializing the trace first.
+//!
+//! [`ShardedEngine::stream_replay`] pulls events from a
+//! [`workload::TraceSource`] one at a time on the calling thread (the
+//! *producer*) and routes each write-back into a bounded per-shard queue;
+//! one dedicated worker per shard drains its queue into the shard's
+//! pipeline. Backpressure is built in: when a queue is full the producer
+//! blocks until the worker catches up, so peak memory is `shards ×
+//! queue_capacity` in-flight events plus the source's own state —
+//! independent of how many events the stream produces. A 10-million-line
+//! workload replays in the same footprint as a 10-thousand-line one.
+//!
+//! # Memory-backed fills
+//!
+//! The producer hands the source a [`MemoryReader`] that resolves
+//! cache-miss fills against the *modeled memory itself*: a fill for line
+//! `L` is enqueued as a read command on the shard owning `L`'s row, the
+//! worker services it in queue order through
+//! [`controller::WritePipeline::read_line`] (decode + decrypt), and the
+//! producer blocks until the answer arrives. Because the read command sits
+//! behind every earlier write to that shard, the fill always observes
+//! exactly the memory state a sequential replay would have produced at
+//! that point in the stream.
+//!
+//! # Determinism
+//!
+//! The per-shard command sequences are fixed by the producer's sequential
+//! loop — worker scheduling can only change *when* a command runs, never
+//! *which state* it sees (shards own disjoint rows; reads synchronize
+//! through the queue). Under [`crate::ShardKeying::Unified`] the merged
+//! statistics of an N-shard streaming replay are therefore bit-identical
+//! to a 1-shard run, to [`ShardedEngine::replay_trace`] over the
+//! materialized trace, and to a sequential
+//! [`controller::WritePipeline::stream_replay`] — the PR-2 determinism
+//! contract extended to the streaming frontend (pinned by the `streaming`
+//! integration tests).
+//!
+//! Unlike the materialized [`ShardedEngine::replay_trace`], streaming
+//! spawns **one worker per shard** regardless of the configured thread
+//! cap: a fill read can only be serviced by the worker owning that shard,
+//! so sharing workers across shards would let a busy neighbour delay —
+//! though never deadlock or reorder — another shard's reads.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use pcm::PcmConfig;
+use workload::{LineData, MemoryReader, TraceSource, WriteBack};
+
+use crate::ShardedEngine;
+
+/// Default bound on each shard's in-flight event queue (events, not bytes;
+/// a [`WriteBack`] is 72 bytes, so the default is ~288 KiB per shard).
+pub const DEFAULT_STREAM_QUEUE_CAPACITY: usize = 4096;
+
+/// Outcome of one [`ShardedEngine::stream_replay`] call (the engine's
+/// merged statistics are read off the engine afterwards, as with the
+/// materialized replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StreamSummary {
+    /// Write-back events streamed through the shard pool.
+    pub events: u64,
+    /// Cache-miss fills served from the modeled memory (reads that found a
+    /// written line; fills of never-written lines fall back to the
+    /// source's synthetic pattern and are not counted here).
+    pub memory_fills: u64,
+    /// Highest number of commands simultaneously in flight across all
+    /// shard queues (a single global gauge, not a sum of per-queue peaks)
+    /// — always ≤ `shards × queue_capacity`, the structural peak-memory
+    /// bound of the streaming path.
+    pub max_in_flight: usize,
+    /// The per-shard queue bound this replay ran with.
+    pub queue_capacity: usize,
+}
+
+/// One command in a shard's work queue: either a write-back to commit or a
+/// fill read to answer (reads synchronize producer and worker, so they
+/// always observe the memory state of a sequential replay).
+enum ShardCmd {
+    Write(WriteBack),
+    Read(u64),
+}
+
+/// Tracks the *global* number of commands sitting in shard queues and the
+/// highest value it ever reached — the true peak, not a sum of per-queue
+/// peaks observed at different times.
+#[derive(Default)]
+struct InFlightGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl InFlightGauge {
+    fn inc(&self) {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn dec(&self) {
+        self.current.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+struct QueueState {
+    items: VecDeque<ShardCmd>,
+    closed: bool,
+    /// Set when the consuming worker died without draining (panic); the
+    /// producer then fails fast instead of blocking forever on a queue
+    /// nobody will ever pop.
+    consumer_gone: bool,
+}
+
+/// A bounded SPSC queue with blocking push (backpressure) and blocking pop.
+struct BoundedQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl BoundedQueue {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                consumer_gone: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the queue is at capacity (backpressure), then enqueues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the consuming worker died (its own panic is re-raised when
+    /// the thread scope joins; this turns what would be a silent producer
+    /// deadlock into a failure).
+    fn push(&self, cmd: ShardCmd, gauge: &InFlightGauge) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            assert!(
+                !st.consumer_gone,
+                "shard worker terminated; cannot stream further events"
+            );
+            if st.items.len() < self.capacity {
+                break;
+            }
+            st = self.not_full.wait(st).unwrap();
+        }
+        st.items.push_back(cmd);
+        gauge.inc();
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// Blocks until a command is available; `None` once the queue is closed
+    /// and drained.
+    fn pop(&self, gauge: &InFlightGauge) -> Option<ShardCmd> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(cmd) = st.items.pop_front() {
+                gauge.dec();
+                drop(st);
+                self.not_full.notify_one();
+                return Some(cmd);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    fn mark_consumer_gone(&self) {
+        self.state.lock().unwrap().consumer_gone = true;
+        self.not_full.notify_all();
+    }
+}
+
+struct ReplyState {
+    value: Option<Option<LineData>>,
+    poisoned: bool,
+}
+
+/// The producer's one-slot rendezvous for fill-read answers (the producer
+/// issues at most one read at a time, so a single slot suffices).
+struct ReplySlot {
+    slot: Mutex<ReplyState>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Self {
+        ReplySlot {
+            slot: Mutex::new(ReplyState {
+                value: None,
+                poisoned: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn put(&self, value: Option<LineData>) {
+        self.slot.lock().unwrap().value = Some(value);
+        self.ready.notify_one();
+    }
+
+    /// Marks the slot dead so a producer waiting for an answer fails fast
+    /// instead of blocking forever (used when a worker panics).
+    fn poison(&self) {
+        self.slot.lock().unwrap().poisoned = true;
+        self.ready.notify_all();
+    }
+
+    fn take(&self) -> Option<LineData> {
+        let mut st = self.slot.lock().unwrap();
+        loop {
+            if let Some(value) = st.value.take() {
+                return value;
+            }
+            assert!(
+                !st.poisoned,
+                "shard worker terminated while a fill read was pending"
+            );
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+}
+
+/// Unblocks the producer if a worker unwinds: a panicking worker will
+/// never pop its queue or answer a pending read again, so leave fail-fast
+/// markers behind instead of letting the producer wait forever. (On a
+/// normal exit this is a no-op; the worker's own panic is re-raised when
+/// the thread scope joins.)
+struct WorkerPanicGuard<'a> {
+    queue: &'a BoundedQueue,
+    reply: &'a ReplySlot,
+}
+
+impl Drop for WorkerPanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.queue.mark_consumer_gone();
+            self.reply.poison();
+        }
+    }
+}
+
+/// The [`MemoryReader`] the producer hands the source: routes each fill
+/// read through the owning shard's queue and waits for the worker's
+/// answer.
+struct ShardedReader<'a> {
+    queues: &'a [BoundedQueue],
+    reply: &'a ReplySlot,
+    gauge: &'a InFlightGauge,
+    config: &'a PcmConfig,
+    memory_fills: u64,
+}
+
+impl MemoryReader for ShardedReader<'_> {
+    fn read_line(&mut self, line_addr: u64) -> Option<LineData> {
+        let shard = (self.config.row_of_byte_addr(line_addr) % self.queues.len() as u64) as usize;
+        self.queues[shard].push(ShardCmd::Read(line_addr), self.gauge);
+        let answer = self.reply.take();
+        if answer.is_some() {
+            self.memory_fills += 1;
+        }
+        answer
+    }
+}
+
+impl ShardedEngine {
+    /// Replays a streaming [`TraceSource`] to exhaustion across the shard
+    /// pool with the default queue bound, servicing the source's
+    /// cache-miss fills from the modeled memory. See the [module
+    /// docs](self) for the concurrency model and the determinism contract.
+    pub fn stream_replay(&mut self, source: &mut dyn TraceSource) -> StreamSummary {
+        self.stream_replay_with(source, DEFAULT_STREAM_QUEUE_CAPACITY)
+    }
+
+    /// [`ShardedEngine::stream_replay`] with an explicit per-shard queue
+    /// bound. Smaller bounds trade throughput for a tighter peak-memory
+    /// envelope; results are identical for any capacity ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_capacity` is zero.
+    pub fn stream_replay_with(
+        &mut self,
+        source: &mut dyn TraceSource,
+        queue_capacity: usize,
+    ) -> StreamSummary {
+        assert!(queue_capacity > 0, "streaming needs a non-zero queue bound");
+        let mem_config = self.shards[0].memory().config().clone();
+        let shards = self.config.shards as u64;
+        let queues: Vec<BoundedQueue> = (0..self.config.shards)
+            .map(|_| BoundedQueue::new(queue_capacity))
+            .collect();
+        let reply = ReplySlot::new();
+
+        let gauge = InFlightGauge::default();
+        let mut events = 0u64;
+        let mut memory_fills = 0u64;
+        std::thread::scope(|scope| {
+            for (pipeline, queue) in self.shards.iter_mut().zip(&queues) {
+                let (reply, gauge) = (&reply, &gauge);
+                scope.spawn(move || {
+                    let _guard = WorkerPanicGuard { queue, reply };
+                    while let Some(cmd) = queue.pop(gauge) {
+                        match cmd {
+                            ShardCmd::Write(wb) => {
+                                pipeline.write_back(&wb);
+                            }
+                            ShardCmd::Read(line_addr) => {
+                                reply.put(pipeline.read_line(line_addr));
+                            }
+                        }
+                    }
+                });
+            }
+
+            // Producer: this thread. Queues close when the guard drops —
+            // on normal exit *and* on a panicking unwind of the source —
+            // so the workers always drain and the scope always joins.
+            struct CloseOnDrop<'a>(&'a [BoundedQueue]);
+            impl Drop for CloseOnDrop<'_> {
+                fn drop(&mut self) {
+                    for queue in self.0 {
+                        queue.close();
+                    }
+                }
+            }
+            let _closer = CloseOnDrop(&queues);
+            let mut reader = ShardedReader {
+                queues: &queues,
+                reply: &reply,
+                gauge: &gauge,
+                config: &mem_config,
+                memory_fills: 0,
+            };
+            while let Some(wb) = source.next_event(&mut reader) {
+                let shard = (mem_config.row_of_byte_addr(wb.line_addr) % shards) as usize;
+                queues[shard].push(ShardCmd::Write(wb), &gauge);
+                events += 1;
+            }
+            memory_fills = reader.memory_fills;
+        });
+
+        StreamSummary {
+            events,
+            memory_fills,
+            max_in_flight: gauge.peak(),
+            queue_capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_backpressure_and_close() {
+        let q = BoundedQueue::new(2);
+        let gauge = InFlightGauge::default();
+        q.push(ShardCmd::Read(0), &gauge);
+        q.push(ShardCmd::Read(64), &gauge);
+        assert_eq!(gauge.peak(), 2);
+        // A third push must block until a pop frees a slot.
+        std::thread::scope(|scope| {
+            scope.spawn(|| q.push(ShardCmd::Read(128), &gauge));
+            assert!(q.pop(&gauge).is_some());
+        });
+        assert!(q.pop(&gauge).is_some());
+        assert!(q.pop(&gauge).is_some());
+        q.close();
+        assert!(q.pop(&gauge).is_none(), "closed and drained");
+        // The peak never exceeded the capacity bound.
+        assert_eq!(gauge.peak(), 2);
+        assert_eq!(gauge.current.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn push_fails_fast_when_the_consumer_died() {
+        let q = BoundedQueue::new(1);
+        let gauge = InFlightGauge::default();
+        q.push(ShardCmd::Read(0), &gauge);
+        q.mark_consumer_gone();
+        // Both the blocked-on-full and the immediate path must panic
+        // rather than wait on a worker that will never pop again.
+        let full = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.push(ShardCmd::Read(64), &gauge)
+        }));
+        assert!(full.is_err(), "push into a dead queue must fail fast");
+    }
+
+    #[test]
+    fn reply_slot_round_trip_and_poison() {
+        let slot = ReplySlot::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| slot.put(Some([7u64; 8])));
+            assert_eq!(slot.take(), Some([7u64; 8]));
+        });
+        std::thread::scope(|scope| {
+            scope.spawn(|| slot.put(None));
+            assert_eq!(slot.take(), None);
+        });
+        slot.poison();
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.take()));
+        assert!(
+            poisoned.is_err(),
+            "take from a poisoned slot must fail fast"
+        );
+    }
+}

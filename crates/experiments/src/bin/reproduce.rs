@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p experiments --bin reproduce -- \
 //!     [tiny|small|paper] [fast|all|nolifetime|lifetime] [seed] \
-//!     [--shards N] [--threads N]
+//!     [--shards N] [--threads N] [--stream]
 //! ```
 //!
 //! `--shards` splits the row-address space across N bank shards and
@@ -13,18 +13,31 @@
 //! the engine's unified keying keeps aggregate statistics bit-identical to
 //! a sequential replay — it only changes how long the run takes.
 //!
+//! `--stream` replays the single-pass figures (9 and 10) through the
+//! streaming frontend: workloads are generated lazily and fed to the
+//! engine through bounded queues (peak memory independent of trace
+//! length), with cache-miss fills served from the modeled memory instead
+//! of a synthetic pattern. The fill coupling makes those figures'
+//! numbers differ slightly from the materialized run; the lifetime
+//! figures (11–12) replay one trace many times and stay materialized.
+//!
 //! The rendered report (one section per figure, in paper order) is printed
 //! to stdout; redirect it to a file to refresh EXPERIMENTS.md data.
 
-use experiments::{reproduce_with_engine, EngineConfig, Scale, Selection};
+use experiments::{reproduce_configured, EngineConfig, ReplayMode, Scale, Selection};
 
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut engine_config = EngineConfig::default();
+    let mut mode = ReplayMode::Materialized;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stream" => {
+                mode = ReplayMode::Streamed;
+                i += 1;
+            }
             "--shards" => {
                 engine_config.shards = args
                     .get(i + 1)
@@ -71,10 +84,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(0x5EED_u64);
     eprintln!(
-        "running reproduction at {scale:?} scale (seed {seed}, {} shard(s), {} worker thread(s)) ...",
+        "running reproduction at {scale:?} scale (seed {seed}, {} shard(s), {} worker thread(s), {mode:?} replay) ...",
         engine_config.shards,
         engine_config.effective_threads(),
     );
-    let report = reproduce_with_engine(scale, seed, selection, engine_config);
+    let report = reproduce_configured(scale, seed, selection, engine_config, mode);
     println!("{report}");
 }

@@ -11,7 +11,7 @@ use pcm::{FaultMap, PcmConfig};
 use protect::{CorrectionScheme, EcpScheme, NoCorrection, SecdedScheme};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use workload::{generate_scaled_trace, BenchmarkProfile, Trace};
+use workload::{generate_scaled_trace, BenchmarkProfile, Trace, WorkloadSource};
 
 /// How large an experiment run should be.
 ///
@@ -279,6 +279,17 @@ pub fn trace_for(profile: &BenchmarkProfile, scale: Scale, seed: u64) -> Trace {
         scale.trace_accesses(),
         seed,
     )
+}
+
+/// Builds the streaming [`WorkloadSource`] for a benchmark at a scale —
+/// the same scaled profile, access budget and seed as [`trace_for`], so
+/// against a memory-less reader the emitted events are bit-identical to
+/// the materialized trace. Streamed through an engine, cache-miss fills
+/// are instead served from the modeled memory, which is the point of the
+/// `--stream` replay mode (see [`workload::source`]).
+pub fn source_for(profile: &BenchmarkProfile, scale: Scale, seed: u64) -> WorkloadSource {
+    let scaled = profile.scaled_down(scale.working_set_divisor());
+    WorkloadSource::new(scaled, scale.trace_accesses(), seed).with_benchmark_name(&profile.name)
 }
 
 /// Builds a [`WritePipeline`] for an ad-hoc encoder (techniques not in the

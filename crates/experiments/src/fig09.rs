@@ -123,6 +123,28 @@ impl Fig9Result {
     }
 }
 
+/// Builds the engine for one (benchmark, series) cell. Shared by the
+/// materialized and streamed runs so their fault-map and crypt seeds stay
+/// in lockstep — the comparability of the two modes ("same workload,
+/// numbers differ only through the fill coupling") depends on it.
+fn series_engine(
+    series: Fig9Series,
+    scale: Scale,
+    seed: u64,
+    b_idx: usize,
+    engine_config: EngineConfig,
+) -> engine::ShardedEngine {
+    let map = FaultMap::paper_snapshot(seed ^ 0x919 ^ b_idx as u64);
+    series.technique().engine(
+        engine_config,
+        scale.pcm_config(seed),
+        Some(map),
+        seed,
+        seed + 47 + b_idx as u64,
+        || series.cost(),
+    )
+}
+
 /// Runs the Figure 9 experiment on the default (single-shard) engine.
 pub fn run(scale: Scale, seed: u64) -> Fig9Result {
     run_with_engine(scale, seed, EngineConfig::default())
@@ -136,20 +158,38 @@ pub fn run_with_engine(scale: Scale, seed: u64, engine_config: EngineConfig) -> 
     for (b_idx, profile) in scale.benchmarks().iter().enumerate() {
         let trace = trace_for(profile, scale, seed + b_idx as u64);
         for series in Fig9Series::all() {
-            let map = FaultMap::paper_snapshot(seed ^ 0x919 ^ b_idx as u64);
-            let mut engine = series.technique().engine(
-                engine_config,
-                scale.pcm_config(seed),
-                Some(map),
-                seed,
-                seed + 47 + b_idx as u64,
-                || series.cost(),
-            );
+            let mut engine = series_engine(series, scale, seed, b_idx, engine_config);
             let stats = engine.replay_trace(&trace);
             cells.push(Fig9Cell {
                 benchmark: profile.name.clone(),
                 series: series.label().to_string(),
                 energy_pj: stats.energy_pj,
+            });
+        }
+    }
+    Fig9Result { cells }
+}
+
+/// Streaming variant of [`run_with_engine`]: each benchmark's workload is
+/// generated lazily and fed through the engine's bounded queues
+/// ([`engine::ShardedEngine::stream_replay`]) instead of being
+/// materialized — peak memory is independent of the trace length, and
+/// cache-miss fills read the bytes the modeled memory actually stores
+/// (decode + decrypt) rather than a synthetic pattern. Because the fills
+/// couple the access stream to each technique's memory, the numbers
+/// legitimately differ (slightly) from the materialized run; shard count
+/// still cannot change them.
+pub fn run_streamed(scale: Scale, seed: u64, engine_config: EngineConfig) -> Fig9Result {
+    let mut cells = Vec::new();
+    for (b_idx, profile) in scale.benchmarks().iter().enumerate() {
+        for series in Fig9Series::all() {
+            let mut engine = series_engine(series, scale, seed, b_idx, engine_config);
+            let mut source = crate::common::source_for(profile, scale, seed + b_idx as u64);
+            engine.stream_replay(&mut source);
+            cells.push(Fig9Cell {
+                benchmark: profile.name.clone(),
+                series: series.label().to_string(),
+                energy_pj: engine.memory_stats().energy_pj,
             });
         }
     }

@@ -43,6 +43,36 @@ impl Fig10Result {
     }
 }
 
+/// Builds the engine for one (benchmark, technique) bar. Shared by the
+/// materialized and streamed runs so their fault-map and crypt seeds stay
+/// in lockstep (same rationale as `fig09::series_engine`).
+fn technique_engine(
+    technique: Technique,
+    scale: Scale,
+    seed: u64,
+    b_idx: usize,
+    engine_config: EngineConfig,
+) -> engine::ShardedEngine {
+    let map = FaultMap::paper_snapshot(seed ^ 0x1010 ^ b_idx as u64);
+    technique.engine(
+        engine_config,
+        scale.pcm_config(seed),
+        Some(map),
+        seed,
+        seed + 53 + b_idx as u64,
+        || Box::new(opt_saw_then_energy()),
+    )
+}
+
+fn row_from(profile_name: &str, unencoded: u64, vcc: u64) -> Fig10Row {
+    Fig10Row {
+        benchmark: profile_name.to_string(),
+        unencoded_saw: unencoded,
+        vcc_saw: vcc,
+        reduction_pct: 100.0 * unencoded.saturating_sub(vcc) as f64 / unencoded.max(1) as f64,
+    }
+}
+
 /// Runs the Figure 10 experiment with 256 virtual cosets on the default
 /// (single-shard) engine.
 pub fn run(scale: Scale, seed: u64) -> Fig10Result {
@@ -57,25 +87,34 @@ pub fn run_with_engine(scale: Scale, seed: u64, engine_config: EngineConfig) -> 
     for (b_idx, profile) in scale.benchmarks().iter().enumerate() {
         let trace = trace_for(profile, scale, seed + b_idx as u64);
         let run_one = |technique: Technique| -> u64 {
-            let map = FaultMap::paper_snapshot(seed ^ 0x1010 ^ b_idx as u64);
-            let mut engine = technique.engine(
-                engine_config,
-                scale.pcm_config(seed),
-                Some(map),
-                seed,
-                seed + 53 + b_idx as u64,
-                || Box::new(opt_saw_then_energy()),
-            );
+            let mut engine = technique_engine(technique, scale, seed, b_idx, engine_config);
             engine.replay_trace(&trace).saw_cells
         };
         let unencoded = run_one(Technique::Unencoded);
         let vcc = run_one(Technique::VccStored { cosets: 256 });
-        rows.push(Fig10Row {
-            benchmark: profile.name.clone(),
-            unencoded_saw: unencoded,
-            vcc_saw: vcc,
-            reduction_pct: 100.0 * unencoded.saturating_sub(vcc) as f64 / unencoded.max(1) as f64,
-        });
+        rows.push(row_from(&profile.name, unencoded, vcc));
+    }
+    Fig10Result { rows }
+}
+
+/// Streaming variant of [`run_with_engine`]: workloads are generated
+/// lazily and streamed through the engine's bounded queues with
+/// memory-backed cache fills (see [`crate::fig09::run_streamed`] for the
+/// semantics). Peak memory stays independent of trace length; the numbers
+/// differ slightly from the materialized run because fills reflect each
+/// technique's actually-stored bytes.
+pub fn run_streamed(scale: Scale, seed: u64, engine_config: EngineConfig) -> Fig10Result {
+    let mut rows = Vec::new();
+    for (b_idx, profile) in scale.benchmarks().iter().enumerate() {
+        let run_one = |technique: Technique| -> u64 {
+            let mut engine = technique_engine(technique, scale, seed, b_idx, engine_config);
+            let mut source = crate::common::source_for(profile, scale, seed + b_idx as u64);
+            engine.stream_replay(&mut source);
+            engine.memory_stats().saw_cells
+        };
+        let unencoded = run_one(Technique::Unencoded);
+        let vcc = run_one(Technique::VccStored { cosets: 256 });
+        rows.push(row_from(&profile.name, unencoded, vcc));
     }
     Fig10Result { rows }
 }

@@ -77,6 +77,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig11Result {
 /// Runs the full Figure 11 roster through a [`engine::ShardedEngine`].
 /// Under unified keying the shard count cannot change the lifetimes, only
 /// the wall-clock time of this slowest figure.
+///
+/// Lifetime runs loop over one materialized trace until rows fail, so this
+/// figure has no streamed variant (see the [`crate::lifetime`] module docs
+/// for why the single-pass streaming frontend does not apply).
 pub fn run_with_engine(scale: Scale, seed: u64, engine_config: EngineConfig) -> Fig11Result {
     run_with(
         scale,

@@ -50,6 +50,10 @@ pub fn run(scale: Scale, seed: u64) -> Fig12Result {
 }
 
 /// Runs the full Figure 12 sweep through a [`engine::ShardedEngine`].
+///
+/// Like Figure 11, this is a lifetime study (loops one materialized trace
+/// until rows fail) and therefore has no streamed variant — see the
+/// [`crate::lifetime`] module docs.
 pub fn run_with_engine(scale: Scale, seed: u64, engine_config: EngineConfig) -> Fig12Result {
     let benchmarks = scale.benchmarks();
     run_with(scale, seed, &benchmarks, &FIG12_COSET_COUNTS, engine_config)

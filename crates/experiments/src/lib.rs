@@ -45,4 +45,7 @@ pub mod runner;
 pub use common::{pipeline_for, Scale, Technique};
 pub use controller::{LineReport, PipelineStats, WritePipeline};
 pub use engine::{EngineConfig, ShardKeying, ShardedEngine};
-pub use runner::{reproduce, reproduce_all, reproduce_with_engine, Report, Selection};
+pub use runner::{
+    reproduce, reproduce_all, reproduce_configured, reproduce_with_engine, ReplayMode, Report,
+    Selection,
+};

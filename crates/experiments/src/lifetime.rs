@@ -11,6 +11,13 @@
 //! Absolute lifetimes scale linearly with the configured endurance mean, so
 //! scaled-down runs preserve the relative ordering between techniques that
 //! Figures 11 and 12 compare.
+//!
+//! Lifetime runs replay the *same* trace over and over until rows fail,
+//! so they materialize it once and loop — the streaming frontend
+//! (`engine::ShardedEngine::stream_replay`, the `--stream` replay mode of
+//! the single-pass figures) is a single-pass producer and would have to
+//! regenerate the whole workload per round for no memory benefit at these
+//! trace sizes. The engine still parallelizes each round across shards.
 
 use coset::cost::opt_saw_then_energy;
 use engine::EngineConfig;

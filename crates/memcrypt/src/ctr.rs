@@ -41,19 +41,54 @@ impl CtrEngine {
         }
     }
 
+    /// Assembles the 128-bit counter-mode input block ("tweak") for one AES
+    /// engine.
+    ///
+    /// Layout (little-endian): bytes 0–7 hold the line address, bytes 8–14
+    /// hold the low **56 bits** of the write counter, and byte 15 holds the
+    /// block index within the line (0–3). Only 56 bits of counter fit, so
+    /// counters at or above 2^56 would alias an earlier pad and reuse a
+    /// one-time pad — a hard invariant, checked here. At one write per
+    /// nanosecond a line would take over two years to exhaust 2^56 writes,
+    /// so real traces never approach the limit.
+    fn tweak(line_addr: u64, counter: u64, blk: usize) -> [u8; BLOCK_BYTES] {
+        debug_assert!(
+            counter < 1 << 56,
+            "write counter {counter:#x} exceeds the 56-bit tweak field; \
+             the pad would alias counter {:#x}",
+            counter & ((1 << 56) - 1)
+        );
+        debug_assert!(blk < LINE_BYTES / BLOCK_BYTES, "block index out of range");
+        let mut tweak = [0u8; BLOCK_BYTES];
+        tweak[0..8].copy_from_slice(&line_addr.to_le_bytes());
+        tweak[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
+        tweak[15] = blk as u8;
+        tweak
+    }
+
+    /// Generates the two 64-bit pad words of one 128-bit AES block (block
+    /// index `blk` ∈ 0..4 within the line) — what a single one of the
+    /// paper's four parallel AES engines produces.
+    pub fn pad_block(&self, line_addr: u64, counter: u64, blk: usize) -> [u64; 2] {
+        let ks = self
+            .aes
+            .encrypt_block(&Self::tweak(line_addr, counter, blk));
+        [
+            u64::from_le_bytes(ks[0..8].try_into().expect("8 bytes")),
+            u64::from_le_bytes(ks[8..16].try_into().expect("8 bytes")),
+        ]
+    }
+
     /// Generates the 512-bit one-time pad for (`line_addr`, `counter`) as
     /// eight 64-bit words — the output of the paper's four parallel AES
-    /// engines (4 × 128 bits).
+    /// engines (4 × 128 bits). See [`CtrEngine::pad_block`] for the tweak
+    /// layout and the 56-bit counter invariant.
     pub fn pad(&self, line_addr: u64, counter: u64) -> [u64; LINE_WORDS] {
         let mut out = [0u64; LINE_WORDS];
         for blk in 0..(LINE_BYTES / BLOCK_BYTES) {
-            let mut tweak = [0u8; BLOCK_BYTES];
-            tweak[0..8].copy_from_slice(&line_addr.to_le_bytes());
-            tweak[8..15].copy_from_slice(&counter.to_le_bytes()[..7]);
-            tweak[15] = blk as u8;
-            let ks = self.aes.encrypt_block(&tweak);
-            out[2 * blk] = u64::from_le_bytes(ks[0..8].try_into().expect("8 bytes"));
-            out[2 * blk + 1] = u64::from_le_bytes(ks[8..16].try_into().expect("8 bytes"));
+            let words = self.pad_block(line_addr, counter, blk);
+            out[2 * blk] = words[0];
+            out[2 * blk + 1] = words[1];
         }
         out
     }
@@ -85,9 +120,13 @@ impl CtrEngine {
     }
 
     /// Encrypts a single 64-bit word at word index `word_idx` of the line.
+    ///
+    /// Runs exactly one AES block — the one whose keystream covers
+    /// `word_idx` — instead of generating the full 512-bit pad, so
+    /// word-granularity callers pay a quarter of the line-pad cost.
     pub fn encrypt_word(&self, line_addr: u64, counter: u64, word_idx: usize, word: u64) -> u64 {
         assert!(word_idx < LINE_WORDS, "word index out of range");
-        word ^ self.pad(line_addr, counter)[word_idx]
+        word ^ self.pad_block(line_addr, counter, word_idx / 2)[word_idx % 2]
     }
 }
 
@@ -187,6 +226,38 @@ mod tests {
         for (i, expect) in ct.iter().enumerate() {
             assert_eq!(engine.encrypt_word(0x100, 7, i, line[i]), *expect);
         }
+    }
+
+    /// The single-block path must reproduce the corresponding slice of the
+    /// full pad for every word index, address and counter probed.
+    #[test]
+    fn pad_block_matches_full_pad() {
+        let engine = CtrEngine::new([0xA5u8; 16]);
+        for (addr, ctr) in [
+            (0u64, 0u64),
+            (0x40, 1),
+            (0xFFC0, 12345),
+            (1 << 40, (1 << 56) - 1),
+        ] {
+            let pad = engine.pad(addr, ctr);
+            for (word_idx, expect) in pad.iter().enumerate() {
+                assert_eq!(
+                    engine.pad_block(addr, ctr, word_idx / 2)[word_idx % 2],
+                    *expect,
+                    "word {word_idx} of ({addr:#x}, {ctr})"
+                );
+            }
+        }
+    }
+
+    /// Counters must fit the 56-bit tweak field; larger values would alias
+    /// an earlier pad (checked in debug builds).
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "56-bit tweak field")]
+    fn counter_beyond_56_bits_is_rejected() {
+        let engine = CtrEngine::new([1u8; 16]);
+        engine.pad(0x40, 1 << 56);
     }
 
     #[test]

@@ -3,18 +3,22 @@
 //! [`AccessGenerator`] turns a [`BenchmarkProfile`] into a deterministic
 //! stream of loads and stores with the profile's locality mix (hot-set
 //! reuse, streaming scans, uniform background). [`generate_trace`] runs
-//! that stream through the [`CacheHierarchy`] and records the dirty L2
+//! that stream through the cache hierarchy and records the dirty L2
 //! evictions — the write-back trace the experiments replay against the PCM
-//! model.
+//! model. The replay itself happens in the streaming
+//! [`WorkloadSource`] frontend (`source` module); this module keeps the
+//! generator, the synthetic fill pattern and the materializing
+//! conveniences.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use memcrypt::SplitMix64;
 
-use crate::cache::{CacheHierarchy, LineData, LINE_BYTES};
+use crate::cache::LineData;
 use crate::profile::{BenchmarkProfile, ValueStyle};
-use crate::trace::{Trace, WriteBack};
+use crate::source::{NoMemory, WorkloadSource};
+use crate::trace::Trace;
 
 /// One processor memory access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,33 +147,15 @@ pub fn initial_line(profile: &BenchmarkProfile, line_addr: u64, seed: u64) -> Li
 /// Runs `accesses` profile-shaped memory accesses through the cache
 /// hierarchy and collects the LLC write-backs, then flushes the hierarchy so
 /// all dirty state reaches the trace.
+///
+/// This is the materialize-everything convenience over the streaming
+/// [`WorkloadSource`] frontend: fills use the synthetic [`initial_line`]
+/// pattern ([`NoMemory`]), and memory scales with the trace length. Replays
+/// that only need the events once should stream the source instead (see the
+/// `source` module and `engine::ShardedEngine::stream_replay`).
 pub fn generate_trace(profile: &BenchmarkProfile, accesses: u64, seed: u64) -> Trace {
-    let mut gen = AccessGenerator::new(profile.clone(), 0, seed);
-    let mut hierarchy = CacheHierarchy::default();
-    let mut writebacks = Vec::new();
-    for _ in 0..accesses {
-        let a = gen.next_access();
-        let store = a
-            .store_value
-            .map(|v| (((a.addr % LINE_BYTES) / 8) as usize, v));
-        let profile_ref = &gen.profile().clone();
-        let evs = hierarchy.access(a.addr, store, |line_addr| {
-            initial_line(profile_ref, line_addr, seed)
-        });
-        for ev in evs {
-            writebacks.push(WriteBack {
-                line_addr: ev.line_addr,
-                data: ev.data,
-            });
-        }
-    }
-    for ev in hierarchy.flush() {
-        writebacks.push(WriteBack {
-            line_addr: ev.line_addr,
-            data: ev.data,
-        });
-    }
-    Trace::new(&profile.name, writebacks, accesses)
+    use crate::source::TraceSource;
+    WorkloadSource::new(profile.clone(), accesses, seed).collect_trace(&mut NoMemory)
 }
 
 /// Generates a trace with a working set scaled down by `scale_factor`
