@@ -9,6 +9,8 @@
 //! completes quickly; set `VCC_BENCH_SCALE=small` (or `paper`) to rerun the
 //! data-generation step at a larger scale.
 
+#![forbid(unsafe_code)]
+
 use experiments::Scale;
 
 /// Scale used by the figure-regeneration step of each bench, taken from the

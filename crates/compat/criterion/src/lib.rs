@@ -8,6 +8,7 @@
 //! timed with `std::time::Instant` and reported as a mean ns/iter — enough
 //! to compare encoder variants, without criterion's statistical machinery.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

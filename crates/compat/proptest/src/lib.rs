@@ -8,6 +8,7 @@
 //! there is **no shrinking**: a failing case panics with the assertion
 //! message and the case index.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;

@@ -10,6 +10,7 @@
 //! `rand` crate, but every consumer in this workspace only relies on
 //! determinism, not on a specific stream.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// A low-level source of random 64-bit words.

@@ -6,6 +6,7 @@
 //! reach crates.io, this shim re-exports no-op derive macros and defines
 //! empty marker traits so the annotations compile unchanged.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};

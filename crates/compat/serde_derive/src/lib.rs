@@ -6,6 +6,8 @@
 //! serializes. With no registry access, these derives expand to nothing —
 //! the annotated types simply don't implement the (empty) shim traits.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing; accepted wherever `#[derive(serde::Serialize)]` is

@@ -59,6 +59,7 @@
 //! assert_eq!(pipeline.read_line(0x42_00), Some([1, 2, 3, 4, 5, 6, 7, 8]));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -312,6 +312,8 @@ impl Block {
         );
         let w = start / 64;
         let o = start % 64;
+        // SWAR-OK: the aligned value is masked to `width` bits below before
+        // it is returned; bits shifted in from the next field are discarded.
         let lo = self.words[w] >> o;
         let val = if o + width <= 64 {
             lo
@@ -349,6 +351,8 @@ impl Block {
             let mask = if width == 64 {
                 u64::MAX
             } else {
+                // SWAR-OK: positions the width-bit mask at offset o; the
+                // insert below applies it with & before writing.
                 ((1u64 << width) - 1) << o
             };
             self.words[w] = (self.words[w] & !mask) | (value << o);

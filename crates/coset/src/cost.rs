@@ -107,8 +107,10 @@ impl Add for FixedCost {
 impl std::ops::AddAssign for FixedCost {
     #[inline]
     fn add_assign(&mut self, rhs: FixedCost) {
+        // DET-OK: u64 fixed-point accumulation — integer adds are exact by
+        // construction (the fields share names with the f64 `Cost`).
         self.primary += rhs.primary;
-        self.secondary += rhs.secondary;
+        self.secondary += rhs.secondary; // DET-OK: exact integer add
     }
 }
 
@@ -427,9 +429,10 @@ impl ClassSet {
         let mut cost = FixedCost::ZERO;
         for (c, class) in counts[..self.len as usize].iter().zip(self.classes()) {
             let n = (c >> shift) & field_mask;
+            // DET-OK: u64 fixed-point — exact integer accumulation.
             cost.primary += n * class.primary;
             if self.has_secondary {
-                cost.secondary += n * class.secondary;
+                cost.secondary += n * class.secondary; // DET-OK: u64 add
             }
         }
         cost
@@ -509,9 +512,10 @@ impl ClassSet {
         let mut cost = FixedCost::ZERO;
         for (p, class) in planes.iter().zip(self.classes()) {
             let n = (p & mask).count_ones() as u64;
+            // DET-OK: u64 fixed-point — exact integer accumulation.
             cost.primary += n * class.primary;
             if self.has_secondary {
-                cost.secondary += n * class.secondary;
+                cost.secondary += n * class.secondary; // DET-OK: u64 add
             }
         }
         cost
@@ -1085,6 +1089,7 @@ impl WriteEnergy {
     /// Per-cell reference evaluation, used for arbitrary tables and as the
     /// oracle the bit-parallel fast path is tested against.
     fn field_cost_generic(&self, field: &Field) -> Cost {
+        // SWAR-OK: bits_per_cell() is 1 or 2; the cast cannot truncate.
         let bits_per_cell = self.energies.kind().bits_per_cell() as u32;
         let cells = field.bits / bits_per_cell;
         let cell_mask = (1u64 << bits_per_cell) - 1;
@@ -1113,6 +1118,7 @@ impl CostFunction for WriteEnergy {
     }
 
     fn field_cost(&self, field: &Field) -> Cost {
+        // SWAR-OK: bits_per_cell() is 1 or 2; the cast cannot truncate.
         let bits_per_cell = self.energies.kind().bits_per_cell() as u32;
         assert!(
             field.bits.is_multiple_of(bits_per_cell),

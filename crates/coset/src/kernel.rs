@@ -174,6 +174,7 @@ impl KernelSet {
     pub fn virtual_cosets(&self, partitions: usize) -> Vec<Block> {
         let m = self.kernel_bits;
         let n = m * partitions;
+        // SWAR-OK: capacity arithmetic (r * 2^p candidates), not lane math.
         let mut out = Vec::with_capacity(self.kernels.len() << partitions);
         for i in 0..self.kernels.len() {
             for flags in 0u64..(1u64 << partitions) {

@@ -111,7 +111,16 @@
 //! | [`kernel`] | coset kernels and the Algorithm 2 generator |
 //! | [`vcc`] | Virtual Coset Coding (Algorithm 1) |
 //! | [`analysis`] | Equations 1 and 2 (Figure 1 analytical model) |
+//!
+//! # Invariants
+//!
+//! Every `Encoder` implementation must be wired into the differential
+//! suite (`tests/cost_oracle.rs`) — the workspace linter
+//! (`cargo run -p detlint -- check`, rule ORACLE01) fails otherwise, and
+//! rule SWAR01 keeps the broadcast modules' shifts and casts
+//! mask-guarded. See `docs/INVARIANTS.md` at the workspace root.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -225,8 +225,12 @@ fn extract_digits_into(block: &Block, out: &mut Block, shift: u32) {
     let src = block.words();
     let dst = out.words_mut();
     for (i, d) in dst.iter_mut().enumerate() {
+        // SWAR-OK: shift selects the digit plane (0 or 1); the consumer
+        // compress_even_bits() keeps only even bit positions, masking any
+        // bit shifted in from the neighboring symbol.
         let lo = compress_even_bits(src[2 * i] >> shift);
         let hi = match src.get(2 * i + 1) {
+            // SWAR-OK: same digit-plane select as `lo` above.
             Some(w) => compress_even_bits(w >> shift),
             None => 0,
         };

@@ -111,6 +111,7 @@ impl Vcc {
         );
         let partitions = block_bits / kernel_bits;
         assert!(partitions < 64, "too many partitions for one aux word");
+        // SWAR-OK: candidate-count arithmetic (r * 2^p), not packed-lane math.
         let n_virtual = num_kernels << partitions;
         Vcc {
             block_bits,
@@ -150,6 +151,7 @@ impl Vcc {
         );
         let partitions = digit_bits / kernel_bits;
         assert!(partitions < 64, "too many partitions for one aux word");
+        // SWAR-OK: candidate-count arithmetic (r * 2^p), not packed-lane math.
         let n_virtual = num_kernels << partitions;
         Vcc {
             block_bits,
@@ -240,6 +242,7 @@ impl Vcc {
 
     /// Number of virtual coset candidates `N = r · 2^p`.
     pub fn num_virtual_cosets(&self) -> usize {
+        // SWAR-OK: candidate-count arithmetic (r * 2^p), not packed-lane math.
         self.num_kernels << self.partitions
     }
 
@@ -250,6 +253,7 @@ impl Vcc {
     }
 
     fn kernel_index_bits(&self) -> u32 {
+        // SWAR-OK: ceil_log2 of a kernel count is at most 64; cannot truncate.
         ceil_log2(self.num_kernels) as u32
     }
 
@@ -257,6 +261,8 @@ impl Vcc {
     /// complement flags in the low bits (matching Algorithm 1's
     /// `besti = i · 2^p + flags`).
     fn pack_aux(&self, kernel_idx: usize, flags: u64) -> u64 {
+        // SWAR-OK: kernel_idx < r and flags < 2^p, so the fields cannot
+        // overlap (constructors assert p < 64 and the aux-width budget).
         ((kernel_idx as u64) << self.partitions) | flags
     }
 
@@ -354,6 +360,7 @@ impl Vcc {
                             secondary: (sc >> sh) & m_mask,
                         };
                         let (take_c, chosen) = FixedCost::select_min(c, c_c);
+                        // SWAR-OK: take_c is 0 or 1, so exactly bit j is set.
                         flags |= take_c << j;
                         data_cost += chosen;
                     }
@@ -362,6 +369,7 @@ impl Vcc {
                         let c = model.count_cost(&direct, j * m, m_mask);
                         let c_c = model.count_cost(&comp, j * m, m_mask);
                         let (take_c, chosen) = FixedCost::select_min(c, c_c);
+                        // SWAR-OK: take_c is 0 or 1, so exactly bit j is set.
                         flags |= take_c << j;
                         data_cost += chosen;
                     }
@@ -402,6 +410,7 @@ impl Vcc {
                         let c = model.count_cost(&direct, sh, m_mask);
                         let c_c = model.count_cost(&comp, sh, m_mask);
                         let (take_c, chosen) = FixedCost::select_min(c, c_c);
+                        // SWAR-OK: take_c is 0 or 1, so exactly bit j is set.
                         flags |= take_c << j;
                         data_cost += chosen;
                         sh += m;
@@ -601,6 +610,7 @@ impl Vcc {
                 let c = model.count_cost(&direct, sh, sym_mask);
                 let c_c = model.count_cost(&comp, sh, sym_mask);
                 let (take_c, chosen) = FixedCost::select_min(c, c_c);
+                // SWAR-OK: take_c is 0 or 1, so exactly bit j is set.
                 flags |= take_c << j;
                 data_cost += chosen;
             }
@@ -730,9 +740,11 @@ impl Encoder for Vcc {
     }
 
     fn aux_bits(&self) -> u32 {
+        // SWAR-OK: partitions < 64 (constructor assert); cannot truncate.
         self.kernel_index_bits() + self.partitions as u32
     }
 
+    // ORACLE: crates/coset/tests/cost_oracle.rs
     fn encode(&self, data: &Block, ctx: &WriteContext, cost: &dyn CostFunction) -> Encoded {
         let mut out = Encoded::placeholder(self.block_bits);
         self.encode_into(data, ctx, cost, &mut EncodeScratch::new(), &mut out);

@@ -1,0 +1,22 @@
+// Seeded DET01 violations: hash-container iteration in library code of a
+// determinism-scoped crate, with no DET-OK justification.
+use std::collections::{HashMap, HashSet};
+
+pub struct Tally {
+    counts: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+}
+
+impl Tally {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        for (_, v) in &self.counts {
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn first_seen(&self) -> Option<u64> {
+        self.seen.iter().next().copied()
+    }
+}

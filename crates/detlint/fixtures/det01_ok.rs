@@ -1,0 +1,42 @@
+// Clean DET01 fixture: annotated hash iteration, ordered containers, and
+// test-gated code are all allowed.
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Tally {
+    counts: HashMap<u64, u64>,
+    ordered: BTreeMap<u64, u64>,
+}
+
+impl Tally {
+    pub fn total(&self) -> u64 {
+        let mut sum = 0;
+        // DET-OK: order-independent integer sum; any visit order gives the
+        // same total.
+        for (_, v) in &self.counts {
+            sum += v;
+        }
+        sum
+    }
+
+    pub fn ordered_total(&self) -> u64 {
+        // BTreeMap iterates in key order — deterministic, no annotation
+        // needed.
+        self.ordered.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_iteration_in_tests_is_fine() {
+        let t = Tally {
+            counts: HashMap::new(),
+            ordered: BTreeMap::new(),
+        };
+        for (_, v) in &t.counts {
+            let _ = v;
+        }
+    }
+}

@@ -1,0 +1,19 @@
+// Seeded DET02 violations: f64 accumulation in a determinism-hot crate
+// without an exactness justification.
+pub struct Acc {
+    pub energy: f64,
+}
+
+impl Acc {
+    pub fn absorb(&mut self, energy: f64) {
+        self.energy += energy;
+    }
+
+    pub fn total(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>()
+    }
+
+    pub fn fold_total(xs: &[f64]) -> f64 {
+        xs.iter().fold(0.0, |a, b| a + b)
+    }
+}

@@ -1,0 +1,29 @@
+// Clean DET02 fixture: annotated f64 accumulation, integer accumulation,
+// and test-gated float math are all allowed.
+pub struct Acc {
+    pub energy: f64,
+    pub flips: u64,
+}
+
+impl Acc {
+    pub fn absorb(&mut self, energy: f64) {
+        // DET-OK: every addend is an integer number of picojoules, so the
+        // f64 sum is exact and associates in any merge order.
+        self.energy += energy;
+    }
+
+    pub fn count(&mut self, flips: u64) {
+        // Integer accumulation is always exact — not flagged.
+        self.flips += flips;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_sums_in_tests_are_fine() {
+        let xs = [1.0f64, 2.0];
+        let total = xs.iter().sum::<f64>();
+        assert_eq!(total, 3.0);
+    }
+}

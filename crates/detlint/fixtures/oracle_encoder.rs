@@ -1,0 +1,10 @@
+// ORACLE01 fixture: an encoder implementation. Whether it violates the rule
+// depends on the accompanying test file (see `oracle_test_ref.rs` vs
+// `oracle_test_noref.rs`).
+pub struct GhostEncoder;
+
+impl Encoder for GhostEncoder {
+    fn encode(&self, data: &Block) -> Encoded {
+        Encoded::identity(data)
+    }
+}

@@ -1,0 +1,11 @@
+// Seeded ORACLE01 marker violations: a marker naming a test file that does
+// not exist, and a marker whose function the named test never references.
+// ORACLE: crates/coset/tests/missing_oracle.rs
+pub fn points_at_missing_file(x: u64) -> u64 {
+    x + 1
+}
+
+// ORACLE: crates/coset/tests/fixture_oracle.rs
+pub fn never_referenced(x: u64) -> u64 {
+    x + 2
+}

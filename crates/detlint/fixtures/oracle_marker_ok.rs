@@ -1,0 +1,6 @@
+// Clean `// ORACLE:` marker: the named test file exists and references the
+// marked function by name.
+// ORACLE: crates/coset/tests/fixture_oracle.rs
+pub fn pinned_helper(x: u64) -> u64 {
+    x.wrapping_mul(3)
+}

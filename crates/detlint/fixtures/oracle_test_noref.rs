@@ -1,0 +1,6 @@
+// Differential test file that does *not* reference the fixture encoder —
+// `impl Encoder for GhostEncoder` is uncovered and must be flagged.
+#[test]
+fn unrelated_test() {
+    assert_eq!(1 + 1, 2);
+}

@@ -1,0 +1,10 @@
+// Differential test file that *does* reference the fixture encoder, so
+// `impl Encoder for GhostEncoder` counts as oracle-covered.
+#[test]
+fn ghost_matches_scalar_oracle() {
+    let enc = GhostEncoder;
+    let _ = enc;
+    pinned_helper();
+}
+
+fn pinned_helper() {}

@@ -1,0 +1,9 @@
+// Seeded PANIC01 violations: unwrap/expect in library code with no
+// PANIC-OK justification.
+pub fn first(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u64 {
+    s.parse().expect("a number")
+}

@@ -1,0 +1,19 @@
+// Clean PANIC01 fixture: handled options, annotated unwraps, and
+// test-gated unwraps are all allowed.
+pub fn first(xs: &[u64]) -> Option<u64> {
+    xs.first().copied()
+}
+
+pub fn checked_first(xs: &[u64]) -> u64 {
+    // PANIC-OK: fixture demonstration; the caller guarantees non-empty.
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = [1u64];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

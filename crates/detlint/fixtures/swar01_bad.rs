@@ -1,0 +1,9 @@
+// Seeded SWAR01 violations: a variable-distance shift and a narrowing cast
+// with no mask guard on the same expression.
+pub fn select_lane(x: u64, shift: u32) -> u64 {
+    x >> shift
+}
+
+pub fn narrow(x: u64) -> u8 {
+    x as u8
+}

@@ -1,0 +1,27 @@
+// Clean SWAR01 fixture: every shift/cast is mask-guarded on the same
+// expression, built inside a mask constructor, a single-bit spread, or
+// annotated.
+pub fn low_mask(bits: u32) -> u64 {
+    // `1 << n` spreads exactly one bit — exempt (and it is how masks are
+    // built in the first place).
+    (1u64 << bits) - 1
+}
+
+pub fn build_mask(x: u64, n: u32) -> u64 {
+    // Enclosing fn name contains "mask": this *is* the guard.
+    x << n
+}
+
+pub fn select_lane(x: u64, shift: u32) -> u64 {
+    (x >> shift) & 0x3333_3333_3333_3333
+}
+
+pub fn narrow(x: u64) -> u8 {
+    (x & 0xff) as u8
+}
+
+pub fn annotated(x: u64, shift: u32) -> u64 {
+    // SWAR-OK: fixture demonstration; the shifted value feeds a scalar
+    // accumulator, not packed lanes.
+    x >> shift
+}

@@ -1,0 +1,9 @@
+// Seeded UNSAFE01 violations: an `unsafe` block without a SAFETY comment,
+// and an intrinsic call in a file with no dispatch guard.
+pub fn read_first(xs: &[u64]) -> u64 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn popcount(x: u64) -> u32 {
+    _mm_popcnt_u64(x)
+}

@@ -1,0 +1,16 @@
+// Clean UNSAFE01 fixture: SAFETY-commented unsafe plus a runtime feature
+// dispatch guard for the intrinsic path.
+pub fn read_first(xs: &[u64]) -> u64 {
+    // SAFETY: the caller guarantees `xs` is non-empty, so `as_ptr()` is
+    // in-bounds and aligned for a `u64` read.
+    unsafe { *xs.as_ptr() }
+}
+
+pub fn popcount(x: u64) -> u32 {
+    if is_x86_feature_detected!("popcnt") {
+        // SAFETY: guarded by the `popcnt` runtime feature check above.
+        unsafe { _mm_popcnt_u64(x) }
+    } else {
+        x.count_ones()
+    }
+}

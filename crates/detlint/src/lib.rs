@@ -1,0 +1,88 @@
+//! detlint — the workspace invariant linter.
+//!
+//! Enforces the contracts this reproduction's headline results rest on but
+//! the compiler cannot see: replay determinism (DET01/DET02), SWAR lane
+//! safety (SWAR01), documented+dispatched `unsafe` (UNSAFE01), oracle
+//! coverage (ORACLE01), and panic-free library code (PANIC01). See
+//! `docs/INVARIANTS.md` for the full catalog and the per-rule escape
+//! hatches.
+//!
+//! The tool is pure std: a hand-rolled comment/string/raw-string aware
+//! lexer ([`lexer`]), per-file structure analysis ([`file`]), a rule engine
+//! ([`rules`] + the global [`oracle`] pass), scoping config
+//! ([`config::Config`], loaded from `detlint.toml`), and text/JSON reporting
+//! ([`report`]). `cargo run -p detlint -- check [--json]` exits nonzero on
+//! findings.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod file;
+pub mod lexer;
+pub mod oracle;
+pub mod report;
+pub mod rules;
+mod walk;
+
+use std::path::Path;
+
+use config::Config;
+use file::FileCtx;
+use report::Finding;
+
+/// Lint one in-memory source file (no ORACLE01 — that pass is global).
+/// Used by the fixture self-tests.
+pub fn lint_source(path: &str, src: &str, cfg: &Config) -> Vec<Finding> {
+    let ctx = FileCtx::new(path.to_string(), src);
+    let mut out = Vec::new();
+    rules::check_file(&ctx, cfg, &mut out);
+    report::sort(&mut out);
+    out
+}
+
+/// Lint a set of in-memory files, including the global ORACLE01 pass.
+pub fn lint_files(files: Vec<(String, String)>, cfg: &Config) -> Vec<Finding> {
+    let ctxs: Vec<FileCtx> = files
+        .into_iter()
+        .map(|(path, src)| FileCtx::new(path, &src))
+        .collect();
+    let mut out = Vec::new();
+    for ctx in &ctxs {
+        rules::check_file(ctx, cfg, &mut out);
+    }
+    oracle::check_workspace(&ctxs, &mut out);
+    report::sort(&mut out);
+    out
+}
+
+/// Walk the workspace rooted at `root` and lint every `.rs` file.
+pub fn run_check(root: &Path, cfg: &Config) -> std::io::Result<Vec<Finding>> {
+    let paths = walk::rust_files(root, &cfg.exclude)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for rel in paths {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        files.push((rel, src));
+    }
+    Ok(lint_files(files, cfg))
+}
+
+/// Locate the workspace root (the directory holding `detlint.toml`) from
+/// `start`, walking upward.
+pub fn find_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("detlint.toml").is_file() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Load `detlint.toml` from the workspace root.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("detlint.toml");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}

@@ -1,0 +1,73 @@
+//! CLI: `cargo run -p detlint -- check [--json] [--root <dir>]`.
+//!
+//! Exit codes: 0 = clean, 1 = findings, 2 = usage/config error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut cmd: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root_arg = Some(PathBuf::from(p)),
+                None => return usage("--root needs a directory"),
+            },
+            "check" if cmd.is_none() => cmd = Some(a.clone()),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if cmd.as_deref() != Some("check") {
+        return usage("expected the `check` subcommand");
+    }
+
+    let root = match root_arg {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => return fail(&format!("cannot determine current dir: {e}")),
+            };
+            match detlint::find_root(&cwd) {
+                Some(r) => r,
+                None => return fail("no detlint.toml found between here and filesystem root"),
+            }
+        }
+    };
+    let cfg = match detlint::load_config(&root) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let findings = match detlint::run_check(&root, &cfg) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("walk failed: {e}")),
+    };
+    if json {
+        println!("{}", detlint::report::render_json(&findings));
+    } else {
+        print!("{}", detlint::report::render_text(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}");
+    eprintln!("usage: detlint check [--json] [--root <workspace-dir>]");
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,103 @@
+//! Findings and the two output modes: human-readable text with `file:line`
+//! anchors, and machine-readable JSON (hand-rolled emitter, pure std).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`DET01`, …, `PANIC01`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line the finding anchors to.
+    pub line: u32,
+    /// Human-readable explanation including the escape hatch.
+    pub message: String,
+}
+
+/// Sort findings into the canonical (path, line, rule) report order.
+pub fn sort(findings: &mut [Finding]) {
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+}
+
+/// Render the human-readable report.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        let _ = writeln!(out, "{}: {}:{}: {}", f.rule, f.path, f.line, f.message);
+    }
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_default() += 1;
+    }
+    if findings.is_empty() {
+        let _ = writeln!(out, "detlint: no findings");
+    } else {
+        let per_rule: Vec<String> = counts.iter().map(|(r, n)| format!("{r}={n}")).collect();
+        let _ = writeln!(
+            out,
+            "detlint: {} finding(s) ({})",
+            findings.len(),
+            per_rule.join(", ")
+        );
+    }
+    out
+}
+
+/// Render the JSON report: `{"findings": […], "counts": {…}, "total": N}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"counts\": {");
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *counts.entry(f.rule).or_default() += 1;
+    }
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: {}", json_str(rule), n);
+    }
+    let _ = write!(out, "}},\n  \"total\": {}\n}}", findings.len());
+    out
+}
+
+/// Escape a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,50 @@
+//! Deterministic workspace walker: every `.rs` file under the root, sorted,
+//! with configured prefixes (build output, seeded fixtures) skipped.
+
+use std::path::Path;
+
+/// Collect workspace-relative paths (forward slashes) of all `.rs` files
+/// under `root`, skipping hidden directories and `exclude` prefixes.
+pub fn rust_files(root: &Path, exclude: &[String]) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    visit(root, root, exclude, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn visit(
+    root: &Path,
+    dir: &Path,
+    exclude: &[String],
+    out: &mut Vec<String>,
+) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<std::io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        if name.as_deref().is_some_and(|n| n.starts_with('.')) {
+            continue;
+        }
+        if exclude
+            .iter()
+            .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            visit(root, &path, exclude, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

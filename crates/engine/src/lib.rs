@@ -77,7 +77,16 @@
 //! assert_eq!(stats.row_writes, trace.len() as u64);
 //! assert_eq!(engine.stats().lines_written, trace.len() as u64);
 //! ```
+//!
+//! # Invariants
+//!
+//! The determinism contract below is also enforced statically: the
+//! workspace linter (`cargo run -p detlint -- check`, rules
+//! DET01/DET02/PANIC01) rejects hash-order iteration, unjustified `f64`
+//! accumulation and unannotated library panics in this crate. See
+//! `docs/INVARIANTS.md` at the workspace root.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
@@ -460,9 +469,13 @@ impl ShardedEngine {
                 scope.spawn(|| {
                     loop {
                         // Pop one shard job; drop the lock before running it.
+                        // PANIC-OK: a poisoned queue lock means another
+                        // worker already panicked; propagating is correct.
                         let job = queue.lock().unwrap().pop();
                         match job {
                             Some((i, pipeline, shard)) => {
+                                // PANIC-OK: result slots are only poisoned
+                                // if a worker panicked; propagate.
                                 *results[i].lock().unwrap() = Some(run(pipeline, shard));
                             }
                             None => break,
@@ -474,6 +487,9 @@ impl ShardedEngine {
         results
             .into_iter()
             .map(|slot| {
+                // PANIC-OK: the thread scope has joined every worker, so a
+                // poisoned or empty slot can only follow a worker panic —
+                // abort loudly rather than merge partial stats.
                 slot.into_inner()
                     .unwrap()
                     .expect("every shard job ran to completion")

@@ -146,6 +146,7 @@ impl BoundedQueue {
     /// the thread scope joins; this turns what would be a silent producer
     /// deadlock into a failure).
     fn push(&self, cmd: ShardCmd, gauge: &InFlightGauge) {
+        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
         let mut st = self.state.lock().unwrap();
         loop {
             assert!(
@@ -155,6 +156,7 @@ impl BoundedQueue {
             if st.items.len() < self.capacity {
                 break;
             }
+            // PANIC-OK: lock poisoning only follows a worker panic; propagate.
             st = self.not_full.wait(st).unwrap();
         }
         st.items.push_back(cmd);
@@ -166,6 +168,7 @@ impl BoundedQueue {
     /// Blocks until a command is available; `None` once the queue is closed
     /// and drained.
     fn pop(&self, gauge: &InFlightGauge) -> Option<ShardCmd> {
+        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
         let mut st = self.state.lock().unwrap();
         loop {
             if let Some(cmd) = st.items.pop_front() {
@@ -177,16 +180,19 @@ impl BoundedQueue {
             if st.closed {
                 return None;
             }
+            // PANIC-OK: lock poisoning only follows a worker panic; propagate.
             st = self.not_empty.wait(st).unwrap();
         }
     }
 
     fn close(&self) {
+        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
         self.state.lock().unwrap().closed = true;
         self.not_empty.notify_all();
     }
 
     fn mark_consumer_gone(&self) {
+        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
         self.state.lock().unwrap().consumer_gone = true;
         self.not_full.notify_all();
     }
@@ -216,6 +222,7 @@ impl ReplySlot {
     }
 
     fn put(&self, value: Option<LineData>) {
+        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
         self.slot.lock().unwrap().value = Some(value);
         self.ready.notify_one();
     }
@@ -223,11 +230,13 @@ impl ReplySlot {
     /// Marks the slot dead so a producer waiting for an answer fails fast
     /// instead of blocking forever (used when a worker panics).
     fn poison(&self) {
+        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
         self.slot.lock().unwrap().poisoned = true;
         self.ready.notify_all();
     }
 
     fn take(&self) -> Option<LineData> {
+        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
         let mut st = self.slot.lock().unwrap();
         loop {
             if let Some(value) = st.value.take() {
@@ -237,6 +246,7 @@ impl ReplySlot {
                 !st.poisoned,
                 "shard worker terminated while a fill read was pending"
             );
+            // PANIC-OK: lock poisoning only follows a worker panic; propagate.
             st = self.ready.wait(st).unwrap();
         }
     }

@@ -24,6 +24,8 @@
 //! The rendered report (one section per figure, in paper order) is printed
 //! to stdout; redirect it to a file to refresh EXPERIMENTS.md data.
 
+#![forbid(unsafe_code)]
+
 use experiments::{reproduce_configured, EngineConfig, ReplayMode, Scale, Selection};
 
 fn main() {
@@ -43,6 +45,8 @@ fn main() {
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
                     .filter(|&n: &usize| n > 0)
+                    // PANIC-OK: CLI front-end; aborting with a usage message
+                    // on a malformed flag is the intended behavior.
                     .expect("--shards needs a positive integer");
                 i += 2;
             }
@@ -50,6 +54,7 @@ fn main() {
                 engine_config.threads = args
                     .get(i + 1)
                     .and_then(|s| s.parse().ok())
+                    // PANIC-OK: CLI front-end; abort with a usage message.
                     .expect("--threads needs an integer (0 = auto)");
                 i += 2;
             }

@@ -25,6 +25,7 @@
 //! [`perfmodel::SystemConfig`] default. [`runner::reproduce_all`] runs the
 //! whole suite and renders a combined report.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

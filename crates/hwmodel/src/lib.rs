@@ -15,6 +15,7 @@
 //! assert!(rcc.area_um2() > 3.0 * vcc.area_um2());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

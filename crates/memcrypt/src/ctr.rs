@@ -74,8 +74,10 @@ impl CtrEngine {
             .aes
             .encrypt_block(&Self::tweak(line_addr, counter, blk));
         [
+            // PANIC-OK: both slices are statically 8 bytes of a [u8; 16];
+            // try_into cannot fail.
             u64::from_le_bytes(ks[0..8].try_into().expect("8 bytes")),
-            u64::from_le_bytes(ks[8..16].try_into().expect("8 bytes")),
+            u64::from_le_bytes(ks[8..16].try_into().expect("8 bytes")), // PANIC-OK: as above
         ]
     }
 

@@ -23,6 +23,7 @@
 //! assert_eq!(enc.decrypt_read(0x80, counter, &ciphertext), plaintext);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -55,7 +55,16 @@
 //! assert!(outcome.total().energy_pj >= 0.0);
 //! assert_eq!(mem.read_line(0x40, &vcc), line);
 //! ```
+//!
+//! # Invariants
+//!
+//! The word-parallel commit is pinned to the scalar oracle by
+//! `tests/commit_oracle.rs`, and the SWAR modules here are statically
+//! checked by the workspace linter (`cargo run -p detlint -- check`,
+//! rules SWAR01/DET02). See `docs/INVARIANTS.md` at the workspace root
+//! for the rule catalog and escape hatches.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -151,6 +151,8 @@ impl PcmMemory {
 
     /// Total stuck cells across all materialized rows.
     pub fn total_stuck_cells(&self) -> usize {
+        // DET-OK: order-independent integer sum over rows; no float error,
+        // no ordering observable in the result.
         self.rows.values().map(Row::stuck_cells).sum()
     }
 
@@ -480,6 +482,7 @@ impl PcmMemory {
 impl PcmMemory {
     /// Scalar-oracle variant of [`PcmMemory::write_line`]: identical encode
     /// stage, but every word is committed by the per-cell reference loop.
+    // ORACLE: crates/pcm/tests/commit_oracle.rs
     pub fn write_line_scalar(
         &mut self,
         row_addr: u64,
@@ -525,6 +528,7 @@ impl PcmMemory {
     }
 
     /// Scalar-oracle variant of [`PcmMemory::write_word`].
+    // ORACLE: crates/pcm/tests/commit_oracle.rs
     pub fn write_word_scalar(
         &mut self,
         row_addr: u64,

@@ -21,6 +21,9 @@ pub struct WordWriteOutcome {
 
 impl AddAssign for WordWriteOutcome {
     fn add_assign(&mut self, rhs: Self) {
+        // DET-OK: Table-I class energies are integer pJ, so every energy_pj
+        // addend is an exactly-representable f64 and the sum associates —
+        // shard merges are bit-identical in any order (PR 2 contract).
         self.energy_pj += rhs.energy_pj;
         self.cells_programmed += rhs.cells_programmed;
         self.high_energy_programs += rhs.high_energy_programs;
@@ -95,6 +98,8 @@ impl AddAssign<&MemoryStats> for MemoryStats {
     fn add_assign(&mut self, rhs: &MemoryStats) {
         self.row_writes += rhs.row_writes;
         self.word_writes += rhs.word_writes;
+        // DET-OK: integer-pJ addends (Table-I), exact f64 sum; see
+        // WordWriteOutcome::add_assign.
         self.energy_pj += rhs.energy_pj;
         self.cells_programmed += rhs.cells_programmed;
         self.high_energy_programs += rhs.high_energy_programs;
@@ -127,6 +132,8 @@ impl MemoryStats {
     /// Folds one word outcome into the totals.
     pub fn absorb(&mut self, w: &WordWriteOutcome) {
         self.word_writes += 1;
+        // DET-OK: integer-pJ addends (Table-I), exact f64 sum; see
+        // WordWriteOutcome::add_assign.
         self.energy_pj += w.energy_pj;
         self.cells_programmed += w.cells_programmed as u64;
         self.high_energy_programs += w.high_energy_programs as u64;

@@ -15,6 +15,7 @@
 //! assert!(normalized > 0.95 && normalized <= 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -20,6 +20,7 @@
 //! assert!(matches!(codec.decode(corrupted), DecodeOutcome::Corrected { data: 42, .. }));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

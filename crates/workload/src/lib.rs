@@ -56,6 +56,7 @@
 //! assert_eq!(n, trace.len());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -52,6 +52,7 @@
 //! assert_eq!(vcc.decode(&enc.codeword, enc.aux), data);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use controller;
