@@ -2,12 +2,20 @@
 //!
 //! The workspace uses `#[derive(serde::Serialize, serde::Deserialize)]` on
 //! result types purely as a courtesy to downstream consumers; no code inside
-//! the workspace serializes anything. Because the build environment cannot
-//! reach crates.io, this shim re-exports no-op derive macros and defines
-//! empty marker traits so the annotations compile unchanged.
+//! the workspace uses the derive machinery. Because the build environment
+//! cannot reach crates.io, this shim re-exports no-op derive macros and
+//! defines empty marker traits so the annotations compile unchanged.
+//!
+//! The [`json`] module is the part the workspace *does* execute: a minimal
+//! deterministic JSON tree (render + strict parse) that the service stats
+//! endpoint, the load generator and the `BENCH_*.json` snapshots share as
+//! their one schema layer (`pcm::MemoryStats::to_json`,
+//! `controller::PipelineStats::to_json` build on it).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 

@@ -41,6 +41,11 @@
 //! pool — with merged statistics bit-identical to a sequential replay (see
 //! `engine::ShardedEngine` for the determinism contract, and
 //! [`PipelineStats::merge`] for the aggregation primitive it relies on).
+//! One layer further up, the `service` crate serves many *tenants* — each
+//! a full set of per-shard pipelines under its own key domain — from the
+//! same bank workers with fair scheduling and bounded queues; the tenancy
+//! model and its per-tenant determinism contract are documented in
+//! `docs/SERVICE.md`.
 //!
 //! # Examples
 //!
@@ -125,6 +130,28 @@ impl PipelineStats {
     /// engine maintains by partitioning the row-address space.
     pub fn merge(&mut self, other: &PipelineStats) {
         *self += other;
+    }
+
+    /// Snapshots the statistics as a JSON object (the shared schema of the
+    /// service stats endpoint, the load generator and the `BENCH_*.json`
+    /// snapshots; see `serde::json`). Round-trips exactly through
+    /// [`PipelineStats::from_json`].
+    pub fn to_json(&self) -> serde::json::Value {
+        use serde::json::Value;
+        Value::object()
+            .with("lines_written", Value::UInt(self.lines_written))
+            .with("uncorrectable_lines", Value::UInt(self.uncorrectable_lines))
+            .with("failed_rows", Value::UInt(self.failed_rows as u64))
+    }
+
+    /// Rebuilds statistics from the [`PipelineStats::to_json`] schema;
+    /// `None` when a field is missing or has the wrong shape.
+    pub fn from_json(v: &serde::json::Value) -> Option<PipelineStats> {
+        Some(PipelineStats {
+            lines_written: v.get("lines_written")?.as_u64()?,
+            uncorrectable_lines: v.get("uncorrectable_lines")?.as_u64()?,
+            failed_rows: usize::try_from(v.get("failed_rows")?.as_u64()?).ok()?,
+        })
     }
 }
 
@@ -578,6 +605,21 @@ mod tests {
             mem.write_line(i as u64 % 8, line, &enc, &cost);
         }
         assert_eq!(*p.memory_stats(), *mem.stats());
+    }
+
+    #[test]
+    fn pipeline_stats_json_round_trip() {
+        let stats = PipelineStats {
+            lines_written: u64::MAX,
+            uncorrectable_lines: 17,
+            failed_rows: 3,
+        };
+        let text = stats.to_json().render();
+        let back = PipelineStats::from_json(&serde::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+        let d = PipelineStats::default();
+        assert_eq!(PipelineStats::from_json(&d.to_json()), Some(d));
+        assert_eq!(PipelineStats::from_json(&serde::json::Value::Null), None);
     }
 
     #[test]

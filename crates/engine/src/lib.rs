@@ -50,6 +50,17 @@
 //! [`controller::WritePipeline::stream_replay`] and, for materialized
 //! traces, to [`ShardedEngine::replay_trace`].
 //!
+//! # The service layer above the engine
+//!
+//! The multi-tenant frontend in `crates/service` composes engines into a
+//! long-running memory-controller service: one engine's worth of per-shard
+//! pipelines **per tenant** (each tenant keyed with its own
+//! [`mix_shard_seed`]-derived seed, see `service::tenant_seed`), with one
+//! worker per bank shard serving all tenants' queues round-robin.
+//! [`ShardedEngine::into_pipelines`] is the hand-off point; the per-tenant
+//! determinism contract documented in `docs/SERVICE.md` is this crate's
+//! contract applied tenant-by-tenant.
+//!
 //! # When to reach for `ShardedEngine` vs plain `WritePipeline`
 //!
 //! Use a bare [`WritePipeline`] for single-row studies, word-granularity
@@ -297,6 +308,22 @@ impl ShardedEngine {
     /// The per-shard pipelines, indexed by shard id.
     pub fn pipelines(&self) -> &[WritePipeline] {
         &self.shards
+    }
+
+    /// Decomposes the engine into its per-shard pipelines (shard order),
+    /// handing their ownership to an external scheduler.
+    ///
+    /// This is the seam the multi-tenant service frontend
+    /// (`crates/service`) builds on: it constructs one engine per tenant —
+    /// inheriting the keying policy and the identical-shard validation of
+    /// [`ShardedEngine::from_factory`] — then takes the pipelines and
+    /// drives all tenants' shard `s` pipelines from one bank-`s` worker
+    /// with fair round-robin queueing. Anything proven about a shard
+    /// pipeline here (row partition by `row % shards`, unified-keying
+    /// determinism) carries over verbatim, because the pipelines are the
+    /// same objects an in-engine replay would have used.
+    pub fn into_pipelines(self) -> Vec<WritePipeline> {
+        self.shards
     }
 
     /// The shard owning a row address.
@@ -614,5 +641,25 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_rejected() {
         engine_with(EngineConfig::default().with_shards(0), 1);
+    }
+
+    #[test]
+    fn into_pipelines_returns_shard_order_with_state() {
+        let mut engine = engine_with(EngineConfig::default().with_shards(3), 5);
+        let trace = tiny_trace(2);
+        engine.replay_trace(&trace);
+        let per_shard: Vec<_> = engine.pipelines().iter().map(|p| *p.stats()).collect();
+        let pipelines = engine.into_pipelines();
+        assert_eq!(pipelines.len(), 3);
+        for (p, expect) in pipelines.iter().zip(&per_shard) {
+            assert_eq!(p.stats(), expect, "shard order or state lost");
+        }
+        assert_eq!(
+            pipelines
+                .iter()
+                .map(|p| p.stats().lines_written)
+                .sum::<u64>(),
+            trace.len() as u64
+        );
     }
 }

@@ -23,16 +23,26 @@
 //!
 //! The rendered report (one section per figure, in paper order) is printed
 //! to stdout; redirect it to a file to refresh EXPERIMENTS.md data.
+//!
+//! Two service subcommands front the multi-tenant crate (see
+//! `docs/SERVICE.md`): `reproduce serve` runs the long-lived frontend with
+//! a stdin command loop, and `reproduce loadgen` runs the throughput /
+//! fairness scenario matrix.
 
 #![forbid(unsafe_code)]
 
-use experiments::{reproduce_configured, EngineConfig, ReplayMode, Scale, Selection};
+use experiments::{reproduce_configured, service_cli, EngineConfig, ReplayMode, Scale, Selection};
 
 fn main() {
     let mut positional: Vec<String> = Vec::new();
     let mut engine_config = EngineConfig::default();
     let mut mode = ReplayMode::Materialized;
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return service_cli::serve_main(&args[1..]),
+        Some("loadgen") => return service_cli::loadgen_main(&args[1..]),
+        _ => {}
+    }
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {

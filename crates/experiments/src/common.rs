@@ -179,6 +179,38 @@ impl Technique {
         }
     }
 
+    /// Parses a CLI/service technique label. Accepted forms (ASCII
+    /// case-insensitive): `unencoded`, `secded`, `ecp3`, `dbifnw` (aliases
+    /// `fnw`, `fnw16`), `flipcy`, `rcc<N>`, `vcc<N>` (generated kernels)
+    /// and `vcc<N>stored`. This is the vocabulary the multi-tenant service
+    /// CLI and load generator use for per-tenant technique labels.
+    pub fn from_cli(label: &str) -> Option<Technique> {
+        let l = label.to_ascii_lowercase();
+        match l.as_str() {
+            "unencoded" | "raw" => Some(Technique::Unencoded),
+            "secded" => Some(Technique::Secded),
+            "ecp3" => Some(Technique::Ecp3),
+            "dbifnw" | "dbi-fnw" | "fnw" | "fnw16" => Some(Technique::DbiFnw),
+            "flipcy" => Some(Technique::Flipcy),
+            _ => {
+                if let Some(rest) = l.strip_prefix("rcc") {
+                    rest.parse().ok().map(|cosets| Technique::Rcc { cosets })
+                } else if let Some(rest) = l.strip_prefix("vcc") {
+                    if let Some(n) = rest.strip_suffix("stored") {
+                        let n = n.trim_end_matches('-');
+                        n.parse().ok().map(|cosets| Technique::VccStored { cosets })
+                    } else {
+                        rest.parse()
+                            .ok()
+                            .map(|cosets| Technique::VccGenerated { cosets })
+                    }
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
     /// Instantiates the encoder for this technique. `seed` fixes the stored
     /// coset candidates / kernels so runs are reproducible.
     pub fn encoder(&self, seed: u64) -> Box<dyn Encoder> {
@@ -367,6 +399,30 @@ mod tests {
         let dbi = Technique::DbiFnw.encode_delay_ns();
         assert!(rcc > vcc && vcc > dbi && dbi > 0.0);
         assert_eq!(Technique::Unencoded.encode_delay_ns(), 0.0);
+    }
+
+    #[test]
+    fn cli_labels_round_trip_the_roster() {
+        assert_eq!(Technique::from_cli("unencoded"), Some(Technique::Unencoded));
+        assert_eq!(Technique::from_cli("SECDED"), Some(Technique::Secded));
+        assert_eq!(Technique::from_cli("ecp3"), Some(Technique::Ecp3));
+        assert_eq!(Technique::from_cli("fnw16"), Some(Technique::DbiFnw));
+        assert_eq!(Technique::from_cli("dbifnw"), Some(Technique::DbiFnw));
+        assert_eq!(Technique::from_cli("flipcy"), Some(Technique::Flipcy));
+        assert_eq!(
+            Technique::from_cli("rcc16"),
+            Some(Technique::Rcc { cosets: 16 })
+        );
+        assert_eq!(
+            Technique::from_cli("vcc64"),
+            Some(Technique::VccGenerated { cosets: 64 })
+        );
+        assert_eq!(
+            Technique::from_cli("vcc128stored"),
+            Some(Technique::VccStored { cosets: 128 })
+        );
+        assert_eq!(Technique::from_cli("notathing"), None);
+        assert_eq!(Technique::from_cli("vccx"), None);
     }
 
     #[test]

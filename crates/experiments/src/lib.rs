@@ -42,6 +42,7 @@ pub mod fig12;
 pub mod fig13;
 pub mod lifetime;
 pub mod runner;
+pub mod service_cli;
 
 pub use common::{pipeline_for, Scale, Technique};
 pub use controller::{LineReport, PipelineStats, WritePipeline};

@@ -162,6 +162,43 @@ impl MemoryStats {
             self.saw_cells as f64 / self.word_writes as f64
         }
     }
+
+    /// Snapshots the accumulator as a JSON object (the shared stats schema
+    /// of the service frontend, the load generator and the `BENCH_*.json`
+    /// snapshots). Counters stay in the integer lane, `energy_pj` in the
+    /// float lane, so [`MemoryStats::from_json`] round-trips bit-exactly.
+    pub fn to_json(&self) -> serde::json::Value {
+        use serde::json::Value;
+        Value::object()
+            .with("row_writes", Value::UInt(self.row_writes))
+            .with("word_writes", Value::UInt(self.word_writes))
+            .with("energy_pj", Value::Num(self.energy_pj))
+            .with("cells_programmed", Value::UInt(self.cells_programmed))
+            .with(
+                "high_energy_programs",
+                Value::UInt(self.high_energy_programs),
+            )
+            .with("bit_flips", Value::UInt(self.bit_flips))
+            .with("saw_cells", Value::UInt(self.saw_cells))
+            .with("saw_word_events", Value::UInt(self.saw_word_events))
+            .with("dead_cells", Value::UInt(self.dead_cells))
+    }
+
+    /// Rebuilds an accumulator from the [`MemoryStats::to_json`] schema;
+    /// `None` when a field is missing or has the wrong shape.
+    pub fn from_json(v: &serde::json::Value) -> Option<MemoryStats> {
+        Some(MemoryStats {
+            row_writes: v.get("row_writes")?.as_u64()?,
+            word_writes: v.get("word_writes")?.as_u64()?,
+            energy_pj: v.get("energy_pj")?.as_f64()?,
+            cells_programmed: v.get("cells_programmed")?.as_u64()?,
+            high_energy_programs: v.get("high_energy_programs")?.as_u64()?,
+            bit_flips: v.get("bit_flips")?.as_u64()?,
+            saw_cells: v.get("saw_cells")?.as_u64()?,
+            saw_word_events: v.get("saw_word_events")?.as_u64()?,
+            dead_cells: v.get("dead_cells")?.as_u64()?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +272,29 @@ mod tests {
         assert_eq!(s.energy_per_row_write(), 75.0);
         assert_eq!(s.saw_rate_per_word(), 1.0);
         assert_eq!(s.saw_word_events, 1);
+    }
+
+    #[test]
+    fn json_snapshot_round_trips_bit_exactly() {
+        let stats = MemoryStats {
+            row_writes: u64::MAX, // counters must not detour through f64
+            word_writes: 8,
+            energy_pj: 13.0 + 132.0 * 7.0, // integer-pJ sums, but any f64 must survive
+            cells_programmed: 3,
+            high_energy_programs: 1,
+            bit_flips: 5,
+            saw_cells: 2,
+            saw_word_events: 1,
+            dead_cells: 4,
+        };
+        let text = stats.to_json().render();
+        let back = MemoryStats::from_json(&serde::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.energy_pj.to_bits(), stats.energy_pj.to_bits());
+        // Defaults round-trip too, and a wrong shape answers None.
+        let d = MemoryStats::default();
+        assert_eq!(MemoryStats::from_json(&d.to_json()), Some(d));
+        assert_eq!(MemoryStats::from_json(&serde::json::Value::Null), None);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Control planes: how a running service is observed and wound down.
+//!
+//! [`MemoryService::serve`](crate::MemoryService::serve) runs the control
+//! plane on the calling thread while workers and producers run in the
+//! background. [`NoControl`] returns immediately (the service then simply
+//! runs every source to exhaustion); [`CommandLoop`] reads line commands
+//! from any `BufRead` and answers on any `Write` — wired to stdin/stdout by
+//! `reproduce serve`, or to in-memory buffers by the tests. No sockets, no
+//! registry: the transport is the caller's problem, by design.
+
+use std::io::{BufRead, Write};
+
+use crate::ServiceHandle;
+
+/// A control plane driven by [`MemoryService::serve`](crate::MemoryService::serve)
+/// on the calling thread while the service runs.
+pub trait ControlPlane {
+    /// Observes and steers the run through `handle`. When this returns,
+    /// `serve` still waits for sources to finish and queues to drain — call
+    /// [`ServiceHandle::drain`] first to wind the service down promptly.
+    fn run(&mut self, handle: &ServiceHandle<'_>);
+}
+
+/// The null control plane: no observation, no early drain; every tenant's
+/// source runs to exhaustion.
+pub struct NoControl;
+
+impl ControlPlane for NoControl {
+    fn run(&mut self, _handle: &ServiceHandle<'_>) {}
+}
+
+/// Help text for the [`CommandLoop`] `help` command.
+pub const HELP: &str = "commands:\n  stats  live per-tenant statistics (fixed-width table)\n  json   the same snapshot as a JSON object\n  drain  stop admitting events; queued work still completes\n  quit   drain and exit the command loop\n  help   this text";
+
+/// A line-oriented command loop over arbitrary reader/writer pairs.
+///
+/// Commands: `stats`, `json`, `drain`, `quit`, `help`. End-of-input (or a
+/// write error on a closed peer) behaves like `quit`: the loop requests a
+/// drain and returns, so piping a command script into `reproduce serve`
+/// always terminates the service cleanly.
+pub struct CommandLoop<R, W> {
+    input: R,
+    output: W,
+}
+
+impl<R: BufRead, W: Write> CommandLoop<R, W> {
+    /// Wraps a reader/writer pair (e.g. locked stdin/stdout).
+    pub fn new(input: R, output: W) -> Self {
+        CommandLoop { input, output }
+    }
+
+    /// The writer back, after the loop finished (tests inspect it).
+    pub fn into_output(self) -> W {
+        self.output
+    }
+
+    fn reply(&mut self, text: &str) -> bool {
+        writeln!(self.output, "{text}").is_ok() && self.output.flush().is_ok()
+    }
+}
+
+impl<R: BufRead, W: Write> ControlPlane for CommandLoop<R, W> {
+    fn run(&mut self, handle: &ServiceHandle<'_>) {
+        loop {
+            let mut line = String::new();
+            match self.input.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let keep_going = match line.trim() {
+                "" => true,
+                "help" => self.reply(HELP),
+                "stats" => {
+                    let snapshot = handle.snapshot();
+                    self.reply(&snapshot.render_text())
+                }
+                "json" => {
+                    let snapshot = handle.snapshot();
+                    self.reply(&snapshot.to_json().render())
+                }
+                "drain" => {
+                    handle.drain();
+                    self.reply("draining: admission stopped, queued work completing")
+                }
+                "quit" => false,
+                other => self.reply(&format!("unknown command {other:?}; try `help`")),
+            };
+            if !keep_going {
+                break;
+            }
+        }
+        // Leaving the loop always winds the service down: an unattended
+        // stdin EOF must not leave `serve` blocked on infinite sources.
+        handle.drain();
+    }
+}

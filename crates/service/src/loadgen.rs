@@ -1,0 +1,298 @@
+//! Load generator: drives the service through a scenario matrix (tenant
+//! count x technique x workload profile) and reports sustained throughput
+//! and per-tenant fairness.
+//!
+//! A [`Scenario`] is pure data — technique labels and profile names, not
+//! encoders — so the service crate stays independent of any particular
+//! technique registry. The caller supplies the pipeline factory mapping a
+//! [`TenantCtx`] (whose `technique` field carries the label) to a
+//! configured [`controller::WritePipeline`]; the `reproduce loadgen` CLI
+//! and the `service_loadgen` bench wire this to the experiments crate's
+//! technique table.
+
+use controller::WritePipeline;
+use serde::json::Value;
+use workload::{spec_like, TraceSource, WorkloadSource};
+
+use crate::{MemoryService, ServiceConfig, ServiceReport, TenantCtx, TenantSpec};
+
+/// Domain tag separating workload-generator seeds from encryption seeds
+/// derived from the same scenario seed.
+const WORKLOAD_DOMAIN_TAG: u64 = 0x574C_4F41_4447_454E; // "wloadgen"
+
+/// One cell of the load matrix: how many tenants, over how many shards,
+/// running which techniques and workload profiles.
+///
+/// `techniques` and `profiles` are cycled across tenants, so a single-entry
+/// list gives a homogeneous scenario and a longer list a mixed one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// Scenario label (tables, JSON).
+    pub name: String,
+    /// Number of tenants admitted.
+    pub tenants: usize,
+    /// Bank shard count.
+    pub shards: usize,
+    /// Technique labels, cycled across tenants.
+    pub techniques: Vec<String>,
+    /// `workload::spec_like` profile names, cycled across tenants.
+    pub profiles: Vec<String>,
+    /// Cache accesses each tenant's workload source simulates.
+    pub accesses_per_tenant: u64,
+    /// Divisor applied to each profile's working set (keeps load runs
+    /// within scaled-down memories).
+    pub working_set_divisor: u64,
+    /// Per-(shard, tenant) lane bound, in events.
+    pub queue_capacity: usize,
+    /// Producer batch size.
+    pub batch: usize,
+    /// Base seed for key derivation and workload generation.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// The tenant admission list: tenant `i` is named after its profile and
+    /// runs the `i`-th (cyclic) technique, with seeds left to the service's
+    /// [`crate::tenant_seed`] derivation.
+    pub fn tenant_specs(&self) -> Vec<TenantSpec> {
+        (0..self.tenants)
+            .map(|t| {
+                let technique = &self.techniques[t % self.techniques.len()];
+                let profile = &self.profiles[t % self.profiles.len()];
+                TenantSpec::new(&format!("t{t}-{profile}"), technique)
+            })
+            .collect()
+    }
+
+    /// The per-tenant workload sources: tenant `i` replays its (cyclic)
+    /// profile, scaled down by `working_set_divisor`, from a seed derived
+    /// per tenant in a domain separate from the encryption seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a profile name is unknown to [`spec_like`].
+    pub fn sources(&self) -> Vec<Box<dyn TraceSource + Send>> {
+        (0..self.tenants)
+            .map(|t| {
+                let name = &self.profiles[t % self.profiles.len()];
+                let profile = spec_like::profile_by_name(name)
+                    // PANIC-OK: a scenario naming an unknown profile is a
+                    // configuration bug; fail loudly with the name.
+                    .unwrap_or_else(|| panic!("unknown spec_like profile {name:?}"))
+                    .scaled_down(self.working_set_divisor);
+                let seed = engine::mix_shard_seed(self.seed ^ WORKLOAD_DOMAIN_TAG, t as u64);
+                Box::new(WorkloadSource::new(profile, self.accesses_per_tenant, seed))
+                    as Box<dyn TraceSource + Send>
+            })
+            .collect()
+    }
+
+    /// The [`ServiceConfig`] this scenario runs under.
+    pub fn service_config(&self) -> ServiceConfig {
+        ServiceConfig::default()
+            .with_shards(self.shards)
+            .with_queue_capacity(self.queue_capacity)
+            .with_batch(self.batch)
+            .with_base_seed(self.seed)
+    }
+}
+
+/// Measured outcome of one scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The scenario's label.
+    pub scenario: String,
+    /// Tenant count.
+    pub tenants: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Lines written across all tenants.
+    pub lines_total: u64,
+    /// Wall-clock seconds for the run.
+    pub wall_secs: f64,
+    /// Sustained lines per second across the run.
+    pub lines_per_sec: f64,
+    /// Per-tenant fairness: the minimum over maximum per-tenant service
+    /// rate (lines written per active second). 1.0 is perfectly fair;
+    /// values near zero mean a tenant was starved.
+    pub fairness: f64,
+    /// The full per-tenant report.
+    pub report: ServiceReport,
+}
+
+impl ScenarioOutcome {
+    /// JSON form (the `BENCH_service.json` schema).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("scenario", Value::Str(self.scenario.clone()))
+            .with("tenants", Value::UInt(self.tenants as u64))
+            .with("shards", Value::UInt(self.shards as u64))
+            .with("lines_total", Value::UInt(self.lines_total))
+            .with("wall_secs", Value::Num(self.wall_secs))
+            .with("lines_per_sec", Value::Num(self.lines_per_sec))
+            .with("fairness", Value::Num(self.fairness))
+            .with("report", self.report.to_json())
+    }
+}
+
+/// Runs one scenario to completion through a fresh [`MemoryService`].
+pub fn run_scenario<F>(scenario: &Scenario, factory: &mut F) -> ScenarioOutcome
+where
+    F: FnMut(&TenantCtx<'_>) -> WritePipeline,
+{
+    let specs = scenario.tenant_specs();
+    let mut service = MemoryService::build(scenario.service_config(), &specs, |ctx| factory(ctx));
+    let report = service.run(scenario.sources());
+    summarize(scenario, report)
+}
+
+/// Builds the outcome summary from a finished report (split from
+/// [`run_scenario`] so callers driving `serve` directly can reuse it).
+pub fn summarize(scenario: &Scenario, report: ServiceReport) -> ScenarioOutcome {
+    let lines_total = report.lines_total();
+    let wall = report.wall_secs;
+    let lines_per_sec = if wall > 0.0 {
+        lines_total as f64 / wall
+    } else {
+        0.0
+    };
+    let mut min_rate = f64::INFINITY;
+    let mut max_rate: f64 = 0.0;
+    for t in &report.tenants {
+        let active = if t.active_secs > 0.0 {
+            t.active_secs
+        } else {
+            wall.max(f64::MIN_POSITIVE)
+        };
+        let rate = t.pipeline.lines_written as f64 / active;
+        min_rate = min_rate.min(rate);
+        max_rate = max_rate.max(rate);
+    }
+    let fairness = if max_rate > 0.0 && min_rate.is_finite() {
+        min_rate / max_rate
+    } else {
+        1.0
+    };
+    ScenarioOutcome {
+        scenario: scenario.name.clone(),
+        tenants: scenario.tenants,
+        shards: scenario.shards,
+        lines_total,
+        wall_secs: wall,
+        lines_per_sec,
+        fairness,
+        report,
+    }
+}
+
+/// The default scenario matrix: homogeneous runs of three representative
+/// techniques at 2 and 8 tenants, plus one mixed-technique 8-tenant run —
+/// all over 8 bank shards with the [`spec_like`] quick-profile traffic mix.
+/// `fast` shrinks per-tenant access counts for smoke tests.
+pub fn default_matrix(fast: bool) -> Vec<Scenario> {
+    let accesses = if fast { 2_000 } else { 60_000 };
+    // Tenant `i` runs the spec_like tenant-mix profile for slot `i`.
+    let profiles = |tenants: usize| -> Vec<String> {
+        spec_like::tenant_mix(tenants)
+            .into_iter()
+            .map(|p| p.name)
+            .collect()
+    };
+    let base = Scenario {
+        name: String::new(),
+        tenants: 0,
+        shards: 8,
+        techniques: Vec::new(),
+        profiles: Vec::new(),
+        accesses_per_tenant: accesses,
+        working_set_divisor: 4096,
+        queue_capacity: 64,
+        batch: 8,
+        seed: 0xBE2C,
+    };
+    let mut matrix = Vec::new();
+    for &tenants in &[2usize, 8] {
+        for technique in ["unencoded", "fnw16", "vcc64"] {
+            matrix.push(Scenario {
+                name: format!("{technique}-x{tenants}"),
+                tenants,
+                techniques: vec![technique.to_string()],
+                profiles: profiles(tenants),
+                ..base.clone()
+            });
+        }
+    }
+    matrix.push(Scenario {
+        name: "mixed-x8".to_string(),
+        tenants: 8,
+        techniques: ["unencoded", "secded", "fnw16", "vcc64"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        profiles: profiles(8),
+        ..base
+    });
+    matrix
+}
+
+/// Renders outcomes as a fixed-width table (the `reproduce loadgen`
+/// output).
+pub fn render_table(outcomes: &[ScenarioOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>6} {:>10} {:>8} {:>12} {:>9}\n",
+        "scenario", "tenants", "shards", "lines", "wall_s", "lines/sec", "fairness"
+    ));
+    for o in outcomes {
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>6} {:>10} {:>8.2} {:>12.0} {:>9.3}\n",
+            o.scenario,
+            o.tenants,
+            o.shards,
+            o.lines_total,
+            o.wall_secs,
+            o.lines_per_sec,
+            o.fairness
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_cycle_techniques_and_profiles() {
+        let sc = Scenario {
+            name: "t".into(),
+            tenants: 5,
+            shards: 2,
+            techniques: vec!["a".into(), "b".into()],
+            profiles: vec!["mcf_like".into(), "lbm_like".into(), "gcc_like".into()],
+            accesses_per_tenant: 10,
+            working_set_divisor: 4096,
+            queue_capacity: 8,
+            batch: 2,
+            seed: 1,
+        };
+        let specs = sc.tenant_specs();
+        assert_eq!(specs.len(), 5);
+        assert_eq!(specs[0].technique, "a");
+        assert_eq!(specs[1].technique, "b");
+        assert_eq!(specs[4].technique, "a");
+        assert_eq!(specs[3].name, "t3-mcf_like");
+        assert_eq!(sc.sources().len(), 5);
+    }
+
+    #[test]
+    fn default_matrix_covers_eight_tenants_and_mixed_techniques() {
+        let matrix = default_matrix(true);
+        assert!(matrix.iter().any(|s| s.tenants >= 8));
+        assert!(matrix.iter().any(|s| s.techniques.len() > 1));
+        for s in &matrix {
+            assert!(!s.profiles.is_empty());
+            assert!(s.batch <= s.queue_capacity);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Per-bank mailboxes: bounded per-tenant lanes with blocking producers,
+//! round-robin consumers and fail-fast panic coupling.
+//!
+//! Each bank shard owns one [`ShardMailbox`] holding one *lane* per
+//! tenant. Tenant producers push commands into their own lane and block
+//! while it is at capacity (backpressure, counted in write-back events, not
+//! commands, so batching cannot inflate the memory bound); the shard's one
+//! worker pops commands across lanes in round-robin order, giving every
+//! tenant one command per scheduling turn regardless of how fast the other
+//! tenants produce.
+//!
+//! The structure mirrors the single-tenant bounded queue of
+//! `engine::stream` (PR 5), generalized to N lanes and extended with the
+//! same fail-fast markers: a dying worker marks the mailbox so blocked
+//! producers panic instead of waiting forever, and a dying producer closes
+//! its lanes so workers drain and exit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use workload::{LineData, WriteBack};
+
+/// One command in a tenant's lane: a batch of write-backs to commit or a
+/// fill read to answer through the tenant's [`ReplySlot`].
+pub(crate) enum Cmd {
+    /// Commit every write-back, in order.
+    Batch(Vec<WriteBack>),
+    /// Read the current contents of a line (fill-read rendezvous).
+    Read(u64),
+}
+
+impl Cmd {
+    /// How many in-flight events this command represents (a read counts as
+    /// one event; a batch as its length).
+    pub(crate) fn events(&self) -> usize {
+        match self {
+            Cmd::Batch(batch) => batch.len(),
+            Cmd::Read(_) => 1,
+        }
+    }
+}
+
+/// Tracks the *global* number of events sitting in lanes and the highest
+/// value it ever reached (a single gauge across all mailboxes — the true
+/// peak, not a sum of per-lane peaks observed at different times).
+#[derive(Default)]
+pub(crate) struct InFlightGauge {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl InFlightGauge {
+    pub(crate) fn add(&self, n: usize) {
+        let now = self.current.fetch_add(n, Ordering::Relaxed) + n;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn sub(&self, n: usize) {
+        self.current.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+struct Lane {
+    items: VecDeque<Cmd>,
+    /// Events currently queued in this lane (≤ capacity).
+    events: usize,
+    closed: bool,
+}
+
+struct MailboxState {
+    lanes: Vec<Lane>,
+    /// Set when the consuming worker died without draining; producers then
+    /// fail fast instead of blocking on a mailbox nobody will pop.
+    consumer_gone: bool,
+}
+
+/// A bank shard's work queues: one bounded lane per tenant, one consumer.
+pub(crate) struct ShardMailbox {
+    /// Per-lane bound, in events.
+    capacity: usize,
+    state: Mutex<MailboxState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl ShardMailbox {
+    pub(crate) fn new(tenants: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "lanes need a non-zero event bound");
+        ShardMailbox {
+            capacity,
+            state: Mutex::new(MailboxState {
+                lanes: (0..tenants)
+                    .map(|_| Lane {
+                        items: VecDeque::new(),
+                        events: 0,
+                        closed: false,
+                    })
+                    .collect(),
+                consumer_gone: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks while the tenant's lane lacks room for `cmd` (backpressure),
+    /// then enqueues it. Commands must fit the lane (`events() ≤
+    /// capacity`); the service enforces `batch ≤ queue_capacity` at
+    /// construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the consuming worker died (fail-fast instead of a silent
+    /// producer deadlock; the worker's own panic is re-raised at scope
+    /// join), or on a closed lane (producer bug).
+    pub(crate) fn push(&self, tenant: usize, cmd: Cmd, gauge: &InFlightGauge) {
+        let n = cmd.events();
+        debug_assert!(n <= self.capacity, "command exceeds the lane bound");
+        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
+        let mut st = self.state.lock().unwrap();
+        loop {
+            assert!(
+                !st.consumer_gone,
+                "bank worker terminated; cannot enqueue further commands"
+            );
+            let lane = &st.lanes[tenant];
+            assert!(!lane.closed, "push into a closed lane");
+            if lane.events + n <= self.capacity {
+                break;
+            }
+            // PANIC-OK: lock poisoning only follows a worker panic; propagate.
+            st = self.not_full.wait(st).unwrap();
+        }
+        let lane = &mut st.lanes[tenant];
+        lane.events += n;
+        lane.items.push_back(cmd);
+        gauge.add(n);
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// Pops the next command round-robin across lanes, starting the scan at
+    /// `*cursor` and advancing it past the served tenant (each tenant gets
+    /// at most one command per turn — the fairness policy). Blocks while
+    /// all lanes are empty but at least one is open; returns `None` once
+    /// every lane is closed and drained.
+    ///
+    /// The returned `depth` is the number of events the served lane held
+    /// when the worker turned to it (popped command included) — the queue
+    /// occupancy sample the p50 depth statistics are built from.
+    pub(crate) fn pop_round_robin(
+        &self,
+        cursor: &mut usize,
+        gauge: &InFlightGauge,
+    ) -> Option<(usize, usize, Cmd)> {
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let tenants = st.lanes.len();
+            for turn in 0..tenants {
+                let t = (*cursor + turn) % tenants;
+                let lane = &mut st.lanes[t];
+                if let Some(cmd) = lane.items.pop_front() {
+                    let depth = lane.events;
+                    lane.events -= cmd.events();
+                    gauge.sub(cmd.events());
+                    *cursor = (t + 1) % tenants;
+                    drop(st);
+                    self.not_full.notify_all();
+                    return Some((t, depth, cmd));
+                }
+            }
+            if st.lanes.iter().all(|lane| lane.closed) {
+                return None;
+            }
+            // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Closes one tenant's lane (no further pushes; the worker drains what
+    /// remains and then skips it).
+    pub(crate) fn close_lane(&self, tenant: usize) {
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        let mut st = self.state.lock().unwrap();
+        st.lanes[tenant].closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+    }
+
+    /// Marks the consuming worker dead so blocked producers fail fast.
+    pub(crate) fn mark_consumer_gone(&self) {
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        self.state.lock().unwrap().consumer_gone = true;
+        self.not_full.notify_all();
+    }
+
+    /// Events currently queued in one tenant's lane (live gauge for the
+    /// stats snapshot).
+    pub(crate) fn lane_depth(&self, tenant: usize) -> usize {
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        self.state.lock().unwrap().lanes[tenant].events
+    }
+}
+
+/// The current state of a pending fill-read answer.
+struct ReplyState {
+    value: Option<Option<LineData>>,
+    poisoned: bool,
+}
+
+/// A tenant producer's one-slot rendezvous for fill-read answers (each
+/// producer issues at most one read at a time, so one slot per tenant
+/// suffices).
+pub(crate) struct ReplySlot {
+    slot: Mutex<ReplyState>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    pub(crate) fn new() -> Self {
+        ReplySlot {
+            slot: Mutex::new(ReplyState {
+                value: None,
+                poisoned: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn put(&self, value: Option<LineData>) {
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        self.slot.lock().unwrap().value = Some(value);
+        self.ready.notify_one();
+    }
+
+    /// Marks the slot dead so a producer waiting for an answer fails fast
+    /// (used when a bank worker panics).
+    pub(crate) fn poison(&self) {
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        self.slot.lock().unwrap().poisoned = true;
+        self.ready.notify_all();
+    }
+
+    pub(crate) fn take(&self) -> Option<LineData> {
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        let mut st = self.slot.lock().unwrap();
+        loop {
+            if let Some(value) = st.value.take() {
+                return value;
+            }
+            assert!(
+                !st.poisoned,
+                "bank worker terminated while a fill read was pending"
+            );
+            // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wb(addr: u64) -> WriteBack {
+        WriteBack {
+            line_addr: addr,
+            data: [addr; 8],
+        }
+    }
+
+    #[test]
+    fn round_robin_serves_lanes_fairly() {
+        let mb = ShardMailbox::new(3, 16);
+        let gauge = InFlightGauge::default();
+        // Tenant 0 floods; tenants 1 and 2 each queue one command.
+        for i in 0..4 {
+            mb.push(0, Cmd::Batch(vec![wb(i)]), &gauge);
+        }
+        mb.push(1, Cmd::Read(64), &gauge);
+        mb.push(2, Cmd::Read(128), &gauge);
+        let mut cursor = 0;
+        let order: Vec<usize> = (0..6)
+            .map(|_| {
+                // PANIC-OK: test
+                let (t, _, _) = mb.pop_round_robin(&mut cursor, &gauge).unwrap();
+                t
+            })
+            .collect();
+        // One command per tenant per turn: 0,1,2 then 0,0,0 as 1/2 empty.
+        assert_eq!(order, vec![0, 1, 2, 0, 0, 0]);
+        assert_eq!(gauge.current(), 0);
+        assert_eq!(gauge.peak(), 6);
+    }
+
+    #[test]
+    fn backpressure_bounds_events_not_commands() {
+        let mb = ShardMailbox::new(1, 4);
+        let gauge = InFlightGauge::default();
+        mb.push(0, Cmd::Batch(vec![wb(0), wb(1), wb(2)]), &gauge);
+        // A 2-event batch exceeds the bound (3+2 > 4): must block until the
+        // first batch is popped.
+        std::thread::scope(|scope| {
+            scope.spawn(|| mb.push(0, Cmd::Batch(vec![wb(3), wb(4)]), &gauge));
+            let mut cursor = 0;
+            let (t, depth, cmd) = mb.pop_round_robin(&mut cursor, &gauge).unwrap();
+            assert_eq!((t, depth), (0, 3));
+            assert_eq!(cmd.events(), 3);
+        });
+        assert_eq!(mb.lane_depth(0), 2);
+        assert!(gauge.peak() <= 5, "bound is capacity + one in-pop batch");
+    }
+
+    #[test]
+    fn close_and_drain_terminates_the_consumer() {
+        let mb = ShardMailbox::new(2, 4);
+        let gauge = InFlightGauge::default();
+        mb.push(0, Cmd::Read(0), &gauge);
+        mb.close_lane(0);
+        mb.close_lane(1);
+        let mut cursor = 0;
+        assert!(mb.pop_round_robin(&mut cursor, &gauge).is_some());
+        assert!(mb.pop_round_robin(&mut cursor, &gauge).is_none());
+    }
+
+    #[test]
+    fn push_fails_fast_when_the_consumer_died() {
+        let mb = ShardMailbox::new(1, 1);
+        let gauge = InFlightGauge::default();
+        mb.push(0, Cmd::Read(0), &gauge);
+        mb.mark_consumer_gone();
+        let blocked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            mb.push(0, Cmd::Read(64), &gauge)
+        }));
+        assert!(blocked.is_err(), "push into a dead mailbox must fail fast");
+    }
+
+    #[test]
+    fn reply_slot_round_trip_and_poison() {
+        let slot = ReplySlot::new();
+        std::thread::scope(|scope| {
+            scope.spawn(|| slot.put(Some([3u64; 8])));
+            assert_eq!(slot.take(), Some([3u64; 8]));
+        });
+        slot.poison();
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.take()));
+        assert!(poisoned.is_err());
+    }
+}

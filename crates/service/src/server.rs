@@ -1,0 +1,801 @@
+//! The multi-tenant service runtime: per-tenant sharded state, bank
+//! workers, tenant producers, live snapshots and the final drain report.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use controller::{PipelineStats, WritePipeline};
+use engine::{EngineConfig, ShardedEngine};
+use pcm::{MemoryStats, PcmConfig};
+use serde::json::Value;
+use workload::{LineData, MemoryReader, TraceSource, WriteBack};
+
+use crate::control::ControlPlane;
+use crate::mailbox::{Cmd, InFlightGauge, ReplySlot, ShardMailbox};
+use crate::{tenant_seed, NoControl, ServiceConfig, TenantCtx, TenantSpec};
+
+/// Resolved per-tenant admission data.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantMeta {
+    pub(crate) name: String,
+    pub(crate) technique: String,
+    pub(crate) seed: u64,
+}
+
+/// Live statistics for one (shard, tenant) pipeline, updated by the bank
+/// worker after every command it executes. The final report reads the
+/// quiesced pipelines directly; these slots feed the live snapshots and
+/// keep the queue-depth histogram.
+pub(crate) struct SlotStats {
+    pub(crate) pipeline: PipelineStats,
+    pub(crate) memory: MemoryStats,
+    pub(crate) reads: u64,
+    /// `depth_hist[d]` counts pops that found the lane holding `d` events
+    /// (clamped to the capacity bucket); the p50 queue depth comes from
+    /// this histogram.
+    pub(crate) depth_hist: Vec<u64>,
+}
+
+impl SlotStats {
+    fn new(capacity: usize) -> Self {
+        SlotStats {
+            pipeline: PipelineStats::default(),
+            memory: MemoryStats::default(),
+            reads: 0,
+            depth_hist: vec![0; capacity + 1],
+        }
+    }
+}
+
+/// A tenant producer's progress counters (admitted events, memory fills),
+/// published under a mutex so snapshots can read them while the producer
+/// runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ProducerProgress {
+    pub(crate) enqueued: u64,
+    pub(crate) fills: u64,
+    pub(crate) done: bool,
+    pub(crate) active_secs: f64,
+}
+
+/// State shared by every thread of one `serve` run.
+pub(crate) struct RunShared {
+    /// One mailbox per bank shard, each with one lane per tenant.
+    pub(crate) mailboxes: Vec<ShardMailbox>,
+    /// One fill-read rendezvous slot per tenant.
+    pub(crate) replies: Vec<ReplySlot>,
+    pub(crate) gauge: InFlightGauge,
+    /// Set by [`ServiceHandle::drain`]: producers stop admitting events,
+    /// queues flush, the run winds down.
+    pub(crate) drain: AtomicBool,
+    /// `slots[shard][tenant]`.
+    pub(crate) slots: Vec<Vec<Mutex<SlotStats>>>,
+    pub(crate) producers: Vec<Mutex<ProducerProgress>>,
+    pub(crate) capacity: usize,
+}
+
+/// The multi-tenant memory-controller frontend.
+///
+/// Build with [`MemoryService::build`], then call [`MemoryService::serve`]
+/// (or [`MemoryService::run`]) with one [`TraceSource`] per tenant. The
+/// service owns `shards x tenants` pipelines, arranged so bank worker `s`
+/// owns every tenant's shard-`s` pipeline — tenants share the bank workers
+/// and their round-robin schedule, never array state.
+pub struct MemoryService {
+    config: ServiceConfig,
+    tenants: Vec<TenantMeta>,
+    /// `pipelines[shard][tenant]`.
+    pipelines: Vec<Vec<WritePipeline>>,
+    /// Per-tenant memory geometry (shard routing needs each tenant's own
+    /// row width, since techniques may configure different aux overheads).
+    mem_configs: Vec<PcmConfig>,
+}
+
+impl MemoryService {
+    /// Admits `specs` and builds every (tenant, shard) pipeline through
+    /// `factory`. Each tenant's pipelines are constructed via
+    /// [`ShardedEngine::from_factory`] with unified keying under the
+    /// tenant's seed, inheriting the engine's identical-shard validation
+    /// and keying discipline, then extracted with
+    /// [`ShardedEngine::into_pipelines`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `specs` is empty, when `config.batch` is zero or exceeds
+    /// `config.queue_capacity`, or when the factory violates the engine's
+    /// identical-memory-config contract.
+    pub fn build<F>(config: ServiceConfig, specs: &[TenantSpec], mut factory: F) -> Self
+    where
+        F: FnMut(&TenantCtx<'_>) -> WritePipeline,
+    {
+        assert!(!specs.is_empty(), "service needs at least one tenant");
+        assert!(
+            config.batch >= 1 && config.batch <= config.queue_capacity,
+            "batch must satisfy 1 <= batch <= queue_capacity"
+        );
+        let mut tenants = Vec::with_capacity(specs.len());
+        let mut per_tenant = Vec::with_capacity(specs.len());
+        for (t, spec) in specs.iter().enumerate() {
+            let seed = spec
+                .seed
+                .unwrap_or_else(|| tenant_seed(config.base_seed, t as u64));
+            let engine = ShardedEngine::from_factory(
+                EngineConfig::default().with_shards(config.shards),
+                seed,
+                |shard| {
+                    factory(&TenantCtx {
+                        tenant_id: t,
+                        name: &spec.name,
+                        technique: &spec.technique,
+                        crypt_seed: seed,
+                        shard,
+                    })
+                },
+            );
+            per_tenant.push(engine.into_pipelines());
+            tenants.push(TenantMeta {
+                name: spec.name.clone(),
+                technique: spec.technique.clone(),
+                seed,
+            });
+        }
+        let mem_configs: Vec<PcmConfig> = per_tenant
+            .iter()
+            .map(|shards| shards[0].memory().config().clone())
+            .collect();
+        // Transpose tenant-major construction into shard-major ownership.
+        let mut pipelines: Vec<Vec<WritePipeline>> = (0..config.shards)
+            .map(|_| Vec::with_capacity(specs.len()))
+            .collect();
+        for tenant_shards in per_tenant {
+            for (s, p) in tenant_shards.into_iter().enumerate() {
+                pipelines[s].push(p);
+            }
+        }
+        MemoryService {
+            config,
+            tenants,
+            pipelines,
+            mem_configs,
+        }
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The resolved seed tenant `t` is keyed with.
+    pub fn tenant_crypt_seed(&self, t: usize) -> u64 {
+        self.tenants[t].seed
+    }
+
+    /// Runs the service to completion with no control plane: every tenant's
+    /// source is consumed to exhaustion, then queues drain and the report
+    /// is taken from the quiesced pipelines.
+    pub fn run(&mut self, sources: Vec<Box<dyn TraceSource + Send + '_>>) -> ServiceReport {
+        self.serve(sources, &mut NoControl)
+    }
+
+    /// Runs the service with a [`ControlPlane`] on the calling thread.
+    ///
+    /// Spawns one bank worker per shard and one producer per tenant, then
+    /// hands a [`ServiceHandle`] to `control`. The call returns when every
+    /// source is exhausted (or a drain is requested and honoured) and every
+    /// queue has emptied — no admitted event is ever dropped, including on
+    /// drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources.len()` differs from the admitted tenant count, or
+    /// if a worker or producer thread panics (the panic is propagated at
+    /// scope join after the fail-fast markers unblock the other threads).
+    pub fn serve<C: ControlPlane>(
+        &mut self,
+        sources: Vec<Box<dyn TraceSource + Send + '_>>,
+        control: &mut C,
+    ) -> ServiceReport {
+        let tenant_count = self.tenants.len();
+        assert_eq!(sources.len(), tenant_count, "one trace source per tenant");
+        let shards = self.config.shards;
+        let capacity = self.config.queue_capacity;
+        let shared = RunShared {
+            mailboxes: (0..shards)
+                .map(|_| ShardMailbox::new(tenant_count, capacity))
+                .collect(),
+            replies: (0..tenant_count).map(|_| ReplySlot::new()).collect(),
+            gauge: InFlightGauge::default(),
+            drain: AtomicBool::new(false),
+            slots: (0..shards)
+                .map(|_| {
+                    (0..tenant_count)
+                        .map(|_| Mutex::new(SlotStats::new(capacity)))
+                        .collect()
+                })
+                .collect(),
+            producers: (0..tenant_count)
+                .map(|_| Mutex::new(ProducerProgress::default()))
+                .collect(),
+            capacity,
+        };
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            for (shard, row) in self.pipelines.iter_mut().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(shard, row, shared));
+            }
+            let batch = self.config.batch;
+            for (tenant, source) in sources.into_iter().enumerate() {
+                let shared = &shared;
+                let mem_config = self.mem_configs[tenant].clone();
+                scope.spawn(move || producer_loop(tenant, source, mem_config, batch, shared));
+            }
+            let handle = ServiceHandle {
+                shared: &shared,
+                tenants: &self.tenants,
+                config: &self.config,
+                started,
+            };
+            control.run(&handle);
+        });
+        let wall_secs = started.elapsed().as_secs_f64();
+        self.report(&shared, wall_secs)
+    }
+
+    /// Builds the final report from the quiesced pipelines (authoritative
+    /// for the determinism contract) plus the run's queue-depth histograms
+    /// and producer counters.
+    fn report(&self, shared: &RunShared, wall_secs: f64) -> ServiceReport {
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        let mut events_total = 0u64;
+        for (t, meta) in self.tenants.iter().enumerate() {
+            let mut pipeline = PipelineStats::default();
+            let mut memory = MemoryStats::default();
+            let mut hist = vec![0u64; shared.capacity + 1];
+            let mut reads = 0u64;
+            for s in 0..self.config.shards {
+                pipeline.merge(self.pipelines[s][t].stats());
+                memory.merge(self.pipelines[s][t].memory_stats());
+                // PANIC-OK: lock poisoning only follows a thread panic,
+                // which serve() already propagated at scope join.
+                let slot = shared.slots[s][t].lock().unwrap();
+                reads += slot.reads;
+                for (d, n) in slot.depth_hist.iter().enumerate() {
+                    hist[d] += n;
+                }
+            }
+            // PANIC-OK: lock poisoning only follows a thread panic,
+            // which serve() already propagated at scope join.
+            let progress = *shared.producers[t].lock().unwrap();
+            events_total += progress.enqueued;
+            tenants.push(TenantReport {
+                name: meta.name.clone(),
+                technique: meta.technique.clone(),
+                enqueued: progress.enqueued,
+                memory_fills: progress.fills,
+                reads,
+                pipeline,
+                memory,
+                queue_depth_p50: hist_percentile(&hist, 50),
+                queue_depth_max: hist.iter().rposition(|&n| n > 0).unwrap_or(0),
+                active_secs: progress.active_secs,
+            });
+        }
+        ServiceReport {
+            tenants,
+            events_total,
+            max_in_flight: shared.gauge.peak(),
+            in_flight_at_end: shared.gauge.current(),
+            drained_early: shared.drain.load(Ordering::Relaxed),
+            wall_secs,
+        }
+    }
+}
+
+/// Smallest depth `d` such that at least `pct` percent of the histogram's
+/// samples are ≤ `d` (0 when the histogram is empty).
+fn hist_percentile(hist: &[u64], pct: u64) -> usize {
+    let total: u64 = hist.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total * pct).div_ceil(100);
+    let mut cum = 0u64;
+    for (d, n) in hist.iter().enumerate() {
+        cum += n;
+        if cum >= rank {
+            return d;
+        }
+    }
+    hist.len() - 1
+}
+
+/// Marks the mailbox dead and poisons every reply slot if the bank worker
+/// unwinds, so blocked producers fail fast instead of deadlocking.
+struct WorkerGuard<'a> {
+    shard: usize,
+    shared: &'a RunShared,
+}
+
+impl Drop for WorkerGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.mailboxes[self.shard].mark_consumer_gone();
+            for slot in &self.shared.replies {
+                slot.poison();
+            }
+        }
+    }
+}
+
+fn worker_loop(shard: usize, row: &mut [WritePipeline], shared: &RunShared) {
+    let _guard = WorkerGuard { shard, shared };
+    let mut cursor = 0usize;
+    while let Some((t, depth, cmd)) =
+        shared.mailboxes[shard].pop_round_robin(&mut cursor, &shared.gauge)
+    {
+        let pipeline = &mut row[t];
+        let mut reads = 0u64;
+        match cmd {
+            Cmd::Batch(batch) => {
+                for wb in &batch {
+                    pipeline.write_back(wb);
+                }
+            }
+            Cmd::Read(addr) => {
+                shared.replies[t].put(pipeline.read_line(addr));
+                reads = 1;
+            }
+        }
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        let mut slot = shared.slots[shard][t].lock().unwrap();
+        slot.pipeline = *pipeline.stats();
+        slot.memory = *pipeline.memory_stats();
+        slot.reads += reads;
+        let bucket = depth.min(shared.capacity);
+        slot.depth_hist[bucket] += 1;
+    }
+}
+
+/// Closes the tenant's lane in every mailbox when the producer exits —
+/// normally (workers drain what remains and move on) or by panic (workers
+/// are not left waiting on a lane nobody will fill).
+struct LaneCloser<'a> {
+    tenant: usize,
+    shared: &'a RunShared,
+}
+
+impl Drop for LaneCloser<'_> {
+    fn drop(&mut self) {
+        for mailbox in &self.shared.mailboxes {
+            mailbox.close_lane(self.tenant);
+        }
+    }
+}
+
+/// A tenant's producer-side state: per-shard pending batches plus the
+/// fill-read path ([`MemoryReader`] routed through the owning shard's lane,
+/// behind every earlier write to that shard).
+struct Producer<'a> {
+    tenant: usize,
+    batch: usize,
+    shards: usize,
+    mem_config: PcmConfig,
+    pending: Vec<Vec<WriteBack>>,
+    enqueued: u64,
+    fills: u64,
+    shared: &'a RunShared,
+}
+
+impl Producer<'_> {
+    /// The bank shard owning a line address under this tenant's memory
+    /// geometry — the same `row % shards` routing the engine uses.
+    fn shard_of(&self, line_addr: u64) -> usize {
+        (self.mem_config.row_of_byte_addr(line_addr) % self.shards as u64) as usize
+    }
+
+    fn flush_shard(&mut self, s: usize) {
+        if self.pending[s].is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending[s]);
+        let n = batch.len() as u64;
+        self.shared.mailboxes[s].push(self.tenant, Cmd::Batch(batch), &self.shared.gauge);
+        self.enqueued += n;
+        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+        let mut progress = self.shared.producers[self.tenant].lock().unwrap();
+        progress.enqueued = self.enqueued;
+        progress.fills = self.fills;
+    }
+
+    fn flush_all(&mut self) {
+        for s in 0..self.shards {
+            self.flush_shard(s);
+        }
+    }
+
+    fn push(&mut self, wb: WriteBack) {
+        let s = self.shard_of(wb.line_addr);
+        self.pending[s].push(wb);
+        if self.pending[s].len() >= self.batch {
+            self.flush_shard(s);
+        }
+    }
+}
+
+impl MemoryReader for Producer<'_> {
+    fn read_line(&mut self, line_addr: u64) -> Option<LineData> {
+        let s = self.shard_of(line_addr);
+        // FIFO lane + flush-before-read: the read observes every earlier
+        // same-tenant write to this shard, exactly as a sequential replay
+        // would (no other tenant can touch this tenant's rows).
+        self.flush_shard(s);
+        self.shared.mailboxes[s].push(self.tenant, Cmd::Read(line_addr), &self.shared.gauge);
+        let answer = self.shared.replies[self.tenant].take();
+        if answer.is_some() {
+            self.fills += 1;
+        }
+        answer
+    }
+}
+
+fn producer_loop(
+    tenant: usize,
+    mut source: Box<dyn TraceSource + Send + '_>,
+    mem_config: PcmConfig,
+    batch: usize,
+    shared: &RunShared,
+) {
+    let started = Instant::now();
+    let shards = shared.mailboxes.len();
+    let _closer = LaneCloser { tenant, shared };
+    let mut producer = Producer {
+        tenant,
+        batch,
+        shards,
+        mem_config,
+        pending: vec![Vec::new(); shards],
+        enqueued: 0,
+        fills: 0,
+        shared,
+    };
+    while !shared.drain.load(Ordering::Relaxed) {
+        let Some(wb) = source.next_event(&mut producer) else {
+            break;
+        };
+        producer.push(wb);
+    }
+    producer.flush_all();
+    // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
+    let mut progress = shared.producers[tenant].lock().unwrap();
+    progress.enqueued = producer.enqueued;
+    progress.fills = producer.fills;
+    progress.done = true;
+    progress.active_secs = started.elapsed().as_secs_f64();
+}
+
+/// A control plane's window into a running service: request a drain, or
+/// take a live statistics snapshot.
+pub struct ServiceHandle<'a> {
+    shared: &'a RunShared,
+    tenants: &'a [TenantMeta],
+    config: &'a ServiceConfig,
+    started: Instant,
+}
+
+impl ServiceHandle<'_> {
+    /// Asks producers to stop admitting events. Already-queued events still
+    /// complete (graceful drain); `serve` returns once queues empty.
+    pub fn drain(&self) {
+        self.shared.drain.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::Relaxed)
+    }
+
+    /// Takes a live, eventually-consistent snapshot: each (shard, tenant)
+    /// cell is internally consistent (the worker publishes it under a
+    /// lock after each command), but cells are read at slightly different
+    /// instants.
+    pub fn snapshot(&self) -> ServiceSnapshot {
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        for (t, meta) in self.tenants.iter().enumerate() {
+            let mut pipeline = PipelineStats::default();
+            let mut memory = MemoryStats::default();
+            let mut reads = 0u64;
+            let mut queued = 0usize;
+            for s in 0..self.config.shards {
+                // PANIC-OK: lock poisoning only follows a sibling panic;
+                // propagate.
+                let slot = self.shared.slots[s][t].lock().unwrap();
+                pipeline.merge(&slot.pipeline);
+                memory.merge(&slot.memory);
+                reads += slot.reads;
+                queued += self.shared.mailboxes[s].lane_depth(t);
+            }
+            // PANIC-OK: lock poisoning only follows a sibling panic;
+            // propagate.
+            let progress = *self.shared.producers[t].lock().unwrap();
+            tenants.push(TenantSnapshot {
+                name: meta.name.clone(),
+                technique: meta.technique.clone(),
+                enqueued: progress.enqueued,
+                memory_fills: progress.fills,
+                source_done: progress.done,
+                reads,
+                queued,
+                pipeline,
+                memory,
+            });
+        }
+        ServiceSnapshot {
+            uptime_secs: self.started.elapsed().as_secs_f64(),
+            in_flight: self.shared.gauge.current(),
+            max_in_flight: self.shared.gauge.peak(),
+            draining: self.draining(),
+            tenants,
+        }
+    }
+}
+
+/// One tenant's row in a live [`ServiceSnapshot`].
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// Tenant display name.
+    pub name: String,
+    /// Technique label.
+    pub technique: String,
+    /// Write events admitted by the producer so far.
+    pub enqueued: u64,
+    /// Fill reads answered from the tenant's own memory.
+    pub memory_fills: u64,
+    /// Whether the tenant's source is exhausted.
+    pub source_done: bool,
+    /// Fill reads executed by bank workers.
+    pub reads: u64,
+    /// Events currently queued across the tenant's lanes.
+    pub queued: usize,
+    /// Merged pipeline statistics committed so far.
+    pub pipeline: PipelineStats,
+    /// Merged array statistics committed so far.
+    pub memory: MemoryStats,
+}
+
+impl TenantSnapshot {
+    /// JSON form (the `json` control command's schema).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("name", Value::Str(self.name.clone()))
+            .with("technique", Value::Str(self.technique.clone()))
+            .with("enqueued", Value::UInt(self.enqueued))
+            .with("memory_fills", Value::UInt(self.memory_fills))
+            .with("source_done", Value::Bool(self.source_done))
+            .with("reads", Value::UInt(self.reads))
+            .with("queued", Value::UInt(self.queued as u64))
+            .with("pipeline", self.pipeline.to_json())
+            .with("memory", self.memory.to_json())
+    }
+}
+
+/// A live view of the whole service (the `stats`/`json` control commands).
+#[derive(Debug, Clone)]
+pub struct ServiceSnapshot {
+    /// Seconds since `serve` started.
+    pub uptime_secs: f64,
+    /// Events currently queued service-wide.
+    pub in_flight: usize,
+    /// Peak queued events observed so far.
+    pub max_in_flight: usize,
+    /// Whether a drain is in progress.
+    pub draining: bool,
+    /// Per-tenant rows, in admission order.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+impl ServiceSnapshot {
+    /// JSON form (the `json` control command's schema).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("uptime_secs", Value::Num(self.uptime_secs))
+            .with("in_flight", Value::UInt(self.in_flight as u64))
+            .with("max_in_flight", Value::UInt(self.max_in_flight as u64))
+            .with("draining", Value::Bool(self.draining))
+            .with(
+                "tenants",
+                Value::Arr(self.tenants.iter().map(TenantSnapshot::to_json).collect()),
+            )
+    }
+
+    /// Fixed-width table form (the `stats` control command).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "uptime {:.1}s  in-flight {} (peak {}){}\n",
+            self.uptime_secs,
+            self.in_flight,
+            self.max_in_flight,
+            if self.draining { "  [draining]" } else { "" }
+        ));
+        out.push_str(&format!(
+            "{:<18} {:<10} {:>10} {:>10} {:>8} {:>7} {:>8} {:>6} {:>5}\n",
+            "tenant",
+            "technique",
+            "enqueued",
+            "written",
+            "uncorr",
+            "fills",
+            "reads",
+            "queued",
+            "done"
+        ));
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "{:<18} {:<10} {:>10} {:>10} {:>8} {:>7} {:>8} {:>6} {:>5}\n",
+                t.name,
+                t.technique,
+                t.enqueued,
+                t.pipeline.lines_written,
+                t.pipeline.uncorrectable_lines,
+                t.memory_fills,
+                t.reads,
+                t.queued,
+                if t.source_done { "yes" } else { "no" }
+            ));
+        }
+        out
+    }
+}
+
+/// One tenant's final accounting after a drained run.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant display name.
+    pub name: String,
+    /// Technique label.
+    pub technique: String,
+    /// Write events the producer admitted. After a drain-free run this
+    /// equals `pipeline.lines_written` (nothing admitted is ever lost).
+    pub enqueued: u64,
+    /// Fill reads answered from the tenant's own memory.
+    pub memory_fills: u64,
+    /// Fill reads executed by bank workers.
+    pub reads: u64,
+    /// Merged pipeline statistics (bit-identical to a solo sequential
+    /// replay under the tenant's seed — the determinism contract).
+    pub pipeline: PipelineStats,
+    /// Merged array statistics (same contract).
+    pub memory: MemoryStats,
+    /// Median lane occupancy observed at command pop time.
+    pub queue_depth_p50: usize,
+    /// Maximum lane occupancy observed at command pop time.
+    pub queue_depth_max: usize,
+    /// Seconds the tenant's producer was active.
+    pub active_secs: f64,
+}
+
+impl TenantReport {
+    /// JSON form (the loadgen and `BENCH_service.json` schema).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with("name", Value::Str(self.name.clone()))
+            .with("technique", Value::Str(self.technique.clone()))
+            .with("enqueued", Value::UInt(self.enqueued))
+            .with("memory_fills", Value::UInt(self.memory_fills))
+            .with("reads", Value::UInt(self.reads))
+            .with("pipeline", self.pipeline.to_json())
+            .with("memory", self.memory.to_json())
+            .with("queue_depth_p50", Value::UInt(self.queue_depth_p50 as u64))
+            .with("queue_depth_max", Value::UInt(self.queue_depth_max as u64))
+            .with("active_secs", Value::Num(self.active_secs))
+    }
+}
+
+/// Final accounting of one `serve` run, taken from the quiesced pipelines
+/// after every queue drained.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Per-tenant reports, in admission order.
+    pub tenants: Vec<TenantReport>,
+    /// Total write events admitted across tenants.
+    pub events_total: u64,
+    /// Peak queued events observed service-wide.
+    pub max_in_flight: usize,
+    /// Events still queued when the run ended (zero after a graceful
+    /// drain — the no-event-lost invariant).
+    pub in_flight_at_end: usize,
+    /// Whether the run ended by drain request rather than source
+    /// exhaustion.
+    pub drained_early: bool,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+}
+
+impl ServiceReport {
+    /// Total lines written across tenants.
+    pub fn lines_total(&self) -> u64 {
+        let mut total = 0u64;
+        for t in &self.tenants {
+            total += t.pipeline.lines_written;
+        }
+        total
+    }
+
+    /// JSON form (the loadgen and `BENCH_service.json` schema).
+    pub fn to_json(&self) -> Value {
+        Value::object()
+            .with(
+                "tenants",
+                Value::Arr(self.tenants.iter().map(TenantReport::to_json).collect()),
+            )
+            .with("events_total", Value::UInt(self.events_total))
+            .with("max_in_flight", Value::UInt(self.max_in_flight as u64))
+            .with(
+                "in_flight_at_end",
+                Value::UInt(self.in_flight_at_end as u64),
+            )
+            .with("drained_early", Value::Bool(self.drained_early))
+            .with("wall_secs", Value::Num(self.wall_secs))
+    }
+
+    /// Fixed-width table form (the example and CLI output).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:<10} {:>10} {:>10} {:>8} {:>7} {:>12} {:>5} {:>5}\n",
+            "tenant",
+            "technique",
+            "enqueued",
+            "written",
+            "uncorr",
+            "fills",
+            "energy_pj",
+            "p50q",
+            "maxq"
+        ));
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "{:<18} {:<10} {:>10} {:>10} {:>8} {:>7} {:>12.0} {:>5} {:>5}\n",
+                t.name,
+                t.technique,
+                t.enqueued,
+                t.pipeline.lines_written,
+                t.pipeline.uncorrectable_lines,
+                t.memory_fills,
+                t.memory.energy_pj,
+                t.queue_depth_p50,
+                t.queue_depth_max
+            ));
+        }
+        out.push_str(&format!(
+            "total events {}  peak in-flight {}  wall {:.2}s{}\n",
+            self.events_total,
+            self.max_in_flight,
+            self.wall_secs,
+            if self.drained_early {
+                "  [drained]"
+            } else {
+                ""
+            }
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_percentile_picks_the_median_bucket() {
+        // 3 samples at depth 0, 2 at depth 2, 1 at depth 4 → p50 = 2nd of
+        // 6 ranks... rank ceil(6*50/100)=3 → depth 0 holds ranks 1-3.
+        let hist = [3u64, 0, 2, 0, 1];
+        assert_eq!(hist_percentile(&hist, 50), 0);
+        assert_eq!(hist_percentile(&hist, 80), 2);
+        assert_eq!(hist_percentile(&hist, 100), 4);
+        assert_eq!(hist_percentile(&[0, 0], 50), 0);
+    }
+}

@@ -200,6 +200,18 @@ pub fn quick_profiles() -> Vec<BenchmarkProfile> {
         .collect()
 }
 
+/// A deterministic heterogeneous traffic matrix for a multi-tenant
+/// service: tenant `i` runs the `i % 4`-th [`quick_profiles`] entry, so any
+/// tenant count yields a reproducible mix of integer, pointer-chasing and
+/// streaming behaviour (the assignment depends only on the tenant index,
+/// never on scheduling).
+pub fn tenant_mix(tenants: usize) -> Vec<BenchmarkProfile> {
+    let quick = quick_profiles();
+    (0..tenants)
+        .map(|i| quick[i % quick.len()].clone())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +237,18 @@ mod tests {
     fn quick_subset_is_four_profiles() {
         let q = quick_profiles();
         assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn tenant_mix_cycles_the_quick_profiles() {
+        let mix = tenant_mix(6);
+        assert_eq!(mix.len(), 6);
+        assert_eq!(mix[0].name, "mcf_like");
+        assert_eq!(mix[4].name, mix[0].name);
+        assert_eq!(mix[5].name, mix[1].name);
+        assert!(tenant_mix(0).is_empty());
+        // Adjacent tenants get distinct behaviour.
+        assert_ne!(mix[0].name, mix[1].name);
     }
 
     #[test]

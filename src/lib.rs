@@ -14,6 +14,9 @@
 //! * [`memcrypt`] — counter-mode memory encryption,
 //! * [`pcm`] — the MLC PCM device/array simulator,
 //! * [`protect`] — SECDED and ECP fault protection,
+//! * [`service`] — the multi-tenant memory-controller-as-a-service frontend
+//!   (per-tenant key domains, fair round-robin scheduling over the bank
+//!   shards, live stats and graceful drain — see `docs/SERVICE.md`),
 //! * [`workload`] — synthetic SPEC-like write-back traces,
 //! * [`perfmodel`] — the mechanistic IPC model,
 //! * [`hwmodel`] — the 45 nm encoder hardware model,
@@ -64,4 +67,5 @@ pub use memcrypt;
 pub use pcm;
 pub use perfmodel;
 pub use protect;
+pub use service;
 pub use workload;
