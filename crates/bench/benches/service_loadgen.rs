@@ -50,7 +50,13 @@ fn snapshot(outcomes: &[ScenarioOutcome]) -> Value {
                     Value::object()
                         .with("tenant", Value::Str(t.name.clone()))
                         .with("queue_depth_p50", Value::UInt(t.queue_depth_p50 as u64))
-                        .with("queue_depth_max", Value::UInt(t.queue_depth_max as u64))
+                        .with(
+                            "queue_depth_max",
+                            t.queue_depth_max
+                                .map_or(Value::Null, |d| Value::UInt(d as u64)),
+                        )
+                        .with("write_p50_cycles", Value::UInt(t.write_latency.p50_cycles))
+                        .with("write_p99_cycles", Value::UInt(t.write_latency.p99_cycles))
                 })
                 .collect();
             Value::object()
@@ -58,7 +64,10 @@ fn snapshot(outcomes: &[ScenarioOutcome]) -> Value {
                 .with("tenants", Value::UInt(o.tenants as u64))
                 .with("shards", Value::UInt(o.shards as u64))
                 .with("lines_total", Value::UInt(o.lines_total))
-                .with("lines_per_sec", Value::Num(o.lines_per_sec))
+                .with(
+                    "lines_per_sec",
+                    o.lines_per_sec.map_or(Value::Null, Value::Num),
+                )
                 .with("fairness", Value::Num(o.fairness))
                 .with("tenant_queue_depths", Value::Arr(depths))
         })
@@ -66,7 +75,10 @@ fn snapshot(outcomes: &[ScenarioOutcome]) -> Value {
     Value::object()
         .with("unit", Value::Str("write_back_lines_per_sec".into()))
         .with("headline_scenario", Value::Str(headline.scenario.clone()))
-        .with("headline_lines_per_sec", Value::Num(headline.lines_per_sec))
+        .with(
+            "headline_lines_per_sec",
+            headline.lines_per_sec.map_or(Value::Null, Value::Num),
+        )
         .with("headline_tenants", Value::UInt(headline.tenants as u64))
         .with("headline_fairness", Value::Num(headline.fairness))
         .with("scenarios", Value::Arr(scenarios))

@@ -521,4 +521,67 @@ mod tests {
         assert_eq!(v.get("nope"), None);
         assert_eq!(Value::Null.get("a"), None);
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Round-trips one finite f64 through the Num lane and asserts the
+        /// exact bit pattern survives.
+        fn assert_num_round_trips(x: f64) {
+            let text = Value::Num(x).render();
+            let back = parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(
+                back.as_f64().map(f64::to_bits),
+                Some(x.to_bits()),
+                "{x:e} did not round-trip through {text}"
+            );
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// `parse(render(x))` is bit-exact for every finite f64,
+            /// sampled across the full bit-pattern space (subnormals,
+            /// negative zero and extreme exponents included).
+            #[test]
+            fn num_round_trip_is_bit_exact_over_bit_patterns(bits in 0u64..=u64::MAX) {
+                let x = f64::from_bits(bits);
+                prop_assume!(x.is_finite());
+                assert_num_round_trips(x);
+            }
+
+            /// The report shapes that bit the fairness fix: very small
+            /// `wall_secs` values (sub-nanosecond scenario durations).
+            #[test]
+            fn tiny_wall_secs_round_trip(frac in 1u64..1_000_000, exp in 0u32..15) {
+                assert_num_round_trips(frac as f64 / 10f64.powi(exp as i32));
+            }
+
+            /// Large cycle counts carried in the Num lane (latency sums can
+            /// exceed 2^53, where f64 goes whole-number-sparse).
+            #[test]
+            fn large_cycle_counts_round_trip(cycles in 0u64..=u64::MAX) {
+                assert_num_round_trips(cycles as f64);
+            }
+
+            /// A report-shaped document — tiny float, huge float, exact u64
+            /// counter — survives both renderers structurally intact.
+            #[test]
+            fn report_shaped_documents_round_trip(
+                bits in 0u64..=u64::MAX,
+                count in 0u64..=u64::MAX,
+            ) {
+                let x = f64::from_bits(bits);
+                prop_assume!(x.is_finite());
+                let doc = Value::object()
+                    .with("wall_secs", Value::Num(x))
+                    .with("total_cycles", Value::UInt(count))
+                    .with("mean_cycles", Value::Num(count as f64));
+                for text in [doc.render(), doc.render_pretty()] {
+                    prop_assert_eq!(&parse(&text).unwrap(), &doc);
+                }
+            }
+        }
+    }
 }

@@ -35,6 +35,15 @@
 //! pay no per-cell loop on the PCM side (see the `pcm` crate docs for the
 //! packed row layout and its invariants).
 //!
+//! Every line write and read is also timed by an event-driven bank model
+//! (the [`timing`] module): each [`LineReport`] carries the write's service
+//! latency in integer cycles, [`WritePipeline::read_line_timed`] does the
+//! same for reads, and [`WritePipeline::timing_stats`] accumulates
+//! log-bucketed latency histograms plus bank-occupancy totals. The model
+//! is all-integer and a pure function of each bank's command subsequence,
+//! so it inherits the bit-identical sharded-equals-sequential contract —
+//! see `docs/TIMING.md` for the cycle model and the determinism argument.
+//!
 //! A `WritePipeline` is single-threaded by design. For whole-trace replays
 //! where only aggregate statistics matter, the `engine` crate shards the
 //! row-address space across many pipelines and replays them on a worker
@@ -60,13 +69,19 @@
 //! );
 //! let report = pipeline.write_line(0x42_00, &[1, 2, 3, 4, 5, 6, 7, 8]);
 //! assert!(report.correctable);
+//! assert!(report.latency_cycles > 0); // event-driven bank timing
 //! assert_eq!(pipeline.stats().lines_written, 1);
+//! assert_eq!(pipeline.timing_stats().writes.count(), 1);
 //! assert_eq!(pipeline.read_line(0x42_00), Some([1, 2, 3, 4, 5, 6, 7, 8]));
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod timing;
+
+pub use timing::{TimingModel, TimingParams, TimingStats};
 
 use std::collections::{HashMap, HashSet};
 
@@ -90,6 +105,21 @@ pub struct LineReport {
     /// Whether this write pushed its row over the correction capacity for
     /// the first time (the lifetime studies count these).
     pub newly_failed_row: bool,
+    /// End-to-end service latency of this write in controller cycles —
+    /// arrival at the bank's command queue to bank release, as computed by
+    /// the event-driven [`timing`] model.
+    pub latency_cycles: u64,
+}
+
+/// Result of a timed read: the decoded data (if this line owns its row)
+/// plus the read's service latency under read-around-write priority.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedRead {
+    /// The decoded, decrypted line; `None` under the same conditions as
+    /// [`WritePipeline::read_line`].
+    pub data: Option<[u64; LINE_WORDS]>,
+    /// End-to-end read latency in controller cycles.
+    pub latency_cycles: u64,
 }
 
 /// Aggregate pipeline statistics, accumulated across
@@ -177,6 +207,7 @@ pub struct WritePipeline {
     /// decrypting a neighbour's ciphertext would yield garbage.
     row_owner: HashMap<u64, u64>,
     stats: PipelineStats,
+    timing: TimingModel,
 }
 
 impl std::fmt::Debug for WritePipeline {
@@ -206,6 +237,7 @@ impl WritePipeline {
             failed_rows: HashSet::new(),
             row_owner: HashMap::new(),
             stats: PipelineStats::default(),
+            timing: TimingModel::new(TimingParams::default()),
         }
     }
 
@@ -246,6 +278,15 @@ impl WritePipeline {
         self
     }
 
+    /// Replaces the event-driven timing model's parameters (default:
+    /// [`TimingParams::default`]). Resets the bank clocks, so — like
+    /// [`WritePipeline::with_fault_map`] — call it before the first write.
+    #[must_use]
+    pub fn with_timing(mut self, params: TimingParams) -> Self {
+        self.timing = TimingModel::new(params);
+        self
+    }
+
     /// The underlying memory (stats, rows, stuck cells).
     pub fn memory(&self) -> &PcmMemory {
         &self.memory
@@ -274,6 +315,17 @@ impl WritePipeline {
     /// The underlying array's programming statistics (energy, flips, SAW…).
     pub fn memory_stats(&self) -> &MemoryStats {
         self.memory.stats()
+    }
+
+    /// The event-driven timing statistics (latency histograms, bank
+    /// occupancy, pure service totals).
+    pub fn timing_stats(&self) -> &TimingStats {
+        self.timing.stats()
+    }
+
+    /// The timing parameters the pipeline runs under.
+    pub fn timing_params(&self) -> &TimingParams {
+        self.timing.params()
     }
 
     /// Number of distinct rows whose residual faults have exceeded the
@@ -339,11 +391,13 @@ impl WritePipeline {
             self.stats.uncorrectable_lines += 1;
         }
         self.stats.failed_rows = self.failed_rows.len();
+        let latency_cycles = self.timing.record_write(row_addr);
         LineReport {
             row_addr,
             outcome,
             correctable,
             newly_failed_row,
+            latency_cycles,
         }
     }
 
@@ -374,7 +428,26 @@ impl WritePipeline {
     /// ([`PcmMemory::read_line_into`]), so steady-state read-back performs no
     /// per-line heap allocation.
     pub fn read_line(&mut self, line_addr: u64) -> Option<[u64; LINE_WORDS]> {
+        self.read_line_timed(line_addr).data
+    }
+
+    /// The timed variant of [`WritePipeline::read_line`]: same data, plus
+    /// the read's service latency from the event-driven bank model.
+    ///
+    /// Every read is timed — the controller schedules the array access
+    /// before it can know whether the row holds this line's ciphertext, so
+    /// misses and aliased rows pay the same bank occupancy as hits. Reads
+    /// have around-write priority: see [`timing::TimingModel::record_read`].
+    pub fn read_line_timed(&mut self, line_addr: u64) -> TimedRead {
         let row_addr = self.memory.config().row_of_byte_addr(line_addr);
+        let latency_cycles = self.timing.record_read(row_addr);
+        TimedRead {
+            data: self.decode_line(row_addr, line_addr),
+            latency_cycles,
+        }
+    }
+
+    fn decode_line(&mut self, row_addr: u64, line_addr: u64) -> Option<[u64; LINE_WORDS]> {
         if self.row_owner.get(&row_addr) != Some(&line_addr) {
             return None;
         }
@@ -644,6 +717,45 @@ mod tests {
         let mut a2 = a;
         a2 += PipelineStats::default();
         assert_eq!(a2, a);
+    }
+
+    #[test]
+    fn write_and_read_paths_feed_the_timing_model() {
+        let mut p = WritePipeline::new(tiny_config(), Box::new(Vcc::paper_mlc(64)));
+        let params = *p.timing_params();
+        let line = [7u64; 8];
+        let report = p.write_line(0x40, &line);
+        assert_eq!(
+            report.latency_cycles,
+            params.encoder_cycles + params.write_service_cycles(),
+            "first write to an idle bank is uncontended"
+        );
+        let timed = p.read_line_timed(0x40);
+        assert_eq!(timed.data, Some(line));
+        assert!(timed.latency_cycles >= params.read_cycles + params.decode_cycles);
+        // Misses are timed too: the array access happens before ownership
+        // is known.
+        let miss = p.read_line_timed(0x9999 * 64);
+        assert_eq!(miss.data, None);
+        assert!(miss.latency_cycles > 0);
+        assert_eq!(p.timing_stats().writes.count(), 1);
+        assert_eq!(p.timing_stats().reads.count(), 2);
+        // write_raw_line goes through the same commit path and is timed;
+        // write_raw_word is word-granularity and is not.
+        p.write_raw_line(3, &[1u64; 8]);
+        p.write_raw_word(4, 0, 99);
+        assert_eq!(p.timing_stats().writes.count(), 2);
+    }
+
+    #[test]
+    fn with_timing_overrides_parameters() {
+        let params = TimingParams::default()
+            .with_encoder_cycles(5)
+            .with_issue_interval(1_000);
+        let mut p =
+            WritePipeline::new(tiny_config(), Box::new(Unencoded::new(64))).with_timing(params);
+        let report = p.write_line(0, &[0u64; 8]);
+        assert_eq!(report.latency_cycles, 5 + params.write_service_cycles());
     }
 
     #[test]

@@ -355,6 +355,24 @@ impl ShardedEngine {
         total
     }
 
+    /// Merged event-driven timing statistics across all shards (integer
+    /// field-wise sums, so the merge is order-independent).
+    ///
+    /// Rows map to logical banks by `row_addr % banks` and to shards by
+    /// `row_addr % shards`, so whenever the shard count divides the bank
+    /// count (the default bank count is 8; 1, 2, 4 and 8 shards qualify)
+    /// each bank's command subsequence — and therefore every per-event
+    /// latency — is identical to a sequential replay's, making this merge
+    /// bit-identical to the sequential pipeline's
+    /// `controller::WritePipeline::timing_stats`. See `docs/TIMING.md`.
+    pub fn timing_stats(&self) -> controller::TimingStats {
+        let mut total = controller::TimingStats::default();
+        for p in &self.shards {
+            total.merge(p.timing_stats());
+        }
+        total
+    }
+
     /// Total rows whose residual faults have exceeded the correction
     /// capacity (shards own disjoint rows, so the sum is exact).
     pub fn failed_row_count(&self) -> usize {

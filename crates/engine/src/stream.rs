@@ -73,6 +73,15 @@ pub struct StreamSummary {
     pub max_in_flight: usize,
     /// The per-shard queue bound this replay ran with.
     pub queue_capacity: usize,
+    /// Nearest-rank p50 write latency across all shards, in controller
+    /// cycles (log-bucket upper bound; see `pcm::LatencyHistogram`). Zero
+    /// when the stream produced no writes. Deterministic: computed from
+    /// the merged integer histograms, never from wall clocks.
+    pub write_p50_cycles: u64,
+    /// Nearest-rank p99 write latency in cycles (see `write_p50_cycles`).
+    pub write_p99_cycles: u64,
+    /// Nearest-rank p99.9 write latency in cycles (see `write_p50_cycles`).
+    pub write_p999_cycles: u64,
 }
 
 /// One command in a shard's work queue: either a write-back to commit or a
@@ -371,11 +380,19 @@ impl ShardedEngine {
             memory_fills = reader.memory_fills;
         });
 
+        // The latency percentiles come off the quiesced shards' merged
+        // integer histograms — the same numbers a sequential replay
+        // produces whenever the shard count divides the bank count (see
+        // ShardedEngine::timing_stats).
+        let writes = self.timing_stats().writes;
         StreamSummary {
             events,
             memory_fills,
             max_in_flight: gauge.peak(),
             queue_capacity,
+            write_p50_cycles: writes.percentile_permille(500),
+            write_p99_cycles: writes.percentile_permille(990),
+            write_p999_cycles: writes.percentile_permille(999),
         }
     }
 }

@@ -75,6 +75,33 @@ fn sharded_replay_matches_sequential_at_1_2_8_shards() {
     }
 }
 
+/// The timing extension of the same criterion: the event-driven latency
+/// histograms of a materialized replay are bit-identical between the
+/// sequential pipeline and any shard count dividing the 8-bank interleave.
+#[test]
+fn sharded_timing_stats_match_sequential_at_1_2_8_shards() {
+    let (seed, crypt_seed) = (0xD17E, 4242);
+    let t = trace(7);
+    let mut sequential =
+        build_pipeline(seed, Some(FaultMap::paper_snapshot(seed))).with_crypt_seed(crypt_seed);
+    sequential.replay_trace(&t);
+    let seq_timing = *sequential.timing_stats();
+    assert_eq!(seq_timing.writes.count(), t.len() as u64);
+
+    for shards in [1usize, 2, 8] {
+        let config = EngineConfig::default().with_shards(shards);
+        let mut engine = ShardedEngine::from_factory(config, crypt_seed, |_spec| {
+            build_pipeline(seed, Some(FaultMap::paper_snapshot(seed)))
+        });
+        engine.replay_trace(&t);
+        assert_eq!(
+            engine.timing_stats(),
+            seq_timing,
+            "{shards}-shard timing stats diverged"
+        );
+    }
+}
+
 /// The worker-thread count is a pure wall-clock knob: 1, 2 and 8 threads
 /// over the same 8 shards give identical results.
 #[test]

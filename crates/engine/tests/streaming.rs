@@ -176,6 +176,50 @@ fn in_flight_events_respect_the_queue_bound() {
     assert_eq!(tight.memory_stats(), *sequential.memory_stats());
 }
 
+/// The timing extension of the determinism contract: event-driven latency
+/// histograms are bit-identical across shard counts {1, 2, 8} — all of
+/// which divide the default 8-bank interleave, so every bank sees the same
+/// command subsequence — and equal to the sequential
+/// `WritePipeline::stream_replay` reference, fills included.
+#[test]
+fn timing_stats_match_sequential_at_1_2_8_shards() {
+    let (seed, crypt_seed) = (0x71A1, 29);
+    let accesses = 12_000;
+
+    let mut sequential = build_pipeline(seed, crypt_seed);
+    let mut seq_source = WorkloadSource::new(churn_profile(), accesses, seed);
+    sequential.stream_replay(&mut seq_source);
+    let seq_timing = *sequential.timing_stats();
+    assert!(seq_timing.writes.count() > 0, "reference must time writes");
+    assert!(
+        seq_timing.reads.count() > 0,
+        "churn fills must time reads too"
+    );
+
+    let mut summaries = Vec::new();
+    for shards in [1usize, 2, 8] {
+        let mut engine = engine_with(shards, seed, crypt_seed);
+        let mut source = WorkloadSource::new(churn_profile(), accesses, seed);
+        let summary = engine.stream_replay(&mut source);
+        assert_eq!(
+            engine.timing_stats(),
+            seq_timing,
+            "{shards}-shard timing stats diverged from sequential"
+        );
+        summaries.push((
+            summary.write_p50_cycles,
+            summary.write_p99_cycles,
+            summary.write_p999_cycles,
+        ));
+    }
+    assert!(
+        summaries.windows(2).all(|w| w[0] == w[1]),
+        "summary percentiles must agree across shard counts: {summaries:?}"
+    );
+    let (p50, p99, p999) = summaries[0];
+    assert!(p50 > 0 && p50 <= p99 && p99 <= p999);
+}
+
 /// Repeated streaming calls accumulate state exactly like repeated
 /// materialized replays (shard state persists across calls).
 #[test]

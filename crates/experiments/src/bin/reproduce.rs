@@ -27,7 +27,10 @@
 //! Two service subcommands front the multi-tenant crate (see
 //! `docs/SERVICE.md`): `reproduce serve` runs the long-lived frontend with
 //! a stdin command loop, and `reproduce loadgen` runs the throughput /
-//! fairness scenario matrix.
+//! fairness scenario matrix. Both report per-tenant p50/p99/p99.9 write
+//! latencies from the event-driven bank timing model (`docs/TIMING.md`);
+//! `reproduce loadgen --saturation` sweeps the per-bank issue interval to
+//! plot latency growth as offered load approaches the banks' service rate.
 
 #![forbid(unsafe_code)]
 

@@ -2,7 +2,7 @@
 //! the technique roster, and trace replay through the encrypted PCM write
 //! path.
 
-use controller::WritePipeline;
+use controller::{TimingParams, WritePipeline};
 use coset::cost::CostFunction;
 use coset::{Encoder, Flipcy, Fnw, Rcc, Unencoded, Vcc};
 use engine::{EngineConfig, ShardedEngine};
@@ -255,6 +255,7 @@ impl Technique {
         let mut p = WritePipeline::new(config, self.encoder(encoder_seed))
             .with_correction(self.correction())
             .with_cost(cost)
+            .with_timing(self.timing_params())
             .with_crypt_seed(crypt_seed);
         if let Some(map) = fault_map {
             p = p.with_fault_map(map);
@@ -283,6 +284,15 @@ impl Technique {
         ShardedEngine::from_factory(engine_config, crypt_seed, |_spec| {
             self.pipeline(config.clone(), fault_map, encoder_seed, crypt_seed, cost())
         })
+    }
+
+    /// Event-driven bank timing parameters for this technique: the default
+    /// bank geometry and PCM access latencies with the encoder pipeline
+    /// depth taken from the hardware model's critical-path delay (whole
+    /// cycles, rounded up, minimum one stage — even the unencoded path
+    /// traverses one pipeline register before the array).
+    pub fn timing_params(&self) -> TimingParams {
+        TimingParams::default().with_encoder_delay_ps(self.encode_delay_ns() * 1000.0)
     }
 
     /// Encoding latency in nanoseconds added to every write (from the

@@ -188,6 +188,14 @@ pub fn reproduce_configured(
             "Figure 13 (normalized IPC)".into(),
             fig13::run(scale, seed).to_string(),
         ));
+        // The event-driven lane replays every benchmark through a timed
+        // pipeline; its agreement with the analytic model is scale-free
+        // (both lanes see the same whole-cycle encoder depth), so the
+        // cross-check always runs at Tiny to keep the report fast.
+        sections.push((
+            "Figure 13 cross-check (event-driven timing)".into(),
+            fig13::cross_check(Scale::Tiny, seed).to_string(),
+        ));
     }
     Report { scale, sections }
 }

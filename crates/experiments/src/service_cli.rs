@@ -199,12 +199,41 @@ pub fn serve_main(args: &[String]) {
     println!("{}", report.render_text());
 }
 
+/// Like [`technique_pipeline`], but with the per-bank command issue
+/// interval overridden — the offered-load knob the saturation sweep turns.
+pub fn technique_pipeline_at(
+    ctx: &TenantCtx<'_>,
+    scale: Scale,
+    issue_interval_cycles: u64,
+) -> WritePipeline {
+    let technique = Technique::from_cli(ctx.technique)
+        // PANIC-OK: CLI front-end; abort naming the unknown label.
+        .unwrap_or_else(|| panic!("unknown technique label {:?}", ctx.technique));
+    technique
+        .pipeline(
+            scale.pcm_config(ARRAY_SEED),
+            None,
+            ctx.crypt_seed,
+            ctx.crypt_seed,
+            Box::new(WriteEnergy::mlc()),
+        )
+        .with_timing(
+            technique
+                .timing_params()
+                .with_issue_interval(issue_interval_cycles),
+        )
+}
+
 /// `reproduce loadgen`: runs the default scenario matrix and prints the
 /// throughput/fairness table (`--json` prints the full JSON instead;
 /// `--fast` or `SERVICE_FAST=1` shrinks the per-tenant access counts).
+/// `--saturation` instead sweeps the per-bank issue interval over
+/// [`loadgen::DEFAULT_SATURATION_INTERVALS`] on the matrix's last (largest)
+/// scenario and prints per-tenant latency percentiles at each offered load.
 pub fn loadgen_main(args: &[String]) {
     let mut fast = std::env::var("SERVICE_FAST").is_ok_and(|v| v != "0");
     let mut json = false;
+    let mut saturation = false;
     let mut scale = Scale::Tiny;
     let mut i = 0;
     while i < args.len() {
@@ -215,6 +244,10 @@ pub fn loadgen_main(args: &[String]) {
             }
             "--json" => {
                 json = true;
+                i += 1;
+            }
+            "--saturation" => {
+                saturation = true;
                 i += 1;
             }
             "--scale" => {
@@ -231,6 +264,24 @@ pub fn loadgen_main(args: &[String]) {
             // PANIC-OK: CLI front-end; abort with a usage message.
             other => panic!("unknown loadgen flag {other:?}"),
         }
+    }
+    if saturation {
+        let points = run_saturation_sweep(fast, scale, |name| eprintln!("running {name} ..."));
+        if json {
+            println!(
+                "{}",
+                Value::Arr(
+                    points
+                        .iter()
+                        .map(loadgen::SaturationPoint::to_json)
+                        .collect()
+                )
+                .render_pretty()
+            );
+        } else {
+            println!("{}", loadgen::render_saturation(&points));
+        }
+        return;
     }
     let outcomes = run_default_matrix(fast, scale, |name| eprintln!("running {name} ..."));
     if json {
@@ -264,6 +315,25 @@ pub fn run_default_matrix(
             loadgen::run_scenario(scenario, &mut |ctx| technique_pipeline(ctx, scale))
         })
         .collect()
+}
+
+/// Sweeps the per-bank issue interval over the default grid on the default
+/// matrix's last (largest) scenario, reporting how the per-tenant latency
+/// percentiles grow as the offered load approaches the banks' service rate.
+pub fn run_saturation_sweep(
+    fast: bool,
+    scale: Scale,
+    mut progress: impl FnMut(&str),
+) -> Vec<loadgen::SaturationPoint> {
+    let matrix = loadgen::default_matrix(fast);
+    // PANIC-OK: the built-in matrix is never empty.
+    let scenario = matrix.last().expect("default matrix is non-empty");
+    progress(&format!("saturation sweep over {}", scenario.name));
+    loadgen::saturation_curve(
+        scenario,
+        &loadgen::DEFAULT_SATURATION_INTERVALS,
+        &mut |ctx, interval| technique_pipeline_at(ctx, scale, interval),
+    )
 }
 
 #[cfg(test)]
@@ -319,6 +389,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn saturation_sweep_reports_latency_growth() {
+        let mut scenario = loadgen::default_matrix(true)
+            .into_iter()
+            .next()
+            .expect("matrix is non-empty");
+        scenario.accesses_per_tenant = 600;
+        let points = loadgen::saturation_curve(&scenario, &[200, 25], &mut |ctx, interval| {
+            technique_pipeline_at(ctx, Scale::Tiny, interval)
+        });
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.outcome.lines_total > 0);
+            for t in &p.outcome.report.tenants {
+                assert!(t.write_latency.count > 0);
+                assert!(t.write_latency.p50_cycles <= t.write_latency.p999_cycles);
+            }
+        }
+        // Harder offered load (shorter issue interval) can only push write
+        // latencies up: commands pile into busy banks instead of arriving
+        // after they drain.
+        let relaxed = &points[0].outcome.report.tenants[0].write_latency;
+        let saturated = &points[1].outcome.report.tenants[0].write_latency;
+        assert!(saturated.p99_cycles >= relaxed.p99_cycles);
     }
 
     #[test]

@@ -82,5 +82,8 @@ pub use endurance::EnduranceModel;
 pub use fault::FaultMap;
 pub use memory::{LineWriteScratch, PcmMemory};
 pub use row::Row;
-pub use stats::{LineWriteOutcome, MemoryStats, WordWriteOutcome};
+pub use stats::{
+    LatencyHistogram, LatencySummary, LineWriteOutcome, MemoryStats, WordWriteOutcome,
+    LATENCY_BUCKETS,
+};
 pub use wearlevel::StartGap;

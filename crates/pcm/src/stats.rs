@@ -201,6 +201,210 @@ impl MemoryStats {
     }
 }
 
+/// Number of buckets in a [`LatencyHistogram`]: bucket `k > 0` holds
+/// latencies whose bit length is `k` (i.e. `2^(k-1) ..= 2^k - 1` cycles),
+/// bucket 0 holds zero-cycle samples. A `u64` latency has bit length at
+/// most 64, so 65 buckets cover the whole domain with no clamping.
+pub const LATENCY_BUCKETS: usize = 65;
+
+/// Log-bucketed latency histogram over integer cycle counts.
+///
+/// Buckets are powers of two (by bit length), so recording is a single
+/// `leading_zeros` and the histogram is a fixed-size value type: merging is
+/// a field-wise integer sum, which is associative and commutative with
+/// [`LatencyHistogram::default`] as the identity. That is what lets bank
+/// shards accumulate latencies independently and still merge to totals
+/// bit-identical to a sequential replay — the same contract
+/// [`MemoryStats::merge`] states for energies, here with no floating point
+/// at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    /// Sample counts per bit-length bucket; see [`LATENCY_BUCKETS`].
+    pub buckets: [u64; LATENCY_BUCKETS],
+    /// Total cycles across all samples (saturating).
+    pub total_cycles: u64,
+    /// Largest single sample observed, in cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; LATENCY_BUCKETS],
+            total_cycles: 0,
+            max_cycles: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (the merge identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a latency lands in: its bit length.
+    fn bucket_of(latency_cycles: u64) -> usize {
+        (u64::BITS - latency_cycles.leading_zeros()) as usize
+    }
+
+    /// The largest latency bucket `k` can hold (its reported value under
+    /// the nearest-rank percentile: a conservative upper bound).
+    pub fn bucket_upper_bound(bucket: usize) -> u64 {
+        match bucket {
+            0 => 0,
+            k if k >= 64 => u64::MAX,
+            k => (1u64 << k) - 1,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, latency_cycles: u64) {
+        self.buckets[Self::bucket_of(latency_cycles)] += 1;
+        self.total_cycles = self.total_cycles.saturating_add(latency_cycles);
+        self.max_cycles = self.max_cycles.max(latency_cycles);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean latency in cycles (0 when empty). Display-only: the histogram
+    /// itself stays in integers.
+    pub fn mean_cycles(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / n as f64
+        }
+    }
+
+    /// Field-wise merge: associative, commutative, identity
+    /// [`LatencyHistogram::default`]. Shard merges in any grouping match a
+    /// sequential accumulator exactly (all-integer arithmetic).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.total_cycles = self.total_cycles.saturating_add(other.total_cycles);
+        self.max_cycles = self.max_cycles.max(other.max_cycles);
+    }
+
+    /// Nearest-rank percentile in permille (`500` = p50, `990` = p99,
+    /// `999` = p99.9), reported as the selected bucket's upper bound —
+    /// a conservative (never under-reported) latency. Returns 0 for an
+    /// empty histogram. `permille` values of 1000 and above select the
+    /// highest non-empty bucket.
+    pub fn percentile_permille(&self, permille: u64) -> u64 {
+        let total: u64 = self.count();
+        if total == 0 {
+            return 0;
+        }
+        // Nearest-rank: the smallest rank r (1-based) with r >= ceil(total * p / 1000),
+        // clamped to at least rank 1 so p0 picks the lowest occupied bucket.
+        let rank = (total.saturating_mul(permille))
+            .div_ceil(1000)
+            .clamp(1, total);
+        let mut seen = 0u64;
+        for (k, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_upper_bound(k);
+            }
+        }
+        Self::bucket_upper_bound(LATENCY_BUCKETS - 1)
+    }
+
+    /// JSON form: bucket array trimmed after the last non-empty bucket,
+    /// every field in the integer lane so
+    /// [`LatencyHistogram::from_json`] round-trips bit-exactly.
+    pub fn to_json(&self) -> serde::json::Value {
+        use serde::json::Value;
+        let last = self
+            .buckets
+            .iter()
+            .rposition(|&n| n > 0)
+            .map_or(0, |i| i + 1);
+        let buckets: Vec<Value> = self.buckets[..last]
+            .iter()
+            .map(|&n| Value::UInt(n))
+            .collect();
+        Value::object()
+            .with("buckets", Value::Arr(buckets))
+            .with("total_cycles", Value::UInt(self.total_cycles))
+            .with("max_cycles", Value::UInt(self.max_cycles))
+    }
+
+    /// Rebuilds a histogram from the [`LatencyHistogram::to_json`] schema;
+    /// `None` on a missing field, wrong shape, or too many buckets.
+    pub fn from_json(v: &serde::json::Value) -> Option<LatencyHistogram> {
+        use serde::json::Value;
+        let arr = match v.get("buckets")? {
+            Value::Arr(items) => items,
+            _ => return None,
+        };
+        if arr.len() > LATENCY_BUCKETS {
+            return None;
+        }
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (slot, item) in buckets.iter_mut().zip(arr.iter()) {
+            *slot = item.as_u64()?;
+        }
+        Some(LatencyHistogram {
+            buckets,
+            total_cycles: v.get("total_cycles")?.as_u64()?,
+            max_cycles: v.get("max_cycles")?.as_u64()?,
+        })
+    }
+}
+
+/// Summary view of a [`LatencyHistogram`]: the percentile row reports print
+/// (p50/p99/p99.9 in cycles, nearest-rank over the log buckets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: u64,
+    /// Nearest-rank p50 (bucket upper bound), cycles.
+    pub p50_cycles: u64,
+    /// Nearest-rank p99 (bucket upper bound), cycles.
+    pub p99_cycles: u64,
+    /// Nearest-rank p99.9 (bucket upper bound), cycles.
+    pub p999_cycles: u64,
+    /// Largest sample, cycles.
+    pub max_cycles: u64,
+    /// Mean latency, cycles (display only).
+    pub mean_cycles: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram.
+    pub fn of(hist: &LatencyHistogram) -> LatencySummary {
+        LatencySummary {
+            count: hist.count(),
+            p50_cycles: hist.percentile_permille(500),
+            p99_cycles: hist.percentile_permille(990),
+            p999_cycles: hist.percentile_permille(999),
+            max_cycles: hist.max_cycles,
+            mean_cycles: hist.mean_cycles(),
+        }
+    }
+
+    /// JSON form (counts and percentiles in the integer lane, mean in the
+    /// float lane).
+    pub fn to_json(&self) -> serde::json::Value {
+        use serde::json::Value;
+        Value::object()
+            .with("count", Value::UInt(self.count))
+            .with("p50_cycles", Value::UInt(self.p50_cycles))
+            .with("p99_cycles", Value::UInt(self.p99_cycles))
+            .with("p999_cycles", Value::UInt(self.p999_cycles))
+            .with("max_cycles", Value::UInt(self.max_cycles))
+            .with("mean_cycles", Value::Num(self.mean_cycles))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,5 +571,101 @@ mod tests {
         let s = MemoryStats::default();
         assert_eq!(s.energy_per_row_write(), 0.0);
         assert_eq!(s.saw_rate_per_word(), 0.0);
+    }
+
+    #[test]
+    fn latency_buckets_are_bit_lengths() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 168, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2, 3
+        assert_eq!(h.buckets[3], 2); // 4, 7
+        assert_eq!(h.buckets[4], 1); // 8
+        assert_eq!(h.buckets[8], 1); // 168 has bit length 8
+        assert_eq!(h.buckets[64], 1); // u64::MAX
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.max_cycles, u64::MAX);
+        // Saturating totals never wrap.
+        assert_eq!(h.total_cycles, u64::MAX);
+    }
+
+    #[test]
+    fn latency_percentiles_are_nearest_rank_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        // 90 samples of ~100 cycles (bucket 7: 64..=127), 10 of ~1000
+        // (bucket 10: 512..=1023).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        assert_eq!(h.percentile_permille(500), 127);
+        assert_eq!(h.percentile_permille(900), 127);
+        assert_eq!(h.percentile_permille(990), 1023);
+        assert_eq!(h.percentile_permille(999), 1023);
+        assert_eq!(h.percentile_permille(1000), 1023);
+        // p0 clamps to rank 1: the lowest occupied bucket.
+        assert_eq!(h.percentile_permille(0), 127);
+        assert_eq!(LatencyHistogram::default().percentile_permille(500), 0);
+    }
+
+    #[test]
+    fn latency_merge_is_associative_and_matches_sequential() {
+        let samples: Vec<u64> = (0..200).map(|i| (i * 37) % 1100).collect();
+        let mut whole = LatencyHistogram::new();
+        let mut parts = [LatencyHistogram::new(); 3];
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            parts[i % 3].record(s);
+        }
+        // (a + b) + c and a + (b + c) both equal the sequential whole.
+        let mut left = parts[0];
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1];
+        bc.merge(&parts[2]);
+        let mut right = parts[0];
+        right.merge(&bc);
+        assert_eq!(left, whole);
+        assert_eq!(right, whole);
+        // Identity.
+        let mut with_id = LatencyHistogram::default();
+        with_id.merge(&whole);
+        assert_eq!(with_id, whole);
+    }
+
+    #[test]
+    fn latency_json_round_trips_bit_exactly() {
+        let mut h = LatencyHistogram::new();
+        for v in [0u64, 5, 84, 168, 1 << 40, u64::MAX / 3] {
+            h.record(v);
+        }
+        let text = h.to_json().render();
+        let back = LatencyHistogram::from_json(&serde::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
+        // Empty histograms and wrong shapes.
+        let d = LatencyHistogram::default();
+        assert_eq!(LatencyHistogram::from_json(&d.to_json()), Some(d));
+        assert_eq!(LatencyHistogram::from_json(&serde::json::Value::Null), None);
+    }
+
+    #[test]
+    fn latency_summary_reports_percentile_row() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(5000);
+        let s = LatencySummary::of(&h);
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_cycles, 127);
+        assert_eq!(s.p99_cycles, 127);
+        assert_eq!(s.p999_cycles, 8191);
+        assert_eq!(s.max_cycles, 5000);
+        assert!(s.mean_cycles > 100.0 && s.mean_cycles < 200.0);
     }
 }

@@ -40,6 +40,14 @@
 //!   applies per tenant verbatim (row partitioning plus exact integer-pJ
 //!   energy sums make shard merges order-independent).
 //!
+//! The contract covers *timing* too: each pipeline's event-driven bank
+//! model (`controller::timing`) is an all-integer pure function of the
+//! per-bank command subsequence, so a tenant's merged latency histograms —
+//! and the p50/p99/p99.9 write latencies the [`ServiceReport`] derives
+//! from them — are bit-identical across shard counts dividing the bank
+//! interleave (1, 2, 4, 8 under the default 8 banks) and equal to the
+//! tenant's solo sequential replay. See `docs/TIMING.md`.
+//!
 //! The live stats snapshots (`stats`/`json` over the [`control`] command
 //! loop) are eventually consistent while the service runs; the final
 //! [`ServiceReport`] is read from the quiesced pipelines after all queues
@@ -60,7 +68,8 @@ mod server;
 
 pub use control::{CommandLoop, ControlPlane, NoControl};
 pub use server::{
-    MemoryService, ServiceHandle, ServiceReport, ServiceSnapshot, TenantReport, TenantSnapshot,
+    hist_percentile, MemoryService, ServiceHandle, ServiceReport, ServiceSnapshot, TenantReport,
+    TenantSnapshot,
 };
 
 use engine::ShardSpec;

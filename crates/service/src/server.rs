@@ -5,9 +5,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use controller::{PipelineStats, WritePipeline};
+use controller::{PipelineStats, TimingStats, WritePipeline};
 use engine::{EngineConfig, ShardedEngine};
-use pcm::{MemoryStats, PcmConfig};
+use pcm::{LatencySummary, MemoryStats, PcmConfig};
 use serde::json::Value;
 use workload::{LineData, MemoryReader, TraceSource, WriteBack};
 
@@ -30,11 +30,17 @@ pub(crate) struct TenantMeta {
 pub(crate) struct SlotStats {
     pub(crate) pipeline: PipelineStats,
     pub(crate) memory: MemoryStats,
+    pub(crate) timing: TimingStats,
     pub(crate) reads: u64,
-    /// `depth_hist[d]` counts pops that found the lane holding `d` events
-    /// (clamped to the capacity bucket); the p50 queue depth comes from
-    /// this histogram.
+    /// `depth_hist[d]` counts pops that found the lane holding `d` events,
+    /// for `d` in `0..=capacity`; the final slot (`capacity + 1`) is an
+    /// explicit overflow bucket, so out-of-range samples are counted rather
+    /// than silently folded into the capacity bucket (which would bias the
+    /// p50 low at small capacities).
     pub(crate) depth_hist: Vec<u64>,
+    /// Largest lane depth observed at pop time; `None` until the first pop
+    /// (distinct from a genuine observed maximum of zero).
+    pub(crate) depth_max: Option<usize>,
 }
 
 impl SlotStats {
@@ -42,8 +48,10 @@ impl SlotStats {
         SlotStats {
             pipeline: PipelineStats::default(),
             memory: MemoryStats::default(),
+            timing: TimingStats::default(),
             reads: 0,
-            depth_hist: vec![0; capacity + 1],
+            depth_hist: vec![0; capacity + 2],
+            depth_max: None,
         }
     }
 }
@@ -252,11 +260,14 @@ impl MemoryService {
         for (t, meta) in self.tenants.iter().enumerate() {
             let mut pipeline = PipelineStats::default();
             let mut memory = MemoryStats::default();
-            let mut hist = vec![0u64; shared.capacity + 1];
+            let mut timing = TimingStats::default();
+            let mut hist = vec![0u64; shared.capacity + 2];
             let mut reads = 0u64;
+            let mut depth_max: Option<usize> = None;
             for s in 0..self.config.shards {
                 pipeline.merge(self.pipelines[s][t].stats());
                 memory.merge(self.pipelines[s][t].memory_stats());
+                timing.merge(self.pipelines[s][t].timing_stats());
                 // PANIC-OK: lock poisoning only follows a thread panic,
                 // which serve() already propagated at scope join.
                 let slot = shared.slots[s][t].lock().unwrap();
@@ -264,6 +275,10 @@ impl MemoryService {
                 for (d, n) in slot.depth_hist.iter().enumerate() {
                     hist[d] += n;
                 }
+                depth_max = match (depth_max, slot.depth_max) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    (a, b) => a.or(b),
+                };
             }
             // PANIC-OK: lock poisoning only follows a thread panic,
             // which serve() already propagated at scope join.
@@ -277,8 +292,11 @@ impl MemoryService {
                 reads,
                 pipeline,
                 memory,
+                write_latency: LatencySummary::of(&timing.writes),
+                timing,
                 queue_depth_p50: hist_percentile(&hist, 50),
-                queue_depth_max: hist.iter().rposition(|&n| n > 0).unwrap_or(0),
+                queue_depth_overflow: *hist.last().unwrap_or(&0),
+                queue_depth_max: depth_max,
                 active_secs: progress.active_secs,
             });
         }
@@ -294,8 +312,10 @@ impl MemoryService {
 }
 
 /// Smallest depth `d` such that at least `pct` percent of the histogram's
-/// samples are ≤ `d` (0 when the histogram is empty).
-fn hist_percentile(hist: &[u64], pct: u64) -> usize {
+/// samples are ≤ `d` (0 when the histogram is empty) — the nearest-rank
+/// percentile: with `total` samples, the answer is the bucket holding rank
+/// `ceil(total * pct / 100)` in cumulative order.
+pub fn hist_percentile(hist: &[u64], pct: u64) -> usize {
     let total: u64 = hist.iter().sum();
     if total == 0 {
         return 0;
@@ -352,9 +372,14 @@ fn worker_loop(shard: usize, row: &mut [WritePipeline], shared: &RunShared) {
         let mut slot = shared.slots[shard][t].lock().unwrap();
         slot.pipeline = *pipeline.stats();
         slot.memory = *pipeline.memory_stats();
+        slot.timing = *pipeline.timing_stats();
         slot.reads += reads;
-        let bucket = depth.min(shared.capacity);
+        // Depths beyond the lane bound land in the explicit overflow
+        // bucket (the last slot) instead of being clamped into the
+        // capacity bucket.
+        let bucket = depth.min(shared.capacity + 1);
         slot.depth_hist[bucket] += 1;
+        slot.depth_max = Some(slot.depth_max.map_or(depth, |m| m.max(depth)));
     }
 }
 
@@ -505,6 +530,7 @@ impl ServiceHandle<'_> {
         for (t, meta) in self.tenants.iter().enumerate() {
             let mut pipeline = PipelineStats::default();
             let mut memory = MemoryStats::default();
+            let mut timing = TimingStats::default();
             let mut reads = 0u64;
             let mut queued = 0usize;
             for s in 0..self.config.shards {
@@ -513,6 +539,7 @@ impl ServiceHandle<'_> {
                 let slot = self.shared.slots[s][t].lock().unwrap();
                 pipeline.merge(&slot.pipeline);
                 memory.merge(&slot.memory);
+                timing.merge(&slot.timing);
                 reads += slot.reads;
                 queued += self.shared.mailboxes[s].lane_depth(t);
             }
@@ -529,6 +556,7 @@ impl ServiceHandle<'_> {
                 queued,
                 pipeline,
                 memory,
+                timing,
             });
         }
         ServiceSnapshot {
@@ -562,6 +590,8 @@ pub struct TenantSnapshot {
     pub pipeline: PipelineStats,
     /// Merged array statistics committed so far.
     pub memory: MemoryStats,
+    /// Merged event-driven timing statistics committed so far.
+    pub timing: TimingStats,
 }
 
 impl TenantSnapshot {
@@ -577,6 +607,7 @@ impl TenantSnapshot {
             .with("queued", Value::UInt(self.queued as u64))
             .with("pipeline", self.pipeline.to_json())
             .with("memory", self.memory.to_json())
+            .with("timing", self.timing.to_json())
     }
 }
 
@@ -668,10 +699,21 @@ pub struct TenantReport {
     pub pipeline: PipelineStats,
     /// Merged array statistics (same contract).
     pub memory: MemoryStats,
+    /// Merged event-driven timing statistics (same contract: all-integer
+    /// histograms, bit-identical across shard counts dividing the bank
+    /// interleave — see `docs/TIMING.md`).
+    pub timing: TimingStats,
+    /// The write-latency percentile row (p50/p99/p99.9 in controller
+    /// cycles) summarizing `timing.writes`.
+    pub write_latency: LatencySummary,
     /// Median lane occupancy observed at command pop time.
     pub queue_depth_p50: usize,
-    /// Maximum lane occupancy observed at command pop time.
-    pub queue_depth_max: usize,
+    /// Pops that found a lane deeper than the configured capacity (the
+    /// overflow bucket of the depth histogram; normally zero).
+    pub queue_depth_overflow: u64,
+    /// Maximum lane occupancy observed at command pop time; `None` when no
+    /// command was ever popped (distinct from an observed maximum of 0).
+    pub queue_depth_max: Option<usize>,
     /// Seconds the tenant's producer was active.
     pub active_secs: f64,
 }
@@ -687,8 +729,20 @@ impl TenantReport {
             .with("reads", Value::UInt(self.reads))
             .with("pipeline", self.pipeline.to_json())
             .with("memory", self.memory.to_json())
+            .with("timing", self.timing.to_json())
+            .with("write_latency", self.write_latency.to_json())
             .with("queue_depth_p50", Value::UInt(self.queue_depth_p50 as u64))
-            .with("queue_depth_max", Value::UInt(self.queue_depth_max as u64))
+            .with(
+                "queue_depth_overflow",
+                Value::UInt(self.queue_depth_overflow),
+            )
+            .with(
+                "queue_depth_max",
+                match self.queue_depth_max {
+                    Some(d) => Value::UInt(d as u64),
+                    None => Value::Null,
+                },
+            )
             .with("active_secs", Value::Num(self.active_secs))
     }
 }
@@ -740,11 +794,13 @@ impl ServiceReport {
             .with("wall_secs", Value::Num(self.wall_secs))
     }
 
-    /// Fixed-width table form (the example and CLI output).
+    /// Fixed-width table form (the example and CLI output). Latency
+    /// columns are in controller cycles (nearest-rank log-bucket upper
+    /// bounds — see `docs/TIMING.md`).
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<18} {:<10} {:>10} {:>10} {:>8} {:>7} {:>12} {:>5} {:>5}\n",
+            "{:<18} {:<10} {:>10} {:>10} {:>8} {:>7} {:>12} {:>7} {:>7} {:>7} {:>5} {:>5}\n",
             "tenant",
             "technique",
             "enqueued",
@@ -752,12 +808,15 @@ impl ServiceReport {
             "uncorr",
             "fills",
             "energy_pj",
+            "p50lat",
+            "p99lat",
+            "p999lat",
             "p50q",
             "maxq"
         ));
         for t in &self.tenants {
             out.push_str(&format!(
-                "{:<18} {:<10} {:>10} {:>10} {:>8} {:>7} {:>12.0} {:>5} {:>5}\n",
+                "{:<18} {:<10} {:>10} {:>10} {:>8} {:>7} {:>12.0} {:>7} {:>7} {:>7} {:>5} {:>5}\n",
                 t.name,
                 t.technique,
                 t.enqueued,
@@ -765,8 +824,12 @@ impl ServiceReport {
                 t.pipeline.uncorrectable_lines,
                 t.memory_fills,
                 t.memory.energy_pj,
+                t.write_latency.p50_cycles,
+                t.write_latency.p99_cycles,
+                t.write_latency.p999_cycles,
                 t.queue_depth_p50,
                 t.queue_depth_max
+                    .map_or_else(|| "-".to_string(), |d| d.to_string()),
             ));
         }
         out.push_str(&format!(
@@ -789,9 +852,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn hist_percentile_picks_the_median_bucket() {
-        // 3 samples at depth 0, 2 at depth 2, 1 at depth 4 → p50 = 2nd of
-        // 6 ranks... rank ceil(6*50/100)=3 → depth 0 holds ranks 1-3.
+    fn hist_percentile_is_nearest_rank() {
+        // 6 samples: 3 at depth 0, 2 at depth 2, 1 at depth 4. Nearest
+        // rank: p50 targets rank ceil(6*50/100) = 3, and depth 0 holds
+        // cumulative ranks 1-3, so p50 = 0 (NOT "the 2nd smallest
+        // sample"). p80 targets rank ceil(6*80/100) = 5, held by depth 2
+        // (ranks 4-5); p100 targets rank 6, held by depth 4.
         let hist = [3u64, 0, 2, 0, 1];
         assert_eq!(hist_percentile(&hist, 50), 0);
         assert_eq!(hist_percentile(&hist, 80), 2);

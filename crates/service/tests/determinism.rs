@@ -7,7 +7,7 @@
 //! backpressure, scheduling decided by the OS — and compare every stats
 //! field with exact equality, including the floating-point energy totals.
 
-use controller::{PipelineStats, WritePipeline};
+use controller::{PipelineStats, TimingStats, WritePipeline};
 use coset::cost::WriteEnergy;
 use coset::{Fnw, Unencoded, Vcc};
 use pcm::{FaultMap, MemoryStats, PcmConfig};
@@ -54,10 +54,15 @@ fn solo_reference(
     technique: &str,
     crypt_seed: u64,
     source: &mut WorkloadSource,
-) -> (PipelineStats, MemoryStats, u64) {
+) -> (PipelineStats, MemoryStats, u64, TimingStats) {
     let mut p = build_technique(technique, crypt_seed).with_crypt_seed(crypt_seed);
     let memory = p.stream_replay(source);
-    (*p.stats(), memory, source.fills_from_memory())
+    (
+        *p.stats(),
+        memory,
+        source.fills_from_memory(),
+        *p.timing_stats(),
+    )
 }
 
 fn service_run(
@@ -94,7 +99,7 @@ fn tenant_stats_match_solo_sequential_replay_at_1_2_8_shards() {
     let tenants = 4;
     let accesses = 2_500;
 
-    let references: Vec<(PipelineStats, MemoryStats, u64)> = (0..tenants)
+    let references: Vec<(PipelineStats, MemoryStats, u64, TimingStats)> = (0..tenants)
         .map(|t| {
             let seed = tenant_seed(base_seed, t as u64);
             let mut source = tenant_source(t, accesses, base_seed);
@@ -109,17 +114,33 @@ fn tenant_stats_match_solo_sequential_replay_at_1_2_8_shards() {
         references.iter().any(|r| r.1.saw_cells > 0),
         "fault maps must bite for a real test"
     );
+    assert!(
+        references.iter().all(|r| r.3.writes.count() > 0),
+        "references must time writes"
+    );
 
     for shards in [1usize, 2, 8] {
         let report = service_run(shards, 16, 4, base_seed, tenants, accesses);
         assert_eq!(report.in_flight_at_end, 0, "queues must be empty");
         assert!(!report.drained_early);
-        for (t, (pipe, mem, fills)) in references.iter().enumerate() {
+        for (t, (pipe, mem, fills, timing)) in references.iter().enumerate() {
             let got = &report.tenants[t];
             assert_eq!(&got.pipeline, pipe, "tenant {t} at {shards} shards");
             assert_eq!(&got.memory, mem, "tenant {t} at {shards} shards");
             assert_eq!(got.enqueued, pipe.lines_written, "tenant {t} lost events");
             assert_eq!(got.memory_fills, *fills, "tenant {t} fill count");
+            // The timing extension of the contract: latency histograms are
+            // bit-identical to the solo sequential replay at every shard
+            // count in {1, 2, 8} (all divide the 8-bank interleave).
+            assert_eq!(
+                &got.timing, timing,
+                "tenant {t} timing stats diverged at {shards} shards"
+            );
+            assert_eq!(
+                got.write_latency.p50_cycles,
+                timing.writes.percentile_permille(500),
+                "tenant {t} percentile row must come from the merged histogram"
+            );
         }
     }
 }
@@ -161,7 +182,7 @@ fn same_workload_different_tenants_write_different_cells() {
 fn explicit_seed_override_is_honoured() {
     let seed = 0xD00D;
     let mut source = tenant_source(0, 600, 7);
-    let (pipe, mem, _) = solo_reference("fnw16", seed, &mut source);
+    let (pipe, mem, _, _) = solo_reference("fnw16", seed, &mut source);
 
     let specs = vec![TenantSpec::new("pinned", "fnw16").with_seed(seed)];
     let config = ServiceConfig::default()
@@ -200,11 +221,12 @@ proptest! {
         for t in 0..tenants {
             let seed = tenant_seed(base_seed, t as u64);
             let mut source = tenant_source(t, accesses, base_seed);
-            let (pipe, mem, fills) = solo_reference(technique_for(t), seed, &mut source);
+            let (pipe, mem, fills, timing) = solo_reference(technique_for(t), seed, &mut source);
             prop_assert_eq!(&report.tenants[t].pipeline, &pipe);
             prop_assert_eq!(&report.tenants[t].memory, &mem);
             prop_assert_eq!(report.tenants[t].enqueued, pipe.lines_written);
             prop_assert_eq!(report.tenants[t].memory_fills, fills);
+            prop_assert_eq!(&report.tenants[t].timing, &timing);
         }
     }
 }
