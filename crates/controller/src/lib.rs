@@ -79,14 +79,17 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod recover;
 pub mod timing;
 
+pub use recover::{ReadError, RecoveryPolicy, RetirementPool, WriteStatus};
 pub use timing::{TimingModel, TimingParams, TimingStats};
 
 use std::collections::{HashMap, HashSet};
 
 use coset::cost::{CostFunction, WriteEnergy};
 use coset::Encoder;
+use faultsim::{FaultInjector, FaultLog, FaultPlan, WriteFaults};
 use memcrypt::{simulation_encryption, SimulationEncryption, LINE_WORDS};
 use pcm::{FaultMap, LineWriteOutcome, LineWriteScratch, MemoryStats, PcmConfig, PcmMemory};
 use protect::{CorrectionScheme, NoCorrection};
@@ -107,8 +110,16 @@ pub struct LineReport {
     pub newly_failed_row: bool,
     /// End-to-end service latency of this write in controller cycles —
     /// arrival at the bank's command queue to bank release, as computed by
-    /// the event-driven [`timing`] model.
+    /// the event-driven [`timing`] model. Includes any retry/backoff cost
+    /// the recovery policy charged.
     pub latency_cycles: u64,
+    /// How the write ultimately landed: committed first try, after in-place
+    /// retries, remapped onto a spare row, or still uncorrectable.
+    pub status: WriteStatus,
+    /// Recovery attempts spent on this write (in-place retries plus the
+    /// post-retirement rewrite, if any). Zero under
+    /// [`RecoveryPolicy::none`].
+    pub retries: u32,
 }
 
 /// Result of a timed read: the decoded data (if this line owns its row)
@@ -206,8 +217,25 @@ pub struct WritePipeline {
     /// the owner: under scaled configs several lines alias one row, and
     /// decrypting a neighbour's ciphertext would yield garbage.
     row_owner: HashMap<u64, u64>,
+    /// Rows whose *most recent* write ended uncorrectable: reading them
+    /// would return silently corrupted data, so the read path refuses with
+    /// [`ReadError::Uncorrectable`]. Unlike `failed_rows` (cumulative, for
+    /// the lifetime studies), a later correctable write clears a row here.
+    corrupt_rows: HashSet<u64>,
     stats: PipelineStats,
     timing: TimingModel,
+    /// Deterministic fault injector (`None` = nothing injected — the
+    /// common case, with zero overhead on the write path).
+    injector: Option<FaultInjector>,
+    /// Recovery budget for uncorrectable writes (default: none = legacy
+    /// fail-and-count behavior, bit for bit).
+    recovery: RecoveryPolicy,
+    /// Per-bank spare rows + logical→spare remap for retired rows.
+    retire: RetirementPool,
+    /// Recovery-action counters (retries, retirements, refused reads);
+    /// injected-fault counters live in the injector and are merged by
+    /// [`WritePipeline::fault_log`].
+    recovery_log: FaultLog,
 }
 
 impl std::fmt::Debug for WritePipeline {
@@ -236,8 +264,13 @@ impl WritePipeline {
             read_buf: Vec::new(),
             failed_rows: HashSet::new(),
             row_owner: HashMap::new(),
+            corrupt_rows: HashSet::new(),
             stats: PipelineStats::default(),
             timing: TimingModel::new(TimingParams::default()),
+            injector: None,
+            recovery: RecoveryPolicy::none(),
+            retire: RetirementPool::default(),
+            recovery_log: FaultLog::default(),
         }
     }
 
@@ -276,6 +309,42 @@ impl WritePipeline {
     pub fn with_crypt_seed(mut self, seed: u64) -> Self {
         self.encryption = simulation_encryption(seed);
         self
+    }
+
+    /// Attaches a deterministic fault plan (builder form of
+    /// [`WritePipeline::set_fault_plan`]).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Attaches (or clears) a deterministic fault plan. An empty plan
+    /// removes the injector entirely, so the write path is bit-identical
+    /// to a pipeline that never had one.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultInjector::new(plan))
+        };
+    }
+
+    /// Sets the recovery budget for uncorrectable writes (builder form of
+    /// [`WritePipeline::set_recovery`]).
+    #[must_use]
+    pub fn with_recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.set_recovery(policy);
+        self
+    }
+
+    /// Sets the recovery budget for uncorrectable writes and resets the
+    /// retirement pool to the policy's spare allotment. Default:
+    /// [`RecoveryPolicy::none`] — uncorrectable writes fail immediately,
+    /// preserving the legacy behavior bit for bit.
+    pub fn set_recovery(&mut self, policy: RecoveryPolicy) {
+        self.recovery = policy;
+        self.retire = RetirementPool::new(policy.spare_rows_per_bank);
     }
 
     /// Replaces the event-driven timing model's parameters (default:
@@ -334,6 +403,33 @@ impl WritePipeline {
         self.failed_rows.len()
     }
 
+    /// The recovery policy in force.
+    pub fn recovery(&self) -> &RecoveryPolicy {
+        &self.recovery
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.injector.as_ref().map(FaultInjector::plan)
+    }
+
+    /// Number of logical rows retired onto spare rows.
+    pub fn retired_row_count(&self) -> usize {
+        self.retire.retired_rows()
+    }
+
+    /// Combined fault/recovery counters: faults this pipeline's injector
+    /// fired plus every recovery action the pipeline took (also for
+    /// *natural* uncorrectable writes under an active [`RecoveryPolicy`],
+    /// with no injector attached). Mergeable across shards.
+    pub fn fault_log(&self) -> FaultLog {
+        let mut log = self.recovery_log;
+        if let Some(inj) = &self.injector {
+            log.merge(inj.log());
+        }
+        log
+    }
+
     /// Encrypts one plaintext cache line and writes it through the full
     /// pipeline.
     pub fn write_line(&mut self, line_addr: u64, plaintext: &[u64; LINE_WORDS]) -> LineReport {
@@ -375,29 +471,132 @@ impl WritePipeline {
         )
     }
 
-    fn commit(&mut self, row_addr: u64, ciphertext: &[u64]) -> LineReport {
-        let outcome = self.memory.write_line_with(
-            row_addr,
+    /// One programming attempt: encode against the physical row's current
+    /// contents and commit.
+    fn program(&mut self, phys_row: u64, ciphertext: &[u64]) -> LineWriteOutcome {
+        self.memory.write_line_with(
+            phys_row,
             ciphertext,
             self.encoder.as_ref(),
             self.cost.as_ref(),
             &mut self.scratch,
-        );
+        )
+    }
+
+    /// Judge one attempt's residual stuck-at-wrong cells against the
+    /// correction scheme.
+    fn judge(&mut self, outcome: &LineWriteOutcome) -> bool {
         outcome.saw_per_word_into(&mut self.saw_buf);
-        let correctable = self.correction.can_correct(&self.saw_buf);
+        self.correction.can_correct(&self.saw_buf)
+    }
+
+    fn commit(&mut self, row_addr: u64, ciphertext: &[u64]) -> LineReport {
+        // Fault decisions are keyed purely by the logical row and its
+        // per-row write ordinal, so they are shard-invariant (faultsim
+        // crate docs). With no injector this is a no-op.
+        let faults = match self.injector.as_mut() {
+            Some(inj) => inj.on_write(row_addr),
+            None => WriteFaults::default(),
+        };
+        if faults.panic_worker {
+            // Deliberate chaos fault, fired *before* any state mutation:
+            // a supervisor catching this panic quarantines a pipeline whose
+            // state is still exactly the pre-write state, so partial writes
+            // never leak into merged stats.
+            panic!("faultsim: injected worker panic at row {row_addr:#x}");
+        }
+        let mut phys = self.retire.physical_of(row_addr);
+        if faults.stuck_burst {
+            let ppm = self
+                .injector
+                .as_ref()
+                .map_or(0, |inj| inj.plan().burst_cell_ppm);
+            let newly_stuck = self.memory.inject_stuck_burst(phys, ppm, faults.burst_seed);
+            if let Some(inj) = self.injector.as_mut() {
+                inj.log_mut().burst_cells += newly_stuck;
+            }
+        }
+        if faults.kill_row {
+            self.memory.kill_row(phys);
+        }
+
+        let mut outcome = self.program(phys, ciphertext);
+        let mut correctable = self.judge(&outcome);
+        if faults.force_uncorrectable {
+            // A transient judgment fault on this attempt only — retries
+            // re-judge the real residual and may succeed.
+            correctable = false;
+        }
+        let mut latency_cycles = self.timing.record_write(phys);
+        let mut status = WriteStatus::Committed;
+        let mut retries = 0u32;
+
+        if !correctable && !self.recovery.is_none() {
+            // Bounded in-place retries: re-encode against the row's current
+            // stuck state and reprogram, charging backoff + service cycles.
+            if self.recovery.max_retries > 0 {
+                self.recovery_log.retried_lines += 1;
+            }
+            for _ in 0..self.recovery.max_retries {
+                retries += 1;
+                self.recovery_log.retry_attempts += 1;
+                outcome = self.program(phys, ciphertext);
+                correctable = self.judge(&outcome);
+                latency_cycles += self
+                    .timing
+                    .record_retry_write(phys, self.recovery.retry_backoff_cycles);
+                if correctable {
+                    status = WriteStatus::Retried;
+                    break;
+                }
+            }
+            if !correctable && self.recovery.spare_rows_per_bank > 0 {
+                // Retire the row onto a spare of the same bank and rewrite
+                // there. Per-bank allocation order is shard-invariant
+                // because a bank's rows all replay on one shard.
+                let banks = self.timing.params().banks as u64;
+                match self.retire.retire(row_addr, banks) {
+                    Some(spare) => {
+                        phys = spare;
+                        retries += 1;
+                        self.recovery_log.retired_rows += 1;
+                        self.recovery_log.retry_attempts += 1;
+                        outcome = self.program(phys, ciphertext);
+                        correctable = self.judge(&outcome);
+                        latency_cycles += self
+                            .timing
+                            .record_retry_write(phys, self.recovery.retry_backoff_cycles);
+                        if correctable {
+                            status = WriteStatus::Remapped;
+                        }
+                    }
+                    None => self.recovery_log.spares_exhausted += 1,
+                }
+            }
+        }
+        if !correctable {
+            status = WriteStatus::Uncorrectable;
+        }
+
         let newly_failed_row = !correctable && self.failed_rows.insert(row_addr);
+        if correctable {
+            self.corrupt_rows.remove(&row_addr);
+        } else {
+            self.corrupt_rows.insert(row_addr);
+        }
         self.stats.lines_written += 1;
         if !correctable {
             self.stats.uncorrectable_lines += 1;
         }
         self.stats.failed_rows = self.failed_rows.len();
-        let latency_cycles = self.timing.record_write(row_addr);
         LineReport {
             row_addr,
             outcome,
             correctable,
             newly_failed_row,
             latency_cycles,
+            status,
+            retries,
         }
     }
 
@@ -428,7 +627,19 @@ impl WritePipeline {
     /// ([`PcmMemory::read_line_into`]), so steady-state read-back performs no
     /// per-line heap allocation.
     pub fn read_line(&mut self, line_addr: u64) -> Option<[u64; LINE_WORDS]> {
-        self.read_line_timed(line_addr).data
+        self.try_read_line(line_addr).ok()
+    }
+
+    /// The typed variant of [`WritePipeline::read_line`]: distinguishes
+    /// *why* no data came back. A row whose most recent write ended
+    /// uncorrectable answers [`ReadError::Uncorrectable`] instead of
+    /// silently decoding garbage; injected queue-wait timeouts answer
+    /// [`ReadError::Timeout`]; the legacy `None` cases (never written, raw,
+    /// aliased away) answer [`ReadError::NotOwned`]. Refused reads are
+    /// still timed — the array access is scheduled before the controller
+    /// knows the outcome — and counted in [`WritePipeline::fault_log`].
+    pub fn try_read_line(&mut self, line_addr: u64) -> Result<[u64; LINE_WORDS], ReadError> {
+        self.read_line_inner(line_addr).0
     }
 
     /// The timed variant of [`WritePipeline::read_line`]: same data, plus
@@ -439,24 +650,53 @@ impl WritePipeline {
     /// misses and aliased rows pay the same bank occupancy as hits. Reads
     /// have around-write priority: see [`timing::TimingModel::record_read`].
     pub fn read_line_timed(&mut self, line_addr: u64) -> TimedRead {
-        let row_addr = self.memory.config().row_of_byte_addr(line_addr);
-        let latency_cycles = self.timing.record_read(row_addr);
+        let (data, latency_cycles) = self.read_line_inner(line_addr);
         TimedRead {
-            data: self.decode_line(row_addr, line_addr),
+            data: data.ok(),
             latency_cycles,
         }
     }
 
-    fn decode_line(&mut self, row_addr: u64, line_addr: u64) -> Option<[u64; LINE_WORDS]> {
-        if self.row_owner.get(&row_addr) != Some(&line_addr) {
-            return None;
+    fn read_line_inner(&mut self, line_addr: u64) -> (Result<[u64; LINE_WORDS], ReadError>, u64) {
+        let row_addr = self.memory.config().row_of_byte_addr(line_addr);
+        let latency_cycles = self.timing.record_read(row_addr);
+        if self
+            .injector
+            .as_mut()
+            .is_some_and(|inj| inj.on_read(row_addr))
+        {
+            return (Err(ReadError::Timeout { row_addr }), latency_cycles);
         }
-        self.memory.row(row_addr)?;
+        (self.decode_line(row_addr, line_addr), latency_cycles)
+    }
+
+    fn decode_line(
+        &mut self,
+        row_addr: u64,
+        line_addr: u64,
+    ) -> Result<[u64; LINE_WORDS], ReadError> {
+        if self.row_owner.get(&row_addr) != Some(&line_addr) {
+            return Err(ReadError::NotOwned);
+        }
+        if self.corrupt_rows.contains(&row_addr) {
+            // The stored ciphertext is beyond correction capacity: decoding
+            // would silently return corrupted plaintext. Refuse instead.
+            self.recovery_log.read_uncorrectable += 1;
+            return Err(ReadError::Uncorrectable { row_addr });
+        }
+        let phys = self.retire.physical_of(row_addr);
+        if self.memory.row(phys).is_none() {
+            return Err(ReadError::NotOwned);
+        }
         self.memory
-            .read_line_into(row_addr, self.encoder.as_ref(), &mut self.read_buf);
-        let ct: [u64; LINE_WORDS] = self.read_buf.as_slice().try_into().ok()?;
+            .read_line_into(phys, self.encoder.as_ref(), &mut self.read_buf);
+        let ct: [u64; LINE_WORDS] = self
+            .read_buf
+            .as_slice()
+            .try_into()
+            .map_err(|_| ReadError::NotOwned)?;
         let counter = self.encryption.counter(line_addr);
-        Some(self.encryption.decrypt_read(line_addr, counter, &ct))
+        Ok(self.encryption.decrypt_read(line_addr, counter, &ct))
     }
 
     /// Replays a streaming [`TraceSource`] to exhaustion, servicing the
@@ -756,6 +996,113 @@ mod tests {
             WritePipeline::new(tiny_config(), Box::new(Unencoded::new(64))).with_timing(params);
         let report = p.write_line(0, &[0u64; 8]);
         assert_eq!(report.latency_cycles, 5 + params.write_service_cycles());
+    }
+
+    #[test]
+    fn uncorrectable_rows_refuse_reads_instead_of_decoding_garbage() {
+        // Row death on every write + no correction: the stored ciphertext
+        // is corrupt, and the read path must say so instead of silently
+        // decoding garbage (the pre-PR behavior).
+        let plan = FaultPlan::new(3).with_rates(0, 0, 1_000_000, 0);
+        let mut p =
+            WritePipeline::new(tiny_config(), Box::new(Unencoded::new(64))).with_fault_plan(plan);
+        let report = p.write_line(0x40, &[0x5AA5u64; 8]);
+        assert!(!report.correctable);
+        assert_eq!(report.status, WriteStatus::Uncorrectable);
+        assert_eq!(
+            p.try_read_line(0x40),
+            Err(ReadError::Uncorrectable {
+                row_addr: report.row_addr
+            })
+        );
+        assert_eq!(p.read_line(0x40), None);
+        let log = p.fault_log();
+        assert_eq!(log.rows_killed, 1);
+        assert_eq!(log.read_uncorrectable, 2, "both refused reads counted");
+    }
+
+    #[test]
+    fn recovery_remaps_dead_rows_onto_spares_and_reads_back() {
+        // Same dead row, but with the standard recovery budget: the retry
+        // fails in place (the row is frozen), the row retires onto a spare
+        // of the same bank, and the rewrite there succeeds — so the write
+        // ends correctable and reads return the data.
+        let plan = FaultPlan::new(3).with_rates(0, 0, 1_000_000, 0);
+        let mut p = WritePipeline::new(tiny_config(), Box::new(Unencoded::new(64)))
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy::standard());
+        let line = [7u64; 8];
+        let report = p.write_line(0x40, &line);
+        assert!(report.correctable, "remap must rescue the write");
+        assert_eq!(report.status, WriteStatus::Remapped);
+        assert!(
+            report.retries >= 2,
+            "one in-place retry + the spare rewrite"
+        );
+        assert_eq!(p.retired_row_count(), 1);
+        assert_eq!(p.try_read_line(0x40), Ok(line));
+        let log = p.fault_log();
+        assert_eq!(log.retired_rows, 1);
+        assert_eq!(log.retried_lines, 1);
+        assert_eq!(p.stats().uncorrectable_lines, 0);
+        // The retry/backoff cost is charged in the report's latency.
+        let params = *p.timing_params();
+        assert!(
+            report.latency_cycles > params.encoder_cycles + params.write_service_cycles(),
+            "retries must cost cycles"
+        );
+    }
+
+    #[test]
+    fn transient_uncorrectable_outcomes_succeed_on_retry() {
+        // force_uncorrectable fakes the judgment on the first attempt only;
+        // the in-place retry re-judges the real residual and succeeds.
+        let plan = FaultPlan::new(1).with_rates(0, 0, 0, 1_000_000);
+        let mut p = WritePipeline::new(tiny_config(), Box::new(Unencoded::new(64)))
+            .with_fault_plan(plan)
+            .with_recovery(RecoveryPolicy::standard());
+        let report = p.write_line(0x80, &[9u64; 8]);
+        assert!(report.correctable);
+        assert_eq!(report.status, WriteStatus::Retried);
+        assert_eq!(report.retries, 1);
+        assert_eq!(p.retired_row_count(), 0, "no spare needed");
+        assert_eq!(p.fault_log().forced_uncorrectable, 1);
+        assert_eq!(p.stats().uncorrectable_lines, 0);
+    }
+
+    #[test]
+    fn injected_worker_panic_leaves_pipeline_consistent() {
+        let plan = FaultPlan::new(0).with_worker_panic(1, 0);
+        let mut p =
+            WritePipeline::new(tiny_config(), Box::new(Unencoded::new(64))).with_fault_plan(plan);
+        let addr = 64; // row 1
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.write_line(addr, &[1u64; 8]);
+        }));
+        assert!(caught.is_err(), "the scheduled panic must fire");
+        assert_eq!(p.stats().lines_written, 0, "panic fires before mutation");
+        assert_eq!(p.memory_stats().row_writes, 0);
+        // The next write to the row (ordinal 1) is clean and readable.
+        let report = p.write_line(addr, &[2u64; 8]);
+        assert!(report.correctable);
+        assert_eq!(p.read_line(addr), Some([2u64; 8]));
+        assert_eq!(p.fault_log().panics_injected, 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let profile = &workload::spec_like::quick_profiles()[0];
+        let trace = workload::generate_scaled_trace(profile, 4096, 5_000, 21);
+        let mut plain = WritePipeline::new(tiny_config(), Box::new(Vcc::paper_mlc(64)));
+        let mut planned = WritePipeline::new(tiny_config(), Box::new(Vcc::paper_mlc(64)))
+            .with_fault_plan(FaultPlan::new(123))
+            .with_recovery(RecoveryPolicy::none());
+        let a = plain.replay_trace(&trace);
+        let b = planned.replay_trace(&trace);
+        assert_eq!(a, b);
+        assert_eq!(plain.stats(), planned.stats());
+        assert_eq!(plain.timing_stats(), planned.timing_stats());
+        assert!(planned.fault_log().is_empty());
     }
 
     #[test]

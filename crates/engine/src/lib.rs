@@ -105,12 +105,33 @@ pub mod stream;
 
 pub use stream::{StreamSummary, DEFAULT_STREAM_QUEUE_CAPACITY};
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
-use controller::{LineReport, PipelineStats, WritePipeline};
+use controller::{LineReport, PipelineStats, RecoveryPolicy, WritePipeline};
+use faultsim::{FaultLog, FaultPlan};
 use memcrypt::SplitMix64;
 use pcm::MemoryStats;
 use workload::{Trace, TraceShard, WriteBack};
+
+/// Locks a mutex, recovering the data from a poisoned lock. Poisoning only
+/// means another worker panicked while holding the guard; the panicking
+/// shard is quarantined separately, and the protected values (job queues,
+/// result slots) are plain containers safe code cannot leave mid-mutation.
+pub fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Renders a caught panic payload for fault logs and degraded reports.
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
 
 /// Derives the crypt seed of one shard from a base seed with a
 /// SplitMix64-style finalizer.
@@ -252,6 +273,16 @@ pub struct LifetimeSummary {
 pub struct ShardedEngine {
     pub(crate) config: EngineConfig,
     pub(crate) shards: Vec<WritePipeline>,
+    /// Shards quarantined after a (caught) worker panic. A `Vec<bool>`
+    /// indexed by shard id, not a hash set, so iteration order is the shard
+    /// order (DET01).
+    quarantined: Vec<bool>,
+    /// The panic message that quarantined each shard, by shard id.
+    failures: Vec<Option<String>>,
+    /// Admitted trace events dropped because their shard was quarantined
+    /// (events routed to a quarantined shard, plus the in-flight remainder
+    /// of the round that panicked).
+    discarded_events: u64,
 }
 
 impl std::fmt::Debug for ShardedEngine {
@@ -297,7 +328,67 @@ impl ShardedEngine {
                 "every shard must use the same memory configuration"
             );
         }
-        ShardedEngine { config, shards }
+        let n = shards.len();
+        ShardedEngine {
+            config,
+            shards,
+            quarantined: vec![false; n],
+            failures: vec![None; n],
+            discarded_events: 0,
+        }
+    }
+
+    /// Attaches a deterministic fault plan and recovery policy to every
+    /// shard pipeline. All shards share the plan; device-fault decisions
+    /// are keyed by `(row, per-row ordinal)`, so the same faults fire at
+    /// any shard count (see the `faultsim` crate docs).
+    pub fn inject_faults(&mut self, plan: &FaultPlan, recovery: RecoveryPolicy) {
+        for p in &mut self.shards {
+            p.set_fault_plan(plan.clone());
+            p.set_recovery(recovery);
+        }
+    }
+
+    /// Merged fault/recovery counters across all shards (order-independent
+    /// integer sums).
+    pub fn fault_log(&self) -> FaultLog {
+        let mut total = FaultLog::default();
+        for p in &self.shards {
+            total.merge(&p.fault_log());
+        }
+        total
+    }
+
+    /// Total logical rows retired onto spare rows across all shards.
+    pub fn retired_row_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(WritePipeline::retired_row_count)
+            .sum()
+    }
+
+    /// Shard ids currently quarantined after a caught worker panic.
+    pub fn quarantined_shards(&self) -> Vec<usize> {
+        (0..self.quarantined.len())
+            .filter(|&i| self.quarantined[i])
+            .collect()
+    }
+
+    /// The panic message that quarantined `shard`, if it is quarantined.
+    pub fn shard_failure(&self, shard: usize) -> Option<&str> {
+        self.failures.get(shard)?.as_deref()
+    }
+
+    /// Admitted trace events dropped because their shard was quarantined.
+    /// The accounting invariant `admitted == executed + discarded` holds
+    /// for every replay: `stats().lines_written` counts the executed side.
+    pub fn discarded_events(&self) -> u64 {
+        self.discarded_events
+    }
+
+    /// True when any shard is quarantined.
+    pub fn is_degraded(&self) -> bool {
+        self.quarantined.iter().any(|&q| q)
     }
 
     /// The engine configuration.
@@ -457,7 +548,7 @@ impl ShardedEngine {
                 }
                 events
             });
-            for events in round_events {
+            for events in round_events.into_iter().flatten() {
                 ordinals.extend(events);
             }
             rounds += 1;
@@ -485,59 +576,108 @@ impl ShardedEngine {
     /// Runs one closure per shard across the worker pool and returns the
     /// per-shard results in shard order. Shards are independent, so the
     /// schedule (and thread count) cannot affect any result.
-    fn run_shards<T, F>(&mut self, parts: &[TraceShard], run: F) -> Vec<T>
+    ///
+    /// Workers are *supervised*: a panic inside `run` (injected by a fault
+    /// plan, or any bug) is caught, the shard is quarantined with its panic
+    /// message, its unexecuted events are counted as discarded, and every
+    /// other shard keeps running — the process never dies and healthy
+    /// shards' results stay bit-identical. Quarantined shards are skipped
+    /// (returning `None`) on this and all later runs.
+    ///
+    /// Discard accounting uses the shard's `lines_written` delta, which is
+    /// exact for the replay closures (one line write per trace event).
+    fn run_shards<T, F>(&mut self, parts: &[TraceShard], run: F) -> Vec<Option<T>>
     where
         T: Send,
         F: Fn(&mut WritePipeline, &TraceShard) -> T + Sync,
     {
         assert_eq!(parts.len(), self.shards.len(), "one work queue per shard");
         let threads = self.config.effective_threads();
-        if threads <= 1 {
-            return self
-                .shards
-                .iter_mut()
-                .zip(parts)
-                .map(|(p, shard)| run(p, shard))
-                .collect();
+
+        // Events routed to already-quarantined shards are discarded up
+        // front; those shards get no job this round.
+        for (i, part) in parts.iter().enumerate() {
+            if self.quarantined[i] {
+                self.discarded_events += part.len() as u64;
+            }
         }
-        let queue: Mutex<Vec<(usize, &mut WritePipeline, &TraceShard)>> = Mutex::new(
+
+        /// What one shard job produced.
+        enum JobOutcome<T> {
+            Done(T),
+            Panicked { message: String, executed: u64 },
+        }
+
+        let supervise = |pipeline: &mut WritePipeline, shard: &TraceShard| -> JobOutcome<T> {
+            let before = pipeline.stats().lines_written;
+            match catch_unwind(AssertUnwindSafe(|| run(pipeline, shard))) {
+                Ok(value) => JobOutcome::Done(value),
+                Err(payload) => JobOutcome::Panicked {
+                    message: panic_message(payload),
+                    executed: pipeline.stats().lines_written - before,
+                },
+            }
+        };
+
+        let quarantined = &self.quarantined;
+        let outcomes: Vec<Option<JobOutcome<T>>> = if threads <= 1 {
             self.shards
                 .iter_mut()
                 .zip(parts)
                 .enumerate()
-                .map(|(i, (p, shard))| (i, p, shard))
-                .collect(),
-        );
-        let results: Vec<Mutex<Option<T>>> = parts.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    loop {
-                        // Pop one shard job; drop the lock before running it.
-                        // PANIC-OK: a poisoned queue lock means another
-                        // worker already panicked; propagating is correct.
-                        let job = queue.lock().unwrap().pop();
+                .map(|(i, (p, shard))| (!quarantined[i]).then(|| supervise(p, shard)))
+                .collect()
+        } else {
+            let queue: Mutex<Vec<(usize, &mut WritePipeline, &TraceShard)>> = Mutex::new(
+                self.shards
+                    .iter_mut()
+                    .zip(parts)
+                    .enumerate()
+                    .filter(|(i, _)| !quarantined[*i])
+                    .map(|(i, (p, shard))| (i, p, shard))
+                    .collect(),
+            );
+            let results: Vec<Mutex<Option<JobOutcome<T>>>> =
+                parts.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        // Pop one shard job; drop the lock before running
+                        // it. Panics inside jobs are caught by `supervise`,
+                        // so the queue lock is never poisoned by normal
+                        // chaos; `relock` recovers it even if it were.
+                        let job = relock(&queue).pop();
                         match job {
                             Some((i, pipeline, shard)) => {
-                                // PANIC-OK: result slots are only poisoned
-                                // if a worker panicked; propagate.
-                                *results[i].lock().unwrap() = Some(run(pipeline, shard));
+                                *relock(&results[i]) = Some(supervise(pipeline, shard));
                             }
                             None => break,
                         }
-                    }
-                });
-            }
-        });
-        results
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                })
+                .collect()
+        };
+
+        outcomes
             .into_iter()
-            .map(|slot| {
-                // PANIC-OK: the thread scope has joined every worker, so a
-                // poisoned or empty slot can only follow a worker panic —
-                // abort loudly rather than merge partial stats.
-                slot.into_inner()
-                    .unwrap()
-                    .expect("every shard job ran to completion")
+            .zip(parts)
+            .enumerate()
+            .map(|(i, (outcome, part))| match outcome {
+                Some(JobOutcome::Done(value)) => Some(value),
+                Some(JobOutcome::Panicked { message, executed }) => {
+                    self.quarantined[i] = true;
+                    self.failures[i] = Some(message);
+                    self.discarded_events += (part.len() as u64).saturating_sub(executed);
+                    None
+                }
+                None => None,
             })
             .collect()
     }

@@ -43,13 +43,23 @@
 //! though never deadlock or reorder — another shard's reads.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 use pcm::PcmConfig;
 use workload::{LineData, MemoryReader, TraceSource, WriteBack};
 
-use crate::ShardedEngine;
+use crate::{panic_message, relock, ShardedEngine};
+
+/// Continues a condvar wait even when the lock was poisoned by an
+/// unwinding thread: the queue/reply state is a plain value that is
+/// consistent at every mutation boundary, so it stays safe to use (the
+/// lock-free analogue of [`crate::relock`]).
+fn rewait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Default bound on each shard's in-flight event queue (events, not bytes;
 /// a [`WriteBack`] is 72 bytes, so the default is ~288 KiB per shard).
@@ -82,6 +92,13 @@ pub struct StreamSummary {
     pub write_p99_cycles: u64,
     /// Nearest-rank p99.9 write latency in cycles (see `write_p50_cycles`).
     pub write_p999_cycles: u64,
+    /// Events admitted to a shard queue but discarded because the shard was
+    /// quarantined (its worker panicked mid-stream, or it entered the
+    /// replay already quarantined). Always zero without fault injection.
+    pub events_discarded: u64,
+    /// Shards quarantined by the end of this replay (including shards that
+    /// entered it already quarantined).
+    pub shards_quarantined: u32,
 }
 
 /// One command in a shard's work queue: either a write-back to commit or a
@@ -151,12 +168,12 @@ impl BoundedQueue {
     ///
     /// # Panics
     ///
-    /// Panics if the consuming worker died (its own panic is re-raised when
-    /// the thread scope joins; this turns what would be a silent producer
-    /// deadlock into a failure).
+    /// Panics if the consuming worker *thread* died without draining — a
+    /// last-resort fail-fast for infrastructure bugs only. Pipeline panics
+    /// (including injected ones) are caught inside the worker, which keeps
+    /// draining its queue, so this path is unreachable under chaos plans.
     fn push(&self, cmd: ShardCmd, gauge: &InFlightGauge) {
-        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-        let mut st = self.state.lock().unwrap();
+        let mut st = relock(&self.state);
         loop {
             assert!(
                 !st.consumer_gone,
@@ -165,8 +182,7 @@ impl BoundedQueue {
             if st.items.len() < self.capacity {
                 break;
             }
-            // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-            st = self.not_full.wait(st).unwrap();
+            st = rewait(&self.not_full, st);
         }
         st.items.push_back(cmd);
         gauge.inc();
@@ -177,8 +193,7 @@ impl BoundedQueue {
     /// Blocks until a command is available; `None` once the queue is closed
     /// and drained.
     fn pop(&self, gauge: &InFlightGauge) -> Option<ShardCmd> {
-        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-        let mut st = self.state.lock().unwrap();
+        let mut st = relock(&self.state);
         loop {
             if let Some(cmd) = st.items.pop_front() {
                 gauge.dec();
@@ -189,20 +204,17 @@ impl BoundedQueue {
             if st.closed {
                 return None;
             }
-            // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-            st = self.not_empty.wait(st).unwrap();
+            st = rewait(&self.not_empty, st);
         }
     }
 
     fn close(&self) {
-        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-        self.state.lock().unwrap().closed = true;
+        relock(&self.state).closed = true;
         self.not_empty.notify_all();
     }
 
     fn mark_consumer_gone(&self) {
-        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-        self.state.lock().unwrap().consumer_gone = true;
+        relock(&self.state).consumer_gone = true;
         self.not_full.notify_all();
     }
 }
@@ -231,22 +243,20 @@ impl ReplySlot {
     }
 
     fn put(&self, value: Option<LineData>) {
-        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-        self.slot.lock().unwrap().value = Some(value);
+        relock(&self.slot).value = Some(value);
         self.ready.notify_one();
     }
 
     /// Marks the slot dead so a producer waiting for an answer fails fast
-    /// instead of blocking forever (used when a worker panics).
+    /// instead of blocking forever (last-resort, used only when a worker
+    /// *thread* dies outside the supervised command loop).
     fn poison(&self) {
-        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-        self.slot.lock().unwrap().poisoned = true;
+        relock(&self.slot).poisoned = true;
         self.ready.notify_all();
     }
 
     fn take(&self) -> Option<LineData> {
-        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-        let mut st = self.slot.lock().unwrap();
+        let mut st = relock(&self.slot);
         loop {
             if let Some(value) = st.value.take() {
                 return value;
@@ -255,8 +265,7 @@ impl ReplySlot {
                 !st.poisoned,
                 "shard worker terminated while a fill read was pending"
             );
-            // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-            st = self.ready.wait(st).unwrap();
+            st = rewait(&self.ready, st);
         }
     }
 }
@@ -332,24 +341,68 @@ impl ShardedEngine {
             .collect();
         let reply = ReplySlot::new();
 
+        /// What one supervised worker reports back after draining.
+        struct WorkerOutcome {
+            /// Message of the first caught pipeline panic, if any.
+            failure: Option<String>,
+            /// Writes discarded while the shard was quarantined (including
+            /// the write whose commit panicked — it never landed).
+            discarded: u64,
+        }
+
+        let pre_quarantined: Vec<bool> = self.quarantined.clone();
+        let outcomes: Vec<Mutex<Option<WorkerOutcome>>> =
+            (0..self.config.shards).map(|_| Mutex::new(None)).collect();
+
         let gauge = InFlightGauge::default();
         let mut events = 0u64;
         let mut memory_fills = 0u64;
         std::thread::scope(|scope| {
-            for (pipeline, queue) in self.shards.iter_mut().zip(&queues) {
+            for (i, (pipeline, queue)) in self.shards.iter_mut().zip(&queues).enumerate() {
                 let (reply, gauge) = (&reply, &gauge);
+                let (dead_at_entry, outcome_slot) = (pre_quarantined[i], &outcomes[i]);
                 scope.spawn(move || {
                     let _guard = WorkerPanicGuard { queue, reply };
+                    // Supervision: a pipeline panic (injected or real)
+                    // quarantines this shard, but the worker keeps
+                    // draining — discarding writes and answering reads
+                    // with `None` — so the producer never blocks and the
+                    // stream always runs to completion.
+                    let mut dead = dead_at_entry;
+                    let mut failure = None;
+                    let mut discarded = 0u64;
                     while let Some(cmd) = queue.pop(gauge) {
                         match cmd {
                             ShardCmd::Write(wb) => {
-                                pipeline.write_back(&wb);
+                                let committed = !dead
+                                    && catch_unwind(AssertUnwindSafe(|| {
+                                        pipeline.write_back(&wb);
+                                    }))
+                                    .map_err(|payload| {
+                                        dead = true;
+                                        failure = Some(panic_message(payload));
+                                    })
+                                    .is_ok();
+                                if !committed {
+                                    discarded += 1;
+                                }
                             }
                             ShardCmd::Read(line_addr) => {
-                                reply.put(pipeline.read_line(line_addr));
+                                let answer = if dead {
+                                    None
+                                } else {
+                                    catch_unwind(AssertUnwindSafe(|| pipeline.read_line(line_addr)))
+                                        .unwrap_or_else(|payload| {
+                                            dead = true;
+                                            failure = Some(panic_message(payload));
+                                            None
+                                        })
+                                };
+                                reply.put(answer);
                             }
                         }
                     }
+                    *relock(outcome_slot) = Some(WorkerOutcome { failure, discarded });
                 });
             }
 
@@ -380,6 +433,20 @@ impl ShardedEngine {
             memory_fills = reader.memory_fills;
         });
 
+        // Fold the workers' supervision reports back into the engine's
+        // degraded-state bookkeeping.
+        let mut events_discarded = 0u64;
+        for (i, slot) in outcomes.iter().enumerate() {
+            if let Some(outcome) = relock(slot).take() {
+                if let Some(message) = outcome.failure {
+                    self.quarantined[i] = true;
+                    self.failures[i] = Some(message);
+                }
+                events_discarded += outcome.discarded;
+                self.discarded_events += outcome.discarded;
+            }
+        }
+
         // The latency percentiles come off the quiesced shards' merged
         // integer histograms — the same numbers a sequential replay
         // produces whenever the shard count divides the bank count (see
@@ -393,6 +460,8 @@ impl ShardedEngine {
             write_p50_cycles: writes.percentile_permille(500),
             write_p99_cycles: writes.percentile_permille(990),
             write_p999_cycles: writes.percentile_permille(999),
+            events_discarded,
+            shards_quarantined: self.quarantined.iter().filter(|&&q| q).count() as u32,
         }
     }
 }

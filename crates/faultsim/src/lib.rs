@@ -1,0 +1,399 @@
+//! Seeded, deterministic fault injection for the VCC reproduction stack.
+//!
+//! The source paper is about surviving device faults; this crate gives the
+//! *system* layers (controller, engine, service) a first-class failure model
+//! to rehearse against. A [`FaultPlan`] is a pure value describing which
+//! faults exist and at what rates; a [`FaultInjector`] turns the plan into
+//! concrete per-event decisions. Every decision is a pure hash of
+//! `(seed, fault kind, row address, per-row event ordinal)` — never of wall
+//! clock, thread identity, or shard id — so a chaos run replays exactly from
+//! its seed, and the same plan produces the *same* device faults no matter
+//! how many shards execute the trace.
+//!
+//! # Shard invariance
+//!
+//! The sharded engine routes a row's every access to one shard
+//! (`row % shards`) and preserves source order within a shard, so the
+//! per-row write ordinal a given write observes is identical at any shard
+//! count. Device-fault decisions keyed by `(row, ordinal)` therefore fire on
+//! exactly the same writes whether one shard or eight replay the trace —
+//! that is the whole determinism argument, spelled out in `docs/FAULTS.md`.
+//!
+//! Process-level faults (worker panics, stream errors) quarantine a whole
+//! shard or tenant lane, and shard granularity obviously differs between
+//! shard counts; those faults instead carry an accounting contract
+//! (`admitted == executed + discarded`) enforced by the chaos suites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use memcrypt::SplitMix64;
+
+mod plan;
+
+pub use plan::{FaultPlan, PanicAt, StreamErrorAt};
+
+/// Domain tags keeping each fault kind's hash stream independent.
+mod tag {
+    pub const STUCK_BURST: u64 = 0x5342_5253_5401_0001;
+    pub const ROW_DEATH: u64 = 0x5342_5253_5401_0002;
+    pub const UNCORRECTABLE: u64 = 0x5342_5253_5401_0003;
+    pub const READ_TIMEOUT: u64 = 0x5342_5253_5401_0004;
+    pub const BURST_SEED: u64 = 0x5342_5253_5401_0005;
+    pub const TENANT: u64 = 0x5342_5253_5401_0006;
+}
+
+/// One part-per-million probability unit: rates in [`FaultPlan`] are
+/// expressed as events per million opportunities.
+pub const PPM: u64 = 1_000_000;
+
+/// Hash `(seed, tag, row, ordinal)` into a uniform `u64`.
+///
+/// Mirrors the `pcm::fault` idiom: independent SplitMix64 finalizer passes
+/// over each component, combined by XOR, finalized once more. The `+ 1`
+/// offsets keep zero-valued components from collapsing into each other.
+fn decision_hash(seed: u64, tag: u64, row_addr: u64, ordinal: u64) -> u64 {
+    SplitMix64::mix(
+        seed ^ SplitMix64::mix(tag)
+            ^ SplitMix64::mix(row_addr.wrapping_add(1))
+            ^ SplitMix64::mix(ordinal.wrapping_add(1)),
+    )
+}
+
+/// Does the event at `(row, ordinal)` draw a fault at `rate_ppm`?
+fn fires(seed: u64, tag: u64, row_addr: u64, ordinal: u64, rate_ppm: u64) -> bool {
+    rate_ppm > 0 && decision_hash(seed, tag, row_addr, ordinal) % PPM < rate_ppm
+}
+
+/// The device/process faults a single write should experience, as decided by
+/// [`FaultInjector::on_write`]. `Default` is the no-fault decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteFaults {
+    /// Inject a burst of freshly stuck cells into the target row before
+    /// programming (mid-run stuck-at-incidence ramp).
+    pub stuck_burst: bool,
+    /// Seed for sampling *which* cells the burst sticks (valid only when
+    /// `stuck_burst` is set).
+    pub burst_seed: u64,
+    /// Kill the row outright: every cell freezes at its current symbol.
+    pub kill_row: bool,
+    /// Force this write to report uncorrectable regardless of the encoded
+    /// outcome (a transient judgment fault — retries may still succeed).
+    pub force_uncorrectable: bool,
+    /// Panic the executing worker *before* any state mutation, exercising
+    /// the supervision/quarantine path.
+    pub panic_worker: bool,
+}
+
+impl WriteFaults {
+    /// True when no fault fires on this write.
+    pub fn is_clean(&self) -> bool {
+        !(self.stuck_burst || self.kill_row || self.force_uncorrectable || self.panic_worker)
+    }
+}
+
+/// Mergeable counters describing every fault injected and every recovery
+/// action taken. Lives beside (not inside) `PipelineStats` so the legacy
+/// stats JSON schema is untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    /// Stuck-cell bursts injected into rows.
+    pub stuck_bursts: u64,
+    /// Individual cells newly stuck by bursts.
+    pub burst_cells: u64,
+    /// Rows killed outright (every cell frozen).
+    pub rows_killed: u64,
+    /// Writes whose outcome was forced uncorrectable.
+    pub forced_uncorrectable: u64,
+    /// Worker panics injected.
+    pub panics_injected: u64,
+    /// Reads that drew an injected queue-wait timeout.
+    pub read_timeouts: u64,
+    /// Lines that went through at least one in-place retry.
+    pub retried_lines: u64,
+    /// Total retry attempts issued (bounded by the recovery policy).
+    pub retry_attempts: u64,
+    /// Rows retired onto spares from the per-bank retirement pool.
+    pub retired_rows: u64,
+    /// Retirement requests that found the target bank's spare pool empty.
+    pub spares_exhausted: u64,
+    /// Reads refused with `ReadError::Uncorrectable` instead of returning
+    /// silently corrupted data.
+    pub read_uncorrectable: u64,
+}
+
+impl FaultLog {
+    /// Accumulate `other` into `self`. Pure integer sums, so merging is
+    /// associative and commutative — shard merge order cannot matter.
+    pub fn merge(&mut self, other: &FaultLog) {
+        self.stuck_bursts += other.stuck_bursts;
+        self.burst_cells += other.burst_cells;
+        self.rows_killed += other.rows_killed;
+        self.forced_uncorrectable += other.forced_uncorrectable;
+        self.panics_injected += other.panics_injected;
+        self.read_timeouts += other.read_timeouts;
+        self.retried_lines += other.retried_lines;
+        self.retry_attempts += other.retry_attempts;
+        self.retired_rows += other.retired_rows;
+        self.spares_exhausted += other.spares_exhausted;
+        self.read_uncorrectable += other.read_uncorrectable;
+    }
+
+    /// True when nothing was injected and no recovery action ran.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultLog::default()
+    }
+
+    /// Serialize for reports and snapshots.
+    pub fn to_json(&self) -> serde::json::Value {
+        use serde::json::Value;
+        Value::object()
+            .with("stuck_bursts", Value::UInt(self.stuck_bursts))
+            .with("burst_cells", Value::UInt(self.burst_cells))
+            .with("rows_killed", Value::UInt(self.rows_killed))
+            .with(
+                "forced_uncorrectable",
+                Value::UInt(self.forced_uncorrectable),
+            )
+            .with("panics_injected", Value::UInt(self.panics_injected))
+            .with("read_timeouts", Value::UInt(self.read_timeouts))
+            .with("retried_lines", Value::UInt(self.retried_lines))
+            .with("retry_attempts", Value::UInt(self.retry_attempts))
+            .with("retired_rows", Value::UInt(self.retired_rows))
+            .with("spares_exhausted", Value::UInt(self.spares_exhausted))
+            .with("read_uncorrectable", Value::UInt(self.read_uncorrectable))
+    }
+}
+
+/// Per-pipeline fault decision engine.
+///
+/// Holds the plan plus per-row event ordinals. Because the engine routes all
+/// of a row's traffic to one shard in source order, each pipeline observes
+/// the globally correct ordinal sequence for the rows it owns — no
+/// cross-shard coordination needed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// Per-row write counters (how many writes this row has seen).
+    /// HashMap is fine under DET01: only point lookups, never iterated.
+    write_ordinals: std::collections::HashMap<u64, u64>,
+    /// Per-row read counters.
+    read_ordinals: std::collections::HashMap<u64, u64>,
+    log: FaultLog,
+}
+
+impl FaultInjector {
+    /// Build an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            write_ordinals: std::collections::HashMap::new(),
+            read_ordinals: std::collections::HashMap::new(),
+            log: FaultLog::default(),
+        }
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters for faults injected so far (recovery counters are charged
+    /// by the controller via [`FaultInjector::log_mut`]).
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Mutable access for layers that charge recovery actions (retries,
+    /// retirements) to the same log.
+    pub fn log_mut(&mut self) -> &mut FaultLog {
+        &mut self.log
+    }
+
+    /// Decide the faults for the next write to `row_addr` and advance the
+    /// row's write ordinal. Injection bookkeeping (counters) is recorded
+    /// here; the caller applies the physical effects.
+    pub fn on_write(&mut self, row_addr: u64) -> WriteFaults {
+        let counter = self.write_ordinals.entry(row_addr).or_insert(0);
+        let ordinal = *counter;
+        *counter += 1;
+        let seed = self.plan.seed;
+        let mut f = WriteFaults {
+            stuck_burst: fires(
+                seed,
+                tag::STUCK_BURST,
+                row_addr,
+                ordinal,
+                self.plan.stuck_burst_ppm,
+            ),
+            burst_seed: 0,
+            kill_row: fires(
+                seed,
+                tag::ROW_DEATH,
+                row_addr,
+                ordinal,
+                self.plan.row_death_ppm,
+            ),
+            force_uncorrectable: fires(
+                seed,
+                tag::UNCORRECTABLE,
+                row_addr,
+                ordinal,
+                self.plan.uncorrectable_ppm,
+            ),
+            panic_worker: self
+                .plan
+                .worker_panics
+                .iter()
+                .any(|p| p.row_addr == row_addr && p.ordinal == ordinal),
+        };
+        if f.stuck_burst {
+            f.burst_seed = decision_hash(seed, tag::BURST_SEED, row_addr, ordinal);
+            self.log.stuck_bursts += 1;
+        }
+        if f.kill_row {
+            self.log.rows_killed += 1;
+        }
+        if f.force_uncorrectable {
+            self.log.forced_uncorrectable += 1;
+        }
+        if f.panic_worker {
+            self.log.panics_injected += 1;
+        }
+        f
+    }
+
+    /// Decide whether the next read of `row_addr` draws an injected
+    /// queue-wait timeout, advancing the row's read ordinal.
+    pub fn on_read(&mut self, row_addr: u64) -> bool {
+        let counter = self.read_ordinals.entry(row_addr).or_insert(0);
+        let ordinal = *counter;
+        *counter += 1;
+        let timeout = fires(
+            self.plan.seed,
+            tag::READ_TIMEOUT,
+            row_addr,
+            ordinal,
+            self.plan.read_timeout_ppm,
+        );
+        if timeout {
+            self.log.read_timeouts += 1;
+        }
+        timeout
+    }
+}
+
+/// Derive the per-tenant variant of a plan: same rates and schedule shape,
+/// independent decision stream per tenant. All shards of one tenant share
+/// the derived seed, preserving shard invariance within the tenant.
+pub fn tenant_plan(base: &FaultPlan, tenant: usize) -> FaultPlan {
+    let mut plan = base.clone();
+    plan.seed = SplitMix64::mix(base.seed ^ SplitMix64::mix(tag::TENANT ^ tenant as u64));
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let mut inj = FaultInjector::new(FaultPlan::default());
+        for row in 0..256u64 {
+            assert!(inj.on_write(row).is_clean());
+            assert!(!inj.on_read(row));
+        }
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn decisions_replay_from_seed() {
+        let plan = FaultPlan::chaos(7);
+        let run = |rows: &[u64]| {
+            let mut inj = FaultInjector::new(plan.clone());
+            rows.iter().map(|&r| inj.on_write(r)).collect::<Vec<_>>()
+        };
+        let rows: Vec<u64> = (0..512).map(|i| (i * 37) % 64).collect();
+        assert_eq!(run(&rows), run(&rows));
+    }
+
+    #[test]
+    fn decisions_are_shard_invariant() {
+        // Split the row stream by row % shards (the engine's routing) and
+        // interleave the shards in an arbitrary order: every row still sees
+        // its faults at the same per-row ordinals.
+        let plan = FaultPlan::chaos(42).with_rates(200_000, 50_000, 100_000, 80_000);
+        let rows: Vec<u64> = (0..2048).map(|i| (i * 131) % 96).collect();
+
+        let mut reference = FaultInjector::new(plan.clone());
+        let mut expected: Vec<(u64, WriteFaults)> =
+            rows.iter().map(|&r| (r, reference.on_write(r))).collect();
+        expected.sort_by_key(|&(r, _)| r);
+
+        for shards in [2usize, 8] {
+            let mut parts: Vec<Vec<u64>> = vec![Vec::new(); shards];
+            for &r in &rows {
+                parts[(r % shards as u64) as usize].push(r);
+            }
+            let mut injectors: Vec<FaultInjector> = (0..shards)
+                .map(|_| FaultInjector::new(plan.clone()))
+                .collect();
+            let mut got: Vec<(u64, WriteFaults)> = Vec::new();
+            // Drain shards round-robin — an interleaving no sequential run
+            // would produce — to show only per-row order matters.
+            let mut idx = vec![0usize; shards];
+            let mut remaining = rows.len();
+            let mut s = 0;
+            while remaining > 0 {
+                if idx[s] < parts[s].len() {
+                    let r = parts[s][idx[s]];
+                    idx[s] += 1;
+                    remaining -= 1;
+                    got.push((r, injectors[s].on_write(r)));
+                }
+                s = (s + 1) % shards;
+            }
+            got.sort_by_key(|&(r, _)| r);
+            assert_eq!(got, expected, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn rates_scale_roughly_with_ppm() {
+        let plan = FaultPlan::new(3).with_rates(100_000, 0, 0, 0);
+        let mut inj = FaultInjector::new(plan);
+        let fired = (0..10_000u64)
+            .filter(|&r| inj.on_write(r).stuck_burst)
+            .count();
+        // 10% nominal; allow a generous deterministic band.
+        assert!((700..1300).contains(&fired), "fired={fired}");
+    }
+
+    #[test]
+    fn tenant_plans_are_independent_but_deterministic() {
+        let base = FaultPlan::chaos(9);
+        assert_eq!(tenant_plan(&base, 0), tenant_plan(&base, 0));
+        assert_ne!(tenant_plan(&base, 0).seed, tenant_plan(&base, 1).seed);
+    }
+
+    #[test]
+    fn fault_log_merge_sums_fields() {
+        let mut a = FaultLog {
+            stuck_bursts: 1,
+            retired_rows: 2,
+            ..FaultLog::default()
+        };
+        let b = FaultLog {
+            stuck_bursts: 3,
+            read_uncorrectable: 5,
+            ..FaultLog::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.stuck_bursts, 4);
+        assert_eq!(a.retired_rows, 2);
+        assert_eq!(a.read_uncorrectable, 5);
+        assert!(!a.is_empty());
+        assert!(FaultLog::default().is_empty());
+    }
+}

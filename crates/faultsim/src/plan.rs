@@ -1,0 +1,153 @@
+//! The [`FaultPlan`] value type: a pure, cloneable description of a chaos
+//! scenario. Plans carry no state — all per-run bookkeeping lives in the
+//! [`FaultInjector`](crate::FaultInjector).
+
+/// An injected worker panic, scheduled by logical position: the write that
+/// is the `ordinal`-th write to `row_addr` (0-based) panics its worker
+/// before mutating any state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicAt {
+    /// Target row address (post-sharding rows map to exactly one worker).
+    pub row_addr: u64,
+    /// 0-based per-row write ordinal that triggers the panic.
+    pub ordinal: u64,
+}
+
+/// An injected per-tenant stream error: the tenant's producer aborts its
+/// source after admitting exactly `after_events` events, then closes its
+/// lanes normally so the drain contract still holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamErrorAt {
+    /// Tenant index within the service.
+    pub tenant: usize,
+    /// Number of events admitted before the stream errors out.
+    pub after_events: u64,
+}
+
+/// A seeded description of which faults exist and at what rates.
+///
+/// Rate fields are parts-per-million per opportunity (one write or one
+/// read). The default plan is empty: every rate zero, no scheduled panics
+/// or stream errors — and the whole stack behaves bit-identically to a
+/// build with no injector attached.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Root seed; every decision hashes this with the fault kind and the
+    /// event's logical position.
+    pub seed: u64,
+    /// Per-write probability (ppm) of a stuck-cell burst hitting the row.
+    pub stuck_burst_ppm: u64,
+    /// Per-cell probability (ppm) that a burst sticks each cell of the row.
+    pub burst_cell_ppm: u64,
+    /// Per-write probability (ppm) of outright row death.
+    pub row_death_ppm: u64,
+    /// Per-write probability (ppm) of a forced-uncorrectable outcome.
+    pub uncorrectable_ppm: u64,
+    /// Per-read probability (ppm) of an injected queue-wait timeout.
+    pub read_timeout_ppm: u64,
+    /// Scheduled worker panics by logical position.
+    pub worker_panics: Vec<PanicAt>,
+    /// Scheduled per-tenant stream errors (service layer only).
+    pub stream_errors: Vec<StreamErrorAt>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed: injects nothing until rates or
+    /// schedules are added.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A moderately hostile preset used by the chaos suites: all device
+    /// fault kinds active at rates high enough to fire on small traces.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed).with_rates(50_000, 20_000, 5_000, 30_000)
+    }
+
+    /// Set the device-fault rates (all ppm): stuck bursts per write, burst
+    /// coverage per cell, row death per write, forced uncorrectable per
+    /// write. Builder-style.
+    pub fn with_rates(
+        mut self,
+        stuck_burst_ppm: u64,
+        burst_cell_ppm: u64,
+        row_death_ppm: u64,
+        uncorrectable_ppm: u64,
+    ) -> FaultPlan {
+        self.stuck_burst_ppm = stuck_burst_ppm;
+        self.burst_cell_ppm = burst_cell_ppm;
+        self.row_death_ppm = row_death_ppm;
+        self.uncorrectable_ppm = uncorrectable_ppm;
+        self
+    }
+
+    /// Set the injected read-timeout rate (ppm). Builder-style.
+    pub fn with_read_timeouts(mut self, ppm: u64) -> FaultPlan {
+        self.read_timeout_ppm = ppm;
+        self
+    }
+
+    /// Schedule a worker panic at the `ordinal`-th write to `row_addr`.
+    pub fn with_worker_panic(mut self, row_addr: u64, ordinal: u64) -> FaultPlan {
+        self.worker_panics.push(PanicAt { row_addr, ordinal });
+        self
+    }
+
+    /// Schedule tenant `tenant`'s stream to error after `after_events`
+    /// admitted events.
+    pub fn with_stream_error(mut self, tenant: usize, after_events: u64) -> FaultPlan {
+        self.stream_errors.push(StreamErrorAt {
+            tenant,
+            after_events,
+        });
+        self
+    }
+
+    /// True when the plan can never inject anything: all rates zero and no
+    /// scheduled panics or stream errors (the seed is irrelevant then).
+    pub fn is_empty(&self) -> bool {
+        self.stuck_burst_ppm == 0
+            && self.row_death_ppm == 0
+            && self.uncorrectable_ppm == 0
+            && self.read_timeout_ppm == 0
+            && self.worker_panics.is_empty()
+            && self.stream_errors.is_empty()
+    }
+
+    /// The scheduled stream-error cutoff for `tenant`, if any (earliest
+    /// wins when several are scheduled for one tenant).
+    pub fn stream_error_for(&self, tenant: usize) -> Option<u64> {
+        self.stream_errors
+            .iter()
+            .filter(|e| e.tenant == tenant)
+            .map(|e| e.after_events)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(FaultPlan::new(1234).is_empty());
+        assert!(!FaultPlan::chaos(1).is_empty());
+        assert!(!FaultPlan::new(0).with_worker_panic(3, 0).is_empty());
+    }
+
+    #[test]
+    fn stream_error_picks_earliest_cutoff() {
+        let plan = FaultPlan::new(0)
+            .with_stream_error(1, 500)
+            .with_stream_error(1, 200)
+            .with_stream_error(2, 9);
+        assert_eq!(plan.stream_error_for(0), None);
+        assert_eq!(plan.stream_error_for(1), Some(200));
+        assert_eq!(plan.stream_error_for(2), Some(9));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property suite over random small fault plans: injector decisions depend
+//! only on `(seed, row, per-row ordinal)`, never on how the event stream is
+//! partitioned — the foundation of the chaos suites' shard-invariance
+//! contract (see `docs/FAULTS.md`).
+
+use faultsim::{FaultInjector, FaultPlan, WriteFaults};
+use proptest::prelude::*;
+
+/// Replay `rows` through one injector, tagging each decision with its row.
+fn sequential(plan: &FaultPlan, rows: &[u64]) -> Vec<(u64, WriteFaults)> {
+    let mut inj = FaultInjector::new(plan.clone());
+    rows.iter().map(|&r| (r, inj.on_write(r))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Splitting the stream by `row % shards` (the engine's routing) and
+    /// replaying each part through an independent injector reproduces the
+    /// sequential decisions exactly, for random plans and streams.
+    #[test]
+    fn split_streams_reproduce_sequential_decisions(
+        seed in any::<u64>(),
+        stuck in 0u64..300_000,
+        death in 0u64..100_000,
+        uncorr in 0u64..300_000,
+        shard_choice in 0usize..3,
+        rows in prop::collection::vec(0u64..48, 1..200),
+    ) {
+        let shards = [2usize, 4, 8][shard_choice];
+        let plan = FaultPlan::new(seed).with_rates(stuck, 40_000, death, uncorr);
+
+        let mut expected = sequential(&plan, &rows);
+        expected.sort_by_key(|&(r, _)| r);
+
+        let mut parts: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        for &r in &rows {
+            parts[(r % shards as u64) as usize].push(r);
+        }
+        let mut got: Vec<(u64, WriteFaults)> = Vec::new();
+        for part in &parts {
+            got.extend(sequential(&plan, part));
+        }
+        got.sort_by_key(|&(r, _)| r);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The same plan replayed twice gives bit-identical decisions and logs.
+    #[test]
+    fn replays_are_bit_identical(
+        seed in any::<u64>(),
+        rates in any::<[u16; 4]>(),
+        rows in prop::collection::vec(0u64..64, 1..150),
+    ) {
+        let plan = FaultPlan::new(seed).with_rates(
+            rates[0] as u64 * 8,
+            rates[1] as u64 * 8,
+            rates[2] as u64 * 8,
+            rates[3] as u64 * 8,
+        );
+        let a = sequential(&plan, &rows);
+        let b = sequential(&plan, &rows);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Read-timeout decisions are likewise positional and reproducible.
+    #[test]
+    fn read_timeouts_replay(
+        seed in any::<u64>(),
+        ppm in 0u64..500_000,
+        rows in prop::collection::vec(0u64..32, 1..100),
+    ) {
+        let plan = FaultPlan::new(seed).with_read_timeouts(ppm);
+        let run = || {
+            let mut inj = FaultInjector::new(plan.clone());
+            rows.iter().map(|&r| inj.on_read(r)).collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -26,7 +26,7 @@ use std::collections::HashMap;
 use coset::cost::{CostFunction, TransitionEnergy};
 use coset::symbol::CellKind;
 use coset::{EncodeScratch, Encoded, Encoder, WriteContext};
-use memcrypt::initial_row_contents;
+use memcrypt::{initial_row_contents, SplitMix64};
 
 use crate::config::PcmConfig;
 use crate::endurance::EnduranceModel;
@@ -159,6 +159,37 @@ impl PcmMemory {
     /// Direct read-only access to a materialized row, if it exists.
     pub fn row(&self, row_addr: u64) -> Option<&Row> {
         self.rows.get(&row_addr)
+    }
+
+    /// Injects a burst of freshly stuck cells into `row_addr`: each not-yet-
+    /// stuck cell (data and auxiliary) freezes at its currently stored
+    /// symbol with probability `cell_ppm` per million, sampled purely from
+    /// `seed` and the cell index — the mid-run stuck-at-incidence ramp used
+    /// by fault injection. Returns the number of cells newly stuck.
+    pub fn inject_stuck_burst(&mut self, row_addr: u64, cell_ppm: u64, seed: u64) -> u64 {
+        let row = self.materialize(row_addr);
+        let total = row.cells_per_word_total() * row.words();
+        let mut newly_stuck = 0u64;
+        for cell in 0..total {
+            if row.is_stuck(cell) {
+                continue;
+            }
+            let h = SplitMix64::mix(seed ^ SplitMix64::mix(cell as u64 + 1));
+            if h % 1_000_000 < cell_ppm {
+                // Freeze at the stored symbol, matching the natural wear-out
+                // model — the stored value stays valid until a later write
+                // tries to move the cell.
+                row.stick_cell(cell, row.current_symbol(cell));
+                newly_stuck += 1;
+            }
+        }
+        newly_stuck
+    }
+
+    /// Kills `row_addr` outright: every cell freezes at its currently
+    /// stored symbol, so no future write can change any bit of the row.
+    pub fn kill_row(&mut self, row_addr: u64) {
+        self.materialize(row_addr).kill();
     }
 
     fn materialize(&mut self, row_addr: u64) -> &mut Row {

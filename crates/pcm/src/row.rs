@@ -180,6 +180,13 @@ impl Row {
         ((value >> shift) & low_mask(self.bits_per_cell)) as u8
     }
 
+    /// The symbol currently stored in a cell.
+    pub fn current_symbol(&self, cell: usize) -> u8 {
+        let (w, aux, shift) = self.locate(cell);
+        let stored = if aux { self.aux[w] } else { self.data[w] };
+        ((stored >> shift) & low_mask(self.bits_per_cell)) as u8
+    }
+
     /// Marks a cell stuck at `symbol`.
     pub fn stick_cell(&mut self, cell: usize, symbol: u8) {
         let (w, aux, shift) = self.locate(cell);
@@ -203,6 +210,21 @@ impl Row {
                 | (self.stuck_data_value[w] & self.stuck_data_mask[w]);
             self.aux[w] = (self.aux[w] & !self.stuck_aux_mask[w])
                 | (self.stuck_aux_value[w] & self.stuck_aux_mask[w]);
+        }
+    }
+
+    /// Kills the whole row: every cell (data and auxiliary) freezes at its
+    /// currently stored symbol. Subsequent writes cannot change any bit, so
+    /// freshly written data survives only where it happens to match — the
+    /// device-level model of outright row death used by fault injection.
+    pub fn kill(&mut self) {
+        let data_region = low_mask(self.cells_per_word * self.bits_per_cell);
+        let aux_region = low_mask(self.aux_cells_per_word * self.bits_per_cell);
+        for w in 0..self.data.len() {
+            self.stuck_data_mask[w] = data_region;
+            self.stuck_data_value[w] = self.data[w] & data_region;
+            self.stuck_aux_mask[w] = aux_region;
+            self.stuck_aux_value[w] = self.aux[w] & aux_region;
         }
     }
 

@@ -435,6 +435,11 @@ mod tests {
             queue_depth_overflow: 0,
             queue_depth_max: if lines > 0 { Some(1) } else { None },
             active_secs,
+            faults: faultsim::FaultLog::default(),
+            discarded: 0,
+            quarantined_shards: Vec::new(),
+            failure: None,
+            stream_error: false,
         }
     }
 
@@ -443,6 +448,7 @@ mod tests {
         ServiceReport {
             tenants,
             events_total,
+            events_discarded: 0,
             max_in_flight: 1,
             in_flight_at_end: 0,
             drained_early: false,

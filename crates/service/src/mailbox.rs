@@ -17,9 +17,21 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
+use engine::relock;
 use workload::{LineData, WriteBack};
+
+/// Continues a condvar wait even when the lock was poisoned by an
+/// unwinding sibling: the mailbox/reply state is a plain value, consistent
+/// at every mutation boundary (the lock-free analogue of
+/// [`engine::relock`]). Worker panics are supervised inside the worker
+/// loop, so poisoning can only come from an unexpected infrastructure
+/// failure — and even then the data stays usable.
+pub(crate) fn rewait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One command in a tenant's lane: a batch of write-backs to commit or a
 /// fill read to answer through the tenant's [`ReplySlot`].
@@ -125,8 +137,7 @@ impl ShardMailbox {
     pub(crate) fn push(&self, tenant: usize, cmd: Cmd, gauge: &InFlightGauge) {
         let n = cmd.events();
         debug_assert!(n <= self.capacity, "command exceeds the lane bound");
-        // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-        let mut st = self.state.lock().unwrap();
+        let mut st = relock(&self.state);
         loop {
             assert!(
                 !st.consumer_gone,
@@ -137,8 +148,7 @@ impl ShardMailbox {
             if lane.events + n <= self.capacity {
                 break;
             }
-            // PANIC-OK: lock poisoning only follows a worker panic; propagate.
-            st = self.not_full.wait(st).unwrap();
+            st = rewait(&self.not_full, st);
         }
         let lane = &mut st.lanes[tenant];
         lane.events += n;
@@ -162,8 +172,7 @@ impl ShardMailbox {
         cursor: &mut usize,
         gauge: &InFlightGauge,
     ) -> Option<(usize, usize, Cmd)> {
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        let mut st = self.state.lock().unwrap();
+        let mut st = relock(&self.state);
         loop {
             let tenants = st.lanes.len();
             for turn in 0..tenants {
@@ -182,16 +191,14 @@ impl ShardMailbox {
             if st.lanes.iter().all(|lane| lane.closed) {
                 return None;
             }
-            // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-            st = self.not_empty.wait(st).unwrap();
+            st = rewait(&self.not_empty, st);
         }
     }
 
     /// Closes one tenant's lane (no further pushes; the worker drains what
     /// remains and then skips it).
     pub(crate) fn close_lane(&self, tenant: usize) {
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        let mut st = self.state.lock().unwrap();
+        let mut st = relock(&self.state);
         st.lanes[tenant].closed = true;
         drop(st);
         self.not_empty.notify_all();
@@ -199,16 +206,14 @@ impl ShardMailbox {
 
     /// Marks the consuming worker dead so blocked producers fail fast.
     pub(crate) fn mark_consumer_gone(&self) {
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        self.state.lock().unwrap().consumer_gone = true;
+        relock(&self.state).consumer_gone = true;
         self.not_full.notify_all();
     }
 
     /// Events currently queued in one tenant's lane (live gauge for the
     /// stats snapshot).
     pub(crate) fn lane_depth(&self, tenant: usize) -> usize {
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        self.state.lock().unwrap().lanes[tenant].events
+        relock(&self.state).lanes[tenant].events
     }
 }
 
@@ -238,22 +243,19 @@ impl ReplySlot {
     }
 
     pub(crate) fn put(&self, value: Option<LineData>) {
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        self.slot.lock().unwrap().value = Some(value);
+        relock(&self.slot).value = Some(value);
         self.ready.notify_one();
     }
 
     /// Marks the slot dead so a producer waiting for an answer fails fast
     /// (used when a bank worker panics).
     pub(crate) fn poison(&self) {
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        self.slot.lock().unwrap().poisoned = true;
+        relock(&self.slot).poisoned = true;
         self.ready.notify_all();
     }
 
     pub(crate) fn take(&self) -> Option<LineData> {
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        let mut st = self.slot.lock().unwrap();
+        let mut st = relock(&self.slot);
         loop {
             if let Some(value) = st.value.take() {
                 return value;
@@ -262,8 +264,7 @@ impl ReplySlot {
                 !st.poisoned,
                 "bank worker terminated while a fill read was pending"
             );
-            // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-            st = self.ready.wait(st).unwrap();
+            st = rewait(&self.ready, st);
         }
     }
 }

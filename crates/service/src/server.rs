@@ -1,12 +1,14 @@
 //! The multi-tenant service runtime: per-tenant sharded state, bank
 //! workers, tenant producers, live snapshots and the final drain report.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use controller::{PipelineStats, TimingStats, WritePipeline};
-use engine::{EngineConfig, ShardedEngine};
+use controller::{PipelineStats, RecoveryPolicy, TimingStats, WritePipeline};
+use engine::{panic_message, relock, EngineConfig, ShardedEngine};
+use faultsim::{tenant_plan, FaultLog, FaultPlan};
 use pcm::{LatencySummary, MemoryStats, PcmConfig};
 use serde::json::Value;
 use workload::{LineData, MemoryReader, TraceSource, WriteBack};
@@ -41,6 +43,16 @@ pub(crate) struct SlotStats {
     /// Largest lane depth observed at pop time; `None` until the first pop
     /// (distinct from a genuine observed maximum of zero).
     pub(crate) depth_max: Option<usize>,
+    /// Injected-fault and recovery counters committed so far.
+    pub(crate) faults: FaultLog,
+    /// Write events admitted to this (shard, tenant) cell but discarded
+    /// because the cell was quarantined.
+    pub(crate) discarded: u64,
+    /// Whether this cell's pipeline has been quarantined (its worker caught
+    /// a panic executing one of its commands).
+    pub(crate) quarantined: bool,
+    /// The caught panic's message, when quarantined.
+    pub(crate) failure: Option<String>,
 }
 
 impl SlotStats {
@@ -52,6 +64,10 @@ impl SlotStats {
             reads: 0,
             depth_hist: vec![0; capacity + 2],
             depth_max: None,
+            faults: FaultLog::default(),
+            discarded: 0,
+            quarantined: false,
+            failure: None,
         }
     }
 }
@@ -65,6 +81,9 @@ pub(crate) struct ProducerProgress {
     pub(crate) fills: u64,
     pub(crate) done: bool,
     pub(crate) active_secs: f64,
+    /// The tenant's stream hit an injected error cutoff: the producer
+    /// stopped admitting events and closed its lanes gracefully.
+    pub(crate) stream_error: bool,
 }
 
 /// State shared by every thread of one `serve` run.
@@ -98,6 +117,10 @@ pub struct MemoryService {
     /// Per-tenant memory geometry (shard routing needs each tenant's own
     /// row width, since techniques may configure different aux overheads).
     mem_configs: Vec<PcmConfig>,
+    /// Per-tenant injected stream-error cutoffs: tenant `t`'s producer
+    /// stops admitting events after `stream_cutoffs[t]` of them (see
+    /// [`MemoryService::inject_faults`]). `None` means no cutoff.
+    stream_cutoffs: Vec<Option<u64>>,
 }
 
 impl MemoryService {
@@ -161,12 +184,50 @@ impl MemoryService {
                 pipelines[s].push(p);
             }
         }
+        let tenant_count = tenants.len();
         MemoryService {
             config,
             tenants,
             pipelines,
             mem_configs,
+            stream_cutoffs: vec![None; tenant_count],
         }
+    }
+
+    /// Arms fault injection for *every* tenant: tenant `t` runs the
+    /// [`tenant_plan`]`(plan, t)` derivation of `plan` (independent decision
+    /// streams per tenant, shard-invariant within each tenant) under
+    /// `recovery`, and `plan`'s stream errors set each named tenant's
+    /// admission cutoff. Call between [`MemoryService::build`] and
+    /// [`MemoryService::serve`]; an empty plan with
+    /// [`RecoveryPolicy::none`] restores the un-injected behavior.
+    pub fn inject_faults(&mut self, plan: &FaultPlan, recovery: RecoveryPolicy) {
+        for t in 0..self.tenants.len() {
+            let derived = tenant_plan(plan, t);
+            for shard in &mut self.pipelines {
+                shard[t].set_fault_plan(derived.clone());
+                shard[t].set_recovery(recovery);
+            }
+            self.stream_cutoffs[t] = plan.stream_error_for(t);
+        }
+    }
+
+    /// Arms fault injection for one tenant only, applying `plan` *as is*
+    /// (no per-tenant seed derivation) to each of the tenant's shard
+    /// pipelines. Other tenants are untouched — the chaos suites use this
+    /// to kill one tenant's worker commands and assert the neighbours'
+    /// reports stay bit-identical.
+    pub fn inject_tenant_faults(
+        &mut self,
+        tenant: usize,
+        plan: &FaultPlan,
+        recovery: RecoveryPolicy,
+    ) {
+        for shard in &mut self.pipelines {
+            shard[tenant].set_fault_plan(plan.clone());
+            shard[tenant].set_recovery(recovery);
+        }
+        self.stream_cutoffs[tenant] = plan.stream_error_for(tenant);
     }
 
     /// The service configuration.
@@ -237,7 +298,10 @@ impl MemoryService {
             for (tenant, source) in sources.into_iter().enumerate() {
                 let shared = &shared;
                 let mem_config = self.mem_configs[tenant].clone();
-                scope.spawn(move || producer_loop(tenant, source, mem_config, batch, shared));
+                let cutoff = self.stream_cutoffs[tenant];
+                scope.spawn(move || {
+                    producer_loop(tenant, source, mem_config, batch, cutoff, shared)
+                });
             }
             let handle = ServiceHandle {
                 shared: &shared,
@@ -257,21 +321,32 @@ impl MemoryService {
     fn report(&self, shared: &RunShared, wall_secs: f64) -> ServiceReport {
         let mut tenants = Vec::with_capacity(self.tenants.len());
         let mut events_total = 0u64;
+        let mut events_discarded = 0u64;
         for (t, meta) in self.tenants.iter().enumerate() {
             let mut pipeline = PipelineStats::default();
             let mut memory = MemoryStats::default();
             let mut timing = TimingStats::default();
+            let mut faults = FaultLog::default();
             let mut hist = vec![0u64; shared.capacity + 2];
             let mut reads = 0u64;
+            let mut discarded = 0u64;
             let mut depth_max: Option<usize> = None;
+            let mut quarantined_shards = Vec::new();
+            let mut failure = None;
             for s in 0..self.config.shards {
                 pipeline.merge(self.pipelines[s][t].stats());
                 memory.merge(self.pipelines[s][t].memory_stats());
                 timing.merge(self.pipelines[s][t].timing_stats());
-                // PANIC-OK: lock poisoning only follows a thread panic,
-                // which serve() already propagated at scope join.
-                let slot = shared.slots[s][t].lock().unwrap();
+                faults.merge(&self.pipelines[s][t].fault_log());
+                let slot = relock(&shared.slots[s][t]);
                 reads += slot.reads;
+                discarded += slot.discarded;
+                if slot.quarantined {
+                    quarantined_shards.push(s);
+                    if failure.is_none() {
+                        failure = slot.failure.clone();
+                    }
+                }
                 for (d, n) in slot.depth_hist.iter().enumerate() {
                     hist[d] += n;
                 }
@@ -280,10 +355,9 @@ impl MemoryService {
                     (a, b) => a.or(b),
                 };
             }
-            // PANIC-OK: lock poisoning only follows a thread panic,
-            // which serve() already propagated at scope join.
-            let progress = *shared.producers[t].lock().unwrap();
+            let progress = *relock(&shared.producers[t]);
             events_total += progress.enqueued;
+            events_discarded += discarded;
             tenants.push(TenantReport {
                 name: meta.name.clone(),
                 technique: meta.technique.clone(),
@@ -294,15 +368,21 @@ impl MemoryService {
                 memory,
                 write_latency: LatencySummary::of(&timing.writes),
                 timing,
+                faults,
                 queue_depth_p50: hist_percentile(&hist, 50),
                 queue_depth_overflow: *hist.last().unwrap_or(&0),
                 queue_depth_max: depth_max,
                 active_secs: progress.active_secs,
+                discarded,
+                quarantined_shards,
+                failure,
+                stream_error: progress.stream_error,
             });
         }
         ServiceReport {
             tenants,
             events_total,
+            events_discarded,
             max_in_flight: shared.gauge.peak(),
             in_flight_at_end: shared.gauge.current(),
             drained_early: shared.drain.load(Ordering::Relaxed),
@@ -352,28 +432,70 @@ impl Drop for WorkerGuard<'_> {
 fn worker_loop(shard: usize, row: &mut [WritePipeline], shared: &RunShared) {
     let _guard = WorkerGuard { shard, shared };
     let mut cursor = 0usize;
+    // Per-tenant quarantine flags, kept thread-local so the hot path never
+    // takes a stats lock just to check them (Vec<bool>, not a hash set —
+    // iteration order must stay deterministic; DET01).
+    let mut dead = vec![false; row.len()];
     while let Some((t, depth, cmd)) =
         shared.mailboxes[shard].pop_round_robin(&mut cursor, &shared.gauge)
     {
         let pipeline = &mut row[t];
         let mut reads = 0u64;
+        let mut discarded = 0u64;
+        let mut failure: Option<String> = None;
+        // Supervision: a pipeline panic (injected or real) quarantines this
+        // (shard, tenant) cell only. The worker keeps draining the cell's
+        // lane — discarding its writes and answering its reads with `None`
+        // — so producers never block, every other tenant on this shard and
+        // every other shard of this tenant keep full service, and the
+        // process never dies.
         match cmd {
             Cmd::Batch(batch) => {
-                for wb in &batch {
-                    pipeline.write_back(wb);
+                for (done, wb) in batch.iter().enumerate() {
+                    if dead[t] {
+                        // Everything from the panicking write onward is
+                        // discarded (the panic fires before any mutation,
+                        // so that write never landed either).
+                        discarded = (batch.len() - done) as u64;
+                        break;
+                    }
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| {
+                        pipeline.write_back(wb);
+                    })) {
+                        dead[t] = true;
+                        failure = Some(panic_message(payload));
+                        discarded = (batch.len() - done) as u64;
+                        break;
+                    }
                 }
             }
             Cmd::Read(addr) => {
-                shared.replies[t].put(pipeline.read_line(addr));
+                let answer = if dead[t] {
+                    None
+                } else {
+                    catch_unwind(AssertUnwindSafe(|| pipeline.read_line(addr))).unwrap_or_else(
+                        |payload| {
+                            dead[t] = true;
+                            failure = Some(panic_message(payload));
+                            None
+                        },
+                    )
+                };
+                shared.replies[t].put(answer);
                 reads = 1;
             }
         }
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        let mut slot = shared.slots[shard][t].lock().unwrap();
+        let mut slot = relock(&shared.slots[shard][t]);
         slot.pipeline = *pipeline.stats();
         slot.memory = *pipeline.memory_stats();
         slot.timing = *pipeline.timing_stats();
+        slot.faults = pipeline.fault_log();
         slot.reads += reads;
+        slot.discarded += discarded;
+        if let Some(message) = failure {
+            slot.quarantined = true;
+            slot.failure = Some(message);
+        }
         // Depths beyond the lane bound land in the explicit overflow
         // bucket (the last slot) instead of being clamped into the
         // capacity bucket.
@@ -428,8 +550,7 @@ impl Producer<'_> {
         let n = batch.len() as u64;
         self.shared.mailboxes[s].push(self.tenant, Cmd::Batch(batch), &self.shared.gauge);
         self.enqueued += n;
-        // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-        let mut progress = self.shared.producers[self.tenant].lock().unwrap();
+        let mut progress = relock(&self.shared.producers[self.tenant]);
         progress.enqueued = self.enqueued;
         progress.fills = self.fills;
     }
@@ -470,6 +591,7 @@ fn producer_loop(
     mut source: Box<dyn TraceSource + Send + '_>,
     mem_config: PcmConfig,
     batch: usize,
+    cutoff: Option<u64>,
     shared: &RunShared,
 ) {
     let started = Instant::now();
@@ -485,18 +607,29 @@ fn producer_loop(
         fills: 0,
         shared,
     };
+    let mut admitted = 0u64;
+    let mut stream_error = false;
     while !shared.drain.load(Ordering::Relaxed) {
+        // An injected stream error aborts admission after exactly `cutoff`
+        // events, then falls through to the normal flush-and-close path —
+        // the graceful-drain contract holds for everything already
+        // admitted.
+        if cutoff.is_some_and(|n| admitted >= n) {
+            stream_error = true;
+            break;
+        }
         let Some(wb) = source.next_event(&mut producer) else {
             break;
         };
+        admitted += 1;
         producer.push(wb);
     }
     producer.flush_all();
-    // PANIC-OK: lock poisoning only follows a sibling panic; propagate.
-    let mut progress = shared.producers[tenant].lock().unwrap();
+    let mut progress = relock(&shared.producers[tenant]);
     progress.enqueued = producer.enqueued;
     progress.fills = producer.fills;
     progress.done = true;
+    progress.stream_error = stream_error;
     progress.active_secs = started.elapsed().as_secs_f64();
 }
 
@@ -531,21 +664,23 @@ impl ServiceHandle<'_> {
             let mut pipeline = PipelineStats::default();
             let mut memory = MemoryStats::default();
             let mut timing = TimingStats::default();
+            let mut faults = FaultLog::default();
             let mut reads = 0u64;
             let mut queued = 0usize;
+            let mut discarded = 0u64;
+            let mut quarantined_shards = 0usize;
             for s in 0..self.config.shards {
-                // PANIC-OK: lock poisoning only follows a sibling panic;
-                // propagate.
-                let slot = self.shared.slots[s][t].lock().unwrap();
+                let slot = relock(&self.shared.slots[s][t]);
                 pipeline.merge(&slot.pipeline);
                 memory.merge(&slot.memory);
                 timing.merge(&slot.timing);
+                faults.merge(&slot.faults);
                 reads += slot.reads;
+                discarded += slot.discarded;
+                quarantined_shards += usize::from(slot.quarantined);
                 queued += self.shared.mailboxes[s].lane_depth(t);
             }
-            // PANIC-OK: lock poisoning only follows a sibling panic;
-            // propagate.
-            let progress = *self.shared.producers[t].lock().unwrap();
+            let progress = *relock(&self.shared.producers[t]);
             tenants.push(TenantSnapshot {
                 name: meta.name.clone(),
                 technique: meta.technique.clone(),
@@ -557,6 +692,10 @@ impl ServiceHandle<'_> {
                 pipeline,
                 memory,
                 timing,
+                faults,
+                discarded,
+                quarantined_shards,
+                stream_error: progress.stream_error,
             });
         }
         ServiceSnapshot {
@@ -592,6 +731,14 @@ pub struct TenantSnapshot {
     pub memory: MemoryStats,
     /// Merged event-driven timing statistics committed so far.
     pub timing: TimingStats,
+    /// Merged injected-fault and recovery counters committed so far.
+    pub faults: FaultLog,
+    /// Admitted events discarded by quarantined cells so far.
+    pub discarded: u64,
+    /// Shards whose pipeline for this tenant is quarantined.
+    pub quarantined_shards: usize,
+    /// Whether the tenant's stream already hit an injected error cutoff.
+    pub stream_error: bool,
 }
 
 impl TenantSnapshot {
@@ -608,6 +755,13 @@ impl TenantSnapshot {
             .with("pipeline", self.pipeline.to_json())
             .with("memory", self.memory.to_json())
             .with("timing", self.timing.to_json())
+            .with("faults", self.faults.to_json())
+            .with("discarded", Value::UInt(self.discarded))
+            .with(
+                "quarantined_shards",
+                Value::UInt(self.quarantined_shards as u64),
+            )
+            .with("stream_error", Value::Bool(self.stream_error))
     }
 }
 
@@ -676,6 +830,19 @@ impl ServiceSnapshot {
                 if t.source_done { "yes" } else { "no" }
             ));
         }
+        // Only degraded tenants get an extra line, so a healthy service's
+        // stats table is unchanged from earlier releases.
+        for t in &self.tenants {
+            if t.quarantined_shards > 0 || t.stream_error || t.discarded > 0 {
+                out.push_str(&format!(
+                    "  DEGRADED {}: {} quarantined shard(s), discarded {}{}\n",
+                    t.name,
+                    t.quarantined_shards,
+                    t.discarded,
+                    if t.stream_error { ", stream error" } else { "" }
+                ));
+            }
+        }
         out
     }
 }
@@ -716,6 +883,29 @@ pub struct TenantReport {
     pub queue_depth_max: Option<usize>,
     /// Seconds the tenant's producer was active.
     pub active_secs: f64,
+    /// Merged injected-fault and recovery counters across the tenant's
+    /// shard pipelines (all zero without injection).
+    pub faults: FaultLog,
+    /// Admitted write events discarded because the owning (shard, tenant)
+    /// cell was quarantined. `enqueued == pipeline.lines_written +
+    /// discarded` — the accounting invariant the chaos suites pin.
+    pub discarded: u64,
+    /// Bank shards whose pipeline for this tenant was quarantined after a
+    /// caught worker panic (empty for a healthy tenant).
+    pub quarantined_shards: Vec<usize>,
+    /// The first caught panic message, when any shard is quarantined.
+    pub failure: Option<String>,
+    /// Whether the tenant's stream hit an injected error cutoff (admission
+    /// stopped early; everything admitted still drained).
+    pub stream_error: bool,
+}
+
+impl TenantReport {
+    /// True when this tenant saw any degradation: a quarantined shard, a
+    /// stream error, or discarded events.
+    pub fn is_degraded(&self) -> bool {
+        !self.quarantined_shards.is_empty() || self.stream_error || self.discarded > 0
+    }
 }
 
 impl TenantReport {
@@ -744,6 +934,25 @@ impl TenantReport {
                 },
             )
             .with("active_secs", Value::Num(self.active_secs))
+            .with("faults", self.faults.to_json())
+            .with("discarded", Value::UInt(self.discarded))
+            .with(
+                "quarantined_shards",
+                Value::Arr(
+                    self.quarantined_shards
+                        .iter()
+                        .map(|&s| Value::UInt(s as u64))
+                        .collect(),
+                ),
+            )
+            .with(
+                "failure",
+                match &self.failure {
+                    Some(message) => Value::Str(message.clone()),
+                    None => Value::Null,
+                },
+            )
+            .with("stream_error", Value::Bool(self.stream_error))
     }
 }
 
@@ -755,6 +964,10 @@ pub struct ServiceReport {
     pub tenants: Vec<TenantReport>,
     /// Total write events admitted across tenants.
     pub events_total: u64,
+    /// Total admitted events discarded by quarantined cells across tenants
+    /// (zero on a healthy run; `events_total == lines_total() +
+    /// events_discarded` always).
+    pub events_discarded: u64,
     /// Peak queued events observed service-wide.
     pub max_in_flight: usize,
     /// Events still queued when the run ended (zero after a graceful
@@ -777,6 +990,12 @@ impl ServiceReport {
         total
     }
 
+    /// True when any tenant ended the run degraded (quarantined shards,
+    /// stream errors or discarded events).
+    pub fn is_degraded(&self) -> bool {
+        self.tenants.iter().any(TenantReport::is_degraded)
+    }
+
     /// JSON form (the loadgen and `BENCH_service.json` schema).
     pub fn to_json(&self) -> Value {
         Value::object()
@@ -785,6 +1004,8 @@ impl ServiceReport {
                 Value::Arr(self.tenants.iter().map(TenantReport::to_json).collect()),
             )
             .with("events_total", Value::UInt(self.events_total))
+            .with("events_discarded", Value::UInt(self.events_discarded))
+            .with("degraded", Value::Bool(self.is_degraded()))
             .with("max_in_flight", Value::UInt(self.max_in_flight as u64))
             .with(
                 "in_flight_at_end",
@@ -843,6 +1064,27 @@ impl ServiceReport {
                 ""
             }
         ));
+        // Degraded-state lines appear only when something actually degraded,
+        // so healthy runs render byte-identically to earlier releases.
+        if self.is_degraded() {
+            out.push_str(&format!(
+                "DEGRADED: {} event(s) discarded across tenants\n",
+                self.events_discarded
+            ));
+            for t in self.tenants.iter().filter(|t| t.is_degraded()) {
+                out.push_str(&format!(
+                    "  {}: quarantined shards {:?}, discarded {}{}{}\n",
+                    t.name,
+                    t.quarantined_shards,
+                    t.discarded,
+                    if t.stream_error { ", stream error" } else { "" },
+                    match &t.failure {
+                        Some(message) => format!(", first failure: {message}"),
+                        None => String::new(),
+                    },
+                ));
+            }
+        }
         out
     }
 }

@@ -11,6 +11,9 @@
 //!   `write_line` / `replay_trace` API,
 //! * [`engine`] — the bank-sharded `ShardedEngine` replaying traces over a
 //!   pool of worker threads with deterministic stats merging,
+//! * [`faultsim`] — seeded deterministic fault injection (`FaultPlan`,
+//!   `FaultInjector`) driving the stack's graceful-degradation story — see
+//!   `docs/FAULTS.md`,
 //! * [`memcrypt`] — counter-mode memory encryption,
 //! * [`pcm`] — the MLC PCM device/array simulator,
 //! * [`protect`] — SECDED and ECP fault protection,
@@ -62,6 +65,7 @@ pub use controller;
 pub use coset;
 pub use engine;
 pub use experiments;
+pub use faultsim;
 pub use hwmodel;
 pub use memcrypt;
 pub use pcm;
