@@ -49,8 +49,9 @@ impl Value {
     pub fn with(mut self, key: &str, value: Value) -> Value {
         match &mut self {
             Value::Obj(pairs) => pairs.push((key.to_string(), value)),
-            // PANIC-OK: builder misuse (calling .with on a non-object) is a
-            // caller bug; failing loudly beats silently dropping fields.
+            // Deliberate panic: builder misuse (calling .with on a
+            // non-object) is a caller bug; failing loudly beats silently
+            // dropping fields.
             _ => panic!("Value::with called on a non-object"),
         }
         self

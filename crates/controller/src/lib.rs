@@ -499,10 +499,10 @@ impl WritePipeline {
             None => WriteFaults::default(),
         };
         if faults.panic_worker {
-            // Deliberate chaos fault, fired *before* any state mutation:
-            // a supervisor catching this panic quarantines a pipeline whose
-            // state is still exactly the pre-write state, so partial writes
-            // never leak into merged stats.
+            // PANIC-OK: deliberate chaos fault, fired *before* any state
+            // mutation: a supervisor catching this panic quarantines a
+            // pipeline whose state is still exactly the pre-write state, so
+            // partial writes never leak into merged stats.
             panic!("faultsim: injected worker panic at row {row_addr:#x}");
         }
         let mut phys = self.retire.physical_of(row_addr);

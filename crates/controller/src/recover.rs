@@ -168,6 +168,7 @@ impl RetirementPool {
     /// physical address, or `None` when the bank's pool is exhausted. A row
     /// may be retired again if its spare also fails, consuming another
     /// spare.
+    // PANIC-OK: `used[bank]` follows the resize guard on the line above; in bounds by construction.
     pub fn retire(&mut self, row_addr: u64, banks: u64) -> Option<u64> {
         debug_assert!(banks > 0);
         let bank = row_addr % banks;

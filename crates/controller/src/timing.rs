@@ -237,6 +237,7 @@ impl TimingModel {
         &self.stats
     }
 
+    // PANIC-OK: idx is row % banks and the timer vector is sized to `params.banks` at construction.
     fn bank_mut(&mut self, row_addr: u64) -> &mut BankTimer {
         let idx = (row_addr % self.params.banks as u64) as usize;
         &mut self.banks[idx]

@@ -1,0 +1,9 @@
+//! Seeded ANN01 violations: escape-hatch markers no rule consumes.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    // DET-OK: addition is commutative.
+    a + b
+}
+
+// LOCK-OK: there is no lock anywhere near this fn.
+pub fn noop() {}

@@ -1,0 +1,22 @@
+//! Clean ANN01 fixture: a marker consumed by a rule, prose that merely
+//! mentions a marker, and markers inside test code.
+
+use std::collections::HashMap;
+
+pub fn tally(map: &HashMap<u64, u64>) -> u64 {
+    // DET-OK: integer sum over the values; order cannot change the result.
+    map.values().sum()
+}
+
+pub fn describe() {
+    // Prose that merely mentions `// DET-OK: <why>` is not an annotation.
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn markers_in_tests_are_exempt() {
+        // PANIC-OK: test code may panic freely.
+        assert_eq!(2 + 2, 4);
+    }
+}

@@ -1,0 +1,31 @@
+//! Seeded DET03 violations: a stats-merge sink reaches a hash-iteration
+//! source and a wall-clock read through the call graph.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct MemoryStats {
+    pub total: u64,
+    pub nanos: u64,
+}
+
+impl MemoryStats {
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.total += other.total + refresh_counts();
+        self.nanos += stamp();
+    }
+}
+
+pub fn refresh_counts() -> u64 {
+    let counts: HashMap<u64, u64> = HashMap::new();
+    let mut total = 0;
+    for v in counts.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,27 @@
+//! Clean DET03 fixture: reachable sources are annotated with a reason, and
+//! unreachable sources need no annotation at all.
+
+use std::collections::HashMap;
+
+pub struct MemoryStats {
+    pub total: u64,
+}
+
+impl MemoryStats {
+    pub fn merge(&mut self, other: &MemoryStats) {
+        self.total += other.total + summed();
+    }
+}
+
+pub fn summed() -> u64 {
+    let counts: HashMap<u64, u64> = HashMap::new();
+    // DET-OK: integer sum over the values; order cannot change the result.
+    counts.values().sum()
+}
+
+/// Never called from a merge/report sink: hash iteration here is outside
+/// DET03's taint scope (and outside DET01's crate scope in this fixture).
+pub fn unreachable_helper() -> usize {
+    let m: HashMap<u64, u64> = HashMap::new();
+    m.values().count()
+}

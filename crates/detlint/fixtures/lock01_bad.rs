@@ -1,0 +1,26 @@
+//! Seeded LOCK01 violation: two locks acquired in both orders, one of them
+//! through a callee (the cross-fn propagation path).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        self.read_a() + *gb
+    }
+
+    fn read_a(&self) -> u64 {
+        *self.a.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,0 +1,32 @@
+//! Clean LOCK01 fixture: a globally consistent order everywhere, plus one
+//! deliberate inversion carrying a `LOCK-OK` justification.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u64 {
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+
+    pub fn store(&self, v: u64) {
+        let mut ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        let mut gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        *ga = v;
+        *gb = v;
+    }
+
+    pub fn drain(&self) -> u64 {
+        // LOCK-OK: drain runs only after every worker has exited (join
+        // barrier upstream), so no thread can hold `a` while it runs.
+        let gb = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        let ga = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *ga + *gb
+    }
+}

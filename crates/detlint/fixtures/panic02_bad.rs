@@ -1,0 +1,18 @@
+//! Seeded PANIC02 violations: unannotated panic sites reachable from a
+//! `catch_unwind` supervision boundary.
+
+pub fn supervise(values: &[u64]) -> u64 {
+    std::panic::catch_unwind(|| job(values)).unwrap_or(0)
+}
+
+fn job(values: &[u64]) -> u64 {
+    risky(values) + fallback()
+}
+
+fn risky(values: &[u64]) -> u64 {
+    values[3]
+}
+
+fn fallback() -> u64 {
+    panic!("no fallback value")
+}

@@ -1,0 +1,27 @@
+//! Clean PANIC02 fixture: supervised panic sites are annotated (site-level
+//! and fn-level), and sites outside the supervision boundary are exempt.
+
+pub fn supervise(values: &[u64]) -> u64 {
+    std::panic::catch_unwind(|| job(values)).unwrap_or(0)
+}
+
+fn job(values: &[u64]) -> u64 {
+    // PANIC-OK: the caller guarantees at least four values per batch.
+    let head = values[3];
+    head + safe(values)
+}
+
+// PANIC-OK: deliberate chaos probe; the supervisor quarantines its shard.
+fn chaos(values: &[u64]) -> u64 {
+    values[9] + values[10]
+}
+
+fn safe(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0) + chaos(values)
+}
+
+/// Never reached from the supervised boundary: indexing here is not a
+/// silent-degradation hazard.
+pub fn outside(values: &[u64]) -> u64 {
+    values[0]
+}

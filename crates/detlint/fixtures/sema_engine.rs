@@ -1,0 +1,45 @@
+//! Mini-workspace fixture (crate `engine`) for symbol-table and call-graph
+//! unit pins. Exercises method calls, qualified `Type::` and `Self::` calls,
+//! bare free-fn calls (own-crate-first), and explicit cross-crate paths.
+
+use workload::Trace;
+
+pub struct Engine {
+    count: usize,
+}
+
+impl Engine {
+    pub fn run(&mut self, trace: &Trace) -> usize {
+        self.step();
+        normalize(trace);
+        Trace::size(trace)
+    }
+
+    pub fn reset(&mut self) {
+        Self::clear(self);
+    }
+
+    fn step(&mut self) {
+        bump();
+    }
+
+    fn clear(&mut self) {
+        self.count = 0;
+    }
+}
+
+fn bump() {}
+
+pub fn normalize(_t: &Trace) {}
+
+pub fn renorm() {
+    workload::normalize(7);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_fn_is_marked() {
+        super::bump();
+    }
+}

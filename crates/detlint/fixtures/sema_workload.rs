@@ -1,0 +1,15 @@
+//! Mini-workspace fixture (crate `workload`): the imported side of the
+//! sema unit pins. `Trace::size` is reached cross-crate via a qualified
+//! call; `normalize` shadows an `engine` free fn of the same name.
+
+pub struct Trace {
+    items: Vec<u64>,
+}
+
+impl Trace {
+    pub fn size(t: &Trace) -> usize {
+        t.items.len()
+    }
+}
+
+pub fn normalize(_x: u64) {}

@@ -23,6 +23,20 @@ pub struct Config {
     /// Crates exempt from PANIC01 (none today; the knob exists so a future
     /// vendored crate can opt out without weakening the rule elsewhere).
     pub panic01_exclude_crates: Vec<String>,
+    /// Crates the semantic layer (symbol table + call graph) skips entirely:
+    /// the offline compat shims (whose internals are not this workspace's
+    /// contract surface) and the linter itself.
+    pub sema_exclude_crates: Vec<String>,
+    /// Type names whose mention marks a fn as a merge/stats/report *sink*
+    /// for DET03 taint tracking.
+    pub det03_sink_types: Vec<String>,
+    /// Fn names that are DET03 sinks regardless of the types they mention
+    /// (the golden-report writers).
+    pub det03_sink_fns: Vec<String>,
+    /// Crates under LOCK01 lock-order analysis.
+    pub lock01_crates: Vec<String>,
+    /// Crates under PANIC02 supervised-panic-reachability analysis.
+    pub panic02_crates: Vec<String>,
 }
 
 impl Default for Config {
@@ -33,6 +47,28 @@ impl Default for Config {
             det02_crates: Vec::new(),
             swar01_paths: Vec::new(),
             panic01_exclude_crates: Vec::new(),
+            sema_exclude_crates: vec![
+                "rand".into(),
+                "serde".into(),
+                "proptest".into(),
+                "criterion".into(),
+                "detlint".into(),
+            ],
+            det03_sink_types: vec![
+                "MemoryStats".into(),
+                "PipelineStats".into(),
+                "TimingStats".into(),
+                "FaultLog".into(),
+                "ServiceReport".into(),
+            ],
+            det03_sink_fns: vec![
+                "reproduce".into(),
+                "reproduce_with_engine".into(),
+                "reproduce_configured".into(),
+                "reproduce_all".into(),
+            ],
+            lock01_crates: Vec::new(),
+            panic02_crates: Vec::new(),
         }
     }
 }
@@ -104,6 +140,21 @@ impl Config {
         }
         if let Some(v) = get("panic01", "exclude_crates") {
             cfg.panic01_exclude_crates = v;
+        }
+        if let Some(v) = get("sema", "exclude_crates") {
+            cfg.sema_exclude_crates = v;
+        }
+        if let Some(v) = get("det03", "sink_types") {
+            cfg.det03_sink_types = v;
+        }
+        if let Some(v) = get("det03", "sink_fns") {
+            cfg.det03_sink_fns = v;
+        }
+        if let Some(v) = get("lock01", "crates") {
+            cfg.lock01_crates = v;
+        }
+        if let Some(v) = get("panic02", "crates") {
+            cfg.panic02_crates = v;
         }
         Ok(cfg)
     }

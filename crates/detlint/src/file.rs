@@ -2,6 +2,9 @@
 //! are `#[cfg(test)]`-gated, which tokens sit inside which `fn`, where
 //! statement boundaries fall, and which escape-hatch annotations are present.
 
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
 use crate::lexer::{self, Lexed, Token, TokenKind};
 
 /// A lexed file plus the derived structure the rules consult.
@@ -24,6 +27,10 @@ pub struct FileCtx {
     /// A multi-line expression is one statement, so the SWAR mask-guard and
     /// annotation checks see all of it.
     pub stmts: Vec<(usize, usize)>,
+    /// Indices (into `lexed.comments`) of annotation comments a rule has
+    /// consulted while suppressing (or deciding about) a matched pattern.
+    /// ANN01 reports escape-hatch comments never consumed by any rule.
+    pub used_annotations: RefCell<BTreeSet<usize>>,
 }
 
 impl FileCtx {
@@ -44,6 +51,7 @@ impl FileCtx {
             test_ranges,
             fn_spans,
             stmts,
+            used_annotations: RefCell::new(BTreeSet::new()),
         }
     }
 
@@ -64,40 +72,53 @@ impl FileCtx {
     /// prose that merely mentions `// DET-OK: <why>` does not silence
     /// findings.
     pub fn annotated(&self, marker: &str, first: u32, last: u32) -> bool {
+        let hits = self.annotation_hits(marker, first, last);
+        let found = !hits.is_empty();
+        let mut used = self.used_annotations.borrow_mut();
+        used.extend(hits);
+        found
+    }
+
+    /// The comment indices `annotated` would consume, without marking them
+    /// used. See `annotated` for the accepted positions.
+    fn annotation_hits(&self, marker: &str, first: u32, last: u32) -> Vec<usize> {
         let has_marker = |c: &crate::lexer::Comment| {
             c.text
                 .trim_start()
                 .strip_prefix(marker)
                 .is_some_and(|rest| !rest.trim().is_empty())
         };
+        let mut hits = Vec::new();
         // Tail / in-range comments.
-        if self
-            .lexed
-            .comments
-            .iter()
-            .any(|c| c.end_line >= first && c.line <= last && has_marker(c))
-        {
-            return true;
+        for (i, c) in self.lexed.comments.iter().enumerate() {
+            if c.end_line >= first && c.line <= last && has_marker(c) {
+                hits.push(i);
+            }
         }
         // Contiguous comment block ending on the line above `first`.
         let mut line = first.saturating_sub(1);
         loop {
-            let Some(c) = self
+            let Some((i, c)) = self
                 .lexed
                 .comments
                 .iter()
-                .find(|c| c.line <= line && c.end_line >= line)
+                .enumerate()
+                .find(|(_, c)| c.line <= line && c.end_line >= line)
             else {
-                return false;
+                break;
             };
             if has_marker(c) {
-                return true;
+                hits.push(i);
+                break;
             }
             if c.line == 0 || c.line > line {
-                return false;
+                break;
             }
             line = c.line - 1;
         }
+        hits.sort_unstable();
+        hits.dedup();
+        hits
     }
 
     /// Name of the innermost `fn` containing token `idx`, if any.
@@ -243,14 +264,22 @@ fn find_fn_spans(tokens: &[Token]) -> Vec<(usize, usize, String)> {
         let name = name_tok.text.clone();
         // Scan to the body `{` (or `;` for a bodyless trait/extern decl).
         // Angle brackets in the signature never contain `{`/`;` except in
-        // const-generic braces, which brace-matching handles anyway.
+        // const-generic braces, which brace-matching handles anyway. A `;`
+        // inside square brackets is an array type (`&[u64; LINE_WORDS]`),
+        // not a declaration terminator.
         let mut k = i + 2;
         let mut brace = 0usize;
+        let mut bracket = 0i32;
         let mut entered = false;
         let mut end = None;
         while k < tokens.len() {
             let t = &tokens[k];
-            if !entered && is(t, ";") {
+            if is(t, "[") {
+                bracket += 1;
+            } else if is(t, "]") {
+                bracket -= 1;
+            }
+            if !entered && is(t, ";") && bracket <= 0 {
                 break; // declaration without a body
             }
             if is(t, "{") {

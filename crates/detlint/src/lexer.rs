@@ -18,10 +18,15 @@
 //! - raw identifiers (`r#match`) are identifiers, not raw strings;
 //! - every token and comment carries a 1-based source line for findings.
 //!
-//! Known, documented approximation: `>>` in a nested-generic type position
-//! (`Vec<Vec<u8>>`) is lexed as a single shift token. The shift-distance rule
-//! (SWAR01) compensates by only treating `<<`/`>>` as a shift when the
-//! operand shapes around it look like an expression (see `rules.rs`).
+//! Angle brackets are disambiguated with a depth tracker: a `<` that follows
+//! `::`, an uppercase-initial identifier, `impl`/`dyn`, or a `fn` name opens
+//! a generic-argument context, and while that context is open every `>` is
+//! emitted as a single token — so `Vec<Vec<u8>>` lexes as two `>`s, never a
+//! `>>` shift, and `>>=` only fuses at depth 0. The tracker resets on tokens
+//! that cannot appear inside generics (`;`, `{`, `}`, `.`, `&&`, `||`), which
+//! bounds the damage of a false open (e.g. `MAX < n` where `MAX` is a const):
+//! a genuine shift between a false open and the next reset would be split and
+//! thus invisible to SWAR01 — a narrow, documented false-negative window.
 
 /// What kind of lexeme a [`Token`] is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,6 +119,8 @@ pub fn lex(src: &str) -> Lexed {
         line: 1,
     };
     let mut out = Lexed::default();
+    // Generic-argument angle-bracket depth; see the module docs.
+    let mut angle: u32 = 0;
 
     while let Some(b) = cur.peek(0) {
         let line = cur.line;
@@ -215,6 +222,34 @@ pub fn lex(src: &str) -> Lexed {
                 });
             }
             _ => {
+                // Angle-bracket context: `<` after `::`/type-name/`impl`/
+                // `dyn`/a `fn` name opens generics (or deepens an open one);
+                // while open, every `>` is a single token and never fuses
+                // into `>>`/`>=`/`>>=`.
+                if b == b'<'
+                    && cur.peek(1) != Some(b'<')
+                    && cur.peek(1) != Some(b'=')
+                    && (angle > 0 || opens_generics(&out.tokens))
+                {
+                    angle += 1;
+                    cur.bump();
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: "<".into(),
+                        line,
+                    });
+                    continue;
+                }
+                if b == b'>' && angle > 0 {
+                    angle -= 1;
+                    cur.bump();
+                    out.tokens.push(Token {
+                        kind: TokenKind::Punct,
+                        text: ">".into(),
+                        line,
+                    });
+                    continue;
+                }
                 let mut fused = None;
                 for op in FUSED {
                     if cur.starts_with(op) {
@@ -234,6 +269,13 @@ pub fn lex(src: &str) -> Lexed {
                         (b as char).to_string()
                     }
                 };
+                // These tokens cannot appear inside a generic-argument list;
+                // any open angle context was a false open (or unbalanced
+                // source) — reset so the tracker cannot leak across
+                // statements.
+                if matches!(text.as_str(), ";" | "{" | "}" | "." | "&&" | "||") {
+                    angle = 0;
+                }
                 out.tokens.push(Token {
                     kind: TokenKind::Punct,
                     text,
@@ -243,6 +285,34 @@ pub fn lex(src: &str) -> Lexed {
         }
     }
     out
+}
+
+/// Does the token stream so far end in a position where a `<` opens a
+/// generic-argument list? True after `::` (turbofish/qualified paths), an
+/// uppercase-initial identifier (type names), `impl`/`dyn`, or a lowercase
+/// identifier that itself follows `fn` (generic fn declarations).
+fn opens_generics(tokens: &[Token]) -> bool {
+    let Some(prev) = tokens.last() else {
+        return false;
+    };
+    match prev.kind {
+        TokenKind::Punct => prev.text == "::",
+        TokenKind::Ident => {
+            if prev.text == "impl" || prev.text == "dyn" {
+                return true;
+            }
+            if prev.text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                return true;
+            }
+            // `fn name<…>`: lowercase name directly after `fn`.
+            tokens
+                .len()
+                .checked_sub(2)
+                .and_then(|i| tokens.get(i))
+                .is_some_and(|t| t.kind == TokenKind::Ident && t.text == "fn")
+        }
+        _ => false,
+    }
 }
 
 /// Is the cursor at `r"`, `r#"`, `br"`, `b"`, `b'` — i.e. a prefixed string,

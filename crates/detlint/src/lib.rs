@@ -1,18 +1,22 @@
 //! detlint — the workspace invariant linter.
 //!
 //! Enforces the contracts this reproduction's headline results rest on but
-//! the compiler cannot see: replay determinism (DET01/DET02), SWAR lane
-//! safety (SWAR01), documented+dispatched `unsafe` (UNSAFE01), oracle
-//! coverage (ORACLE01), and panic-free library code (PANIC01). See
-//! `docs/INVARIANTS.md` for the full catalog and the per-rule escape
-//! hatches.
+//! the compiler cannot see: replay determinism (DET01/DET02 line-local,
+//! DET03 interprocedural taint), SWAR lane safety (SWAR01),
+//! documented+dispatched `unsafe` (UNSAFE01), oracle coverage (ORACLE01),
+//! panic-free library code (PANIC01) and supervised-panic accounting
+//! (PANIC02), lock-order consistency (LOCK01), and truthful escape-hatch
+//! annotations (ANN01). See `docs/INVARIANTS.md` for the full catalog, the
+//! per-rule escape hatches, and the semantic-layer design note.
 //!
 //! The tool is pure std: a hand-rolled comment/string/raw-string aware
 //! lexer ([`lexer`]), per-file structure analysis ([`file`]), a rule engine
-//! ([`rules`] + the global [`oracle`] pass), scoping config
-//! ([`config::Config`], loaded from `detlint.toml`), and text/JSON reporting
-//! ([`report`]). `cargo run -p detlint -- check [--json]` exits nonzero on
-//! findings.
+//! ([`rules`] + the global [`oracle`] pass + the interprocedural [`sema`]
+//! layer — symbol table, call graph, and the DET03/LOCK01/PANIC02 rules),
+//! scoping config ([`config::Config`], loaded from `detlint.toml`), and
+//! text/JSON reporting ([`report`], findings carry witnessing call paths).
+//! `cargo run -p detlint -- check [--json] [--rule <ID>]` exits nonzero on
+//! findings; `detlint --explain <ID>` prints a rule's contract.
 
 #![forbid(unsafe_code)]
 
@@ -22,6 +26,7 @@ pub mod lexer;
 pub mod oracle;
 pub mod report;
 pub mod rules;
+pub mod sema;
 mod walk;
 
 use std::path::Path;
@@ -51,8 +56,82 @@ pub fn lint_files(files: Vec<(String, String)>, cfg: &Config) -> Vec<Finding> {
         rules::check_file(ctx, cfg, &mut out);
     }
     oracle::check_workspace(&ctxs, &mut out);
+    sema::check_workspace(&ctxs, cfg, &mut out);
+    // ANN01 must run last: it reports escape-hatch comments no other rule
+    // consumed while deciding findings above.
+    rules::ann01(&ctxs, &mut out);
     report::sort(&mut out);
     out
+}
+
+/// The one-paragraph contract behind a rule ID, for `detlint --explain`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "DET01" => {
+            "DET01 — no HashMap/HashSet iteration in determinism-scoped crates. Hash order \
+             varies run to run and shard to shard; the moment it feeds stats, selection, or \
+             output, the N-shard == sequential replay contract breaks. Use an ordered \
+             structure or sort first. Escape hatch: `// DET-OK: <why order cannot matter>`."
+        }
+        "DET02" => {
+            "DET02 — f64 accumulation in hot crates needs an exactness argument. The \
+             shard-merge determinism proof relies on every accumulated f64 being exactly \
+             representable so sums associate. Escape hatch: `// DET-OK: <exactness \
+             argument>`, or move to integers/fixed-point."
+        }
+        "DET03" => {
+            "DET03 — interprocedural nondeterminism taint. A source (hash-container \
+             iteration, Instant/SystemTime::now, thread::current, unseeded RNG \
+             construction) reachable from a merge/stats/report sink fn over the call graph \
+             can leak order or time into merged stats and golden reports, crates apart \
+             from where it runs. The finding carries the witnessing sink -> ... -> source \
+             call path. Escape hatch: `// DET-OK: <why order/time cannot leak>` at the \
+             source statement."
+        }
+        "SWAR01" => {
+            "SWAR01 — narrowing casts and variable-distance shifts in SWAR/broadcast \
+             modules must be mask-guarded in the same statement, or lane bits silently \
+             leak into neighbors. Escape hatch: `// SWAR-OK: <why lanes cannot leak>`."
+        }
+        "UNSAFE01" => {
+            "UNSAFE01 — every `unsafe` needs an adjacent `// SAFETY: <invariant>` comment, \
+             and std::arch intrinsics must sit behind cfg/target_feature dispatch plus a \
+             runtime feature check. No escape hatch: write the SAFETY comment."
+        }
+        "PANIC01" => {
+            "PANIC01 — no unwrap()/expect() in library code: a panic aborts the whole \
+             replay and poisons sharded workers. Handle or return the failure. Escape \
+             hatch: `// PANIC-OK: <why this cannot fail / should abort>`."
+        }
+        "PANIC02" => {
+            "PANIC02 — panic reachability in supervised contexts. Fns reachable from \
+             per-shard catch_unwind job boundaries that can panic (panic!/todo!/\
+             unimplemented!/unreachable!, slice indexing) degrade the run silently instead \
+             of crashing: each such site must be a deliberate decision. The finding \
+             carries the root -> ... -> fn call chain. Escape hatch: `// PANIC-OK: <why>` \
+             at the site's statement, or on the fn declaration line to accept the fn."
+        }
+        "LOCK01" => {
+            "LOCK01 — lock-order consistency. Mutex acquisition sequences are extracted \
+             per fn (through the relock/rewait poison helpers), held-lock sets propagate \
+             along call edges, and any pair of locks acquired in both orders — the classic \
+             deadlock shape — is reported with both witnessing chains. Escape hatch: \
+             `// LOCK-OK: <why both orders cannot contend>` at an involved acquisition."
+        }
+        "ORACLE01" => {
+            "ORACLE01 — oracle coverage. Every SWAR kernel entry point listed in the \
+             coverage contract must have a scalar-oracle equivalence test; a kernel \
+             without one is unverified word-parallel bit manipulation. Fix by adding the \
+             oracle test, not by shrinking the contract."
+        }
+        "ANN01" => {
+            "ANN01 — stale escape-hatch annotations. A `// DET-OK:`/`// SWAR-OK:`/\
+             `// PANIC-OK:`/`// LOCK-OK:` marker that no enabled rule consumed suppresses \
+             nothing and misdocuments the code as a reviewed hazard. Delete the marker \
+             (keep any still-true prose) or move it onto the statement it was written for."
+        }
+        _ => return None,
+    })
 }
 
 /// Walk the workspace rooted at `root` and lint every `.rs` file.

@@ -1,4 +1,5 @@
-//! CLI: `cargo run -p detlint -- check [--json] [--root <dir>]`.
+//! CLI: `cargo run -p detlint -- check [--json] [--root <dir>] [--rule <ID>]`
+//! and `detlint --explain <ID>`.
 //!
 //! Exit codes: 0 = clean, 1 = findings, 2 = usage/config error.
 
@@ -11,6 +12,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut root_arg: Option<PathBuf> = None;
+    let mut rule_filter: Option<String> = None;
+    let mut explain_arg: Option<String> = None;
     let mut cmd: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -20,12 +23,35 @@ fn main() -> ExitCode {
                 Some(p) => root_arg = Some(PathBuf::from(p)),
                 None => return usage("--root needs a directory"),
             },
+            "--rule" => match it.next() {
+                Some(r) => rule_filter = Some(r.to_ascii_uppercase()),
+                None => return usage("--rule needs a rule ID (e.g. DET03)"),
+            },
+            "--explain" => match it.next() {
+                Some(r) => explain_arg = Some(r.to_ascii_uppercase()),
+                None => return usage("--explain needs a rule ID (e.g. LOCK01)"),
+            },
             "check" if cmd.is_none() => cmd = Some(a.clone()),
             other => return usage(&format!("unknown argument `{other}`")),
         }
     }
+
+    if let Some(rule) = explain_arg {
+        return match detlint::explain(&rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => usage(&format!("unknown rule `{rule}`")),
+        };
+    }
     if cmd.as_deref() != Some("check") {
-        return usage("expected the `check` subcommand");
+        return usage("expected the `check` subcommand (or `--explain <ID>`)");
+    }
+    if let Some(rule) = &rule_filter {
+        if detlint::explain(rule).is_none() {
+            return usage(&format!("unknown rule `{rule}`"));
+        }
     }
 
     let root = match root_arg {
@@ -45,10 +71,13 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail(&e),
     };
-    let findings = match detlint::run_check(&root, &cfg) {
+    let mut findings = match detlint::run_check(&root, &cfg) {
         Ok(f) => f,
         Err(e) => return fail(&format!("walk failed: {e}")),
     };
+    if let Some(rule) = &rule_filter {
+        findings.retain(|f| f.rule == rule.as_str());
+    }
     if json {
         println!("{}", detlint::report::render_json(&findings));
     } else {
@@ -63,7 +92,8 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("detlint: {msg}");
-    eprintln!("usage: detlint check [--json] [--root <workspace-dir>]");
+    eprintln!("usage: detlint check [--json] [--root <workspace-dir>] [--rule <ID>]");
+    eprintln!("       detlint --explain <ID>");
     ExitCode::from(2)
 }
 

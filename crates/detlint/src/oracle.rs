@@ -43,6 +43,8 @@ pub fn check_workspace(files: &[FileCtx], out: &mut Vec<Finding>) {
             if toks.get(j).is_some_and(|t| t.text == "<") {
                 let mut depth = 0i32;
                 while j < toks.len() {
+                    // The lexer's angle tracker splits `>>` in generics, so
+                    // single-character matching is exact here.
                     match toks[j].text.as_str() {
                         "<" => depth += 1,
                         ">" => {
@@ -52,7 +54,6 @@ pub fn check_workspace(files: &[FileCtx], out: &mut Vec<Finding>) {
                                 break;
                             }
                         }
-                        ">>" => depth -= 2,
                         _ => {}
                     }
                     j += 1;
@@ -81,6 +82,7 @@ pub fn check_workspace(files: &[FileCtx], out: &mut Vec<Finding>) {
                     rule: "ORACLE01",
                     path: f.path.clone(),
                     line: t.line,
+                    call_path: Vec::new(),
                     message: format!(
                         "`impl Encoder for {}` is not referenced by any differential test \
                          under crates/*/tests/ — wire it into the oracle suite so the \
@@ -104,8 +106,9 @@ pub fn check_workspace(files: &[FileCtx], out: &mut Vec<Finding>) {
                     rule: "ORACLE01",
                     path: f.path.clone(),
                     line: c.line,
+                    call_path: Vec::new(),
                     message: "`// ORACLE:` marker without a test path".into(),
-                });
+                                });
                 continue;
             }
             // The function the marker precedes: next `fn` token at or after
@@ -122,6 +125,7 @@ pub fn check_workspace(files: &[FileCtx], out: &mut Vec<Finding>) {
                     rule: "ORACLE01",
                     path: f.path.clone(),
                     line: c.line,
+                    call_path: Vec::new(),
                     message: format!("`// ORACLE: {target}` marker is not followed by a `fn`"),
                 });
                 continue;
@@ -131,6 +135,7 @@ pub fn check_workspace(files: &[FileCtx], out: &mut Vec<Finding>) {
                     rule: "ORACLE01",
                     path: f.path.clone(),
                     line: c.line,
+                    call_path: Vec::new(),
                     message: format!(
                         "`// ORACLE: {target}` names a test file that does not exist in the \
                          workspace"
@@ -148,6 +153,7 @@ pub fn check_workspace(files: &[FileCtx], out: &mut Vec<Finding>) {
                     rule: "ORACLE01",
                     path: f.path.clone(),
                     line: c.line,
+                    call_path: Vec::new(),
                     message: format!(
                         "oracle fn `{fn_name}` is not referenced from `{target}` — the \
                          differential test no longer pins it"

@@ -15,6 +15,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation including the escape hatch.
     pub message: String,
+    /// For the interprocedural rules (DET03/LOCK01/PANIC02): the witnessing
+    /// call chain, outermost first. Empty for the per-file rules.
+    pub call_path: Vec<String>,
 }
 
 /// Sort findings into the canonical (path, line, rule) report order.
@@ -28,6 +31,9 @@ pub fn render_text(findings: &[Finding]) -> String {
     let mut out = String::new();
     for f in findings {
         let _ = writeln!(out, "{}: {}:{}: {}", f.rule, f.path, f.line, f.message);
+        if !f.call_path.is_empty() {
+            let _ = writeln!(out, "    call path: {}", f.call_path.join(" -> "));
+        }
     }
     let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
     for f in findings {
@@ -54,13 +60,16 @@ pub fn render_json(findings: &[Finding]) -> String {
         if i > 0 {
             out.push(',');
         }
+        let chain: Vec<String> = f.call_path.iter().map(|s| json_str(s)).collect();
         let _ = write!(
             out,
-            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \
+             \"call_path\": [{}]}}",
             json_str(f.rule),
             json_str(&f.path),
             f.line,
-            json_str(&f.message)
+            json_str(&f.message),
+            chain.join(", ")
         );
     }
     if !findings.is_empty() {

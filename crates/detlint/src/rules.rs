@@ -13,7 +13,7 @@ use crate::lexer::{Token, TokenKind};
 use crate::report::Finding;
 
 /// Hash-container methods whose visit order is nondeterministic.
-const HASH_ITER_METHODS: &[&str] = &[
+pub(crate) const HASH_ITER_METHODS: &[&str] = &[
     "iter",
     "iter_mut",
     "keys",
@@ -70,19 +70,27 @@ pub fn check_file(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
     }
 }
 
-/// Names bound to `HashMap`/`HashSet` in this file: `name: HashMap<…>`
+/// Names bound to `HashMap`/`HashSet` in this file: `name: [&mut] HashMap<…>`
 /// field/param declarations and `let [mut] name = HashMap::new()`-style
 /// initializations.
-fn hash_bound_idents(ctx: &FileCtx) -> Vec<String> {
+pub(crate) fn hash_bound_idents(ctx: &FileCtx) -> Vec<String> {
     let toks = &ctx.lexed.tokens;
     let mut names: Vec<String> = Vec::new();
     for (i, t) in toks.iter().enumerate() {
         if !(ident(t, "HashMap") || ident(t, "HashSet")) {
             continue;
         }
-        // `name : HashMap` — a typed binding site.
-        if i >= 2 && is(&toks[i - 1], ":") && toks[i - 2].kind == TokenKind::Ident {
-            names.push(toks[i - 2].text.clone());
+        // `name : [& ['a] ] [mut] HashMap` — a typed binding site.
+        let mut j = i;
+        while j >= 1
+            && (is(&toks[j - 1], "&")
+                || ident(&toks[j - 1], "mut")
+                || toks[j - 1].kind == TokenKind::Lifetime)
+        {
+            j -= 1;
+        }
+        if j >= 2 && is(&toks[j - 1], ":") && toks[j - 2].kind == TokenKind::Ident {
+            names.push(toks[j - 2].text.clone());
             continue;
         }
         // `let [mut] name … = HashMap::…` — scan back inside the statement.
@@ -161,6 +169,7 @@ fn det01(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 rule: "DET01",
                 path: ctx.path.clone(),
                 line,
+                call_path: Vec::new(),
                 message: format!(
                     "iteration over hash container `{name}` (via `{how}`): hash order is \
                      nondeterministic and breaks the shard-replay contract; use an ordered \
@@ -238,6 +247,7 @@ fn det02(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 rule: "DET02",
                 path: ctx.path.clone(),
                 line,
+                call_path: Vec::new(),
                 message: format!(
                     "f64 accumulation ({what}) in a determinism-hot crate: float sums only \
                      merge exactly when every addend is integer-valued; justify with \
@@ -283,26 +293,19 @@ fn swar01(ctx: &FileCtx, out: &mut Vec<Finding>) {
         for j in 0..stmt.len() {
             let t = &stmt[j];
             // Variable-distance shift: `<<`/`>>` whose distance operand is an
-            // identifier and whose left side looks like an expression. (`>>`
-            // closing nested generics is followed by punctuation, never an
-            // identifier, so it cannot match.)
+            // identifier. The lexer's angle-bracket depth tracker guarantees
+            // a `>` closing nested generics is never fused into `>>`, so a
+            // shift token here is always a genuine shift.
             if t.kind == TokenKind::Punct && matches!(t.text.as_str(), "<<" | ">>" | "<<=" | ">>=")
             {
-                let prev_ok = j >= 1
-                    && (stmt[j - 1].kind == TokenKind::Ident
-                        || stmt[j - 1].kind == TokenKind::Num
-                        || is(&stmt[j - 1], ")")
-                        || is(&stmt[j - 1], "]"));
                 // `1 << n` (any suffix) spreads exactly one bit — it cannot
                 // leak across lanes, and it is how masks themselves are
                 // built (`(1u64 << bits) - 1`).
                 let one_bit = j >= 1
                     && stmt[j - 1].kind == TokenKind::Num
                     && num_value_is_one(&stmt[j - 1].text);
-                let next_var = stmt
-                    .get(j + 1)
-                    .is_some_and(|n| n.kind == TokenKind::Ident && !is_type_name(&n.text));
-                if prev_ok && next_var && !one_bit {
+                let next_var = stmt.get(j + 1).is_some_and(|n| n.kind == TokenKind::Ident);
+                if next_var && !one_bit {
                     hit = Some((t.line, format!("variable-distance `{}`", t.text)));
                     break;
                 }
@@ -325,6 +328,7 @@ fn swar01(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 rule: "SWAR01",
                 path: ctx.path.clone(),
                 line,
+                call_path: Vec::new(),
                 message: format!(
                     "{what} without a mask guard in a SWAR/broadcast module: unguarded \
                      narrowing/shifts leak bits across packed lanes; mask on the same \
@@ -343,13 +347,6 @@ fn num_value_is_one(text: &str) -> bool {
         .filter(|c| c.is_ascii_digit())
         .collect();
     digits == "1"
-}
-
-/// Idents that appear as the distance operand but are actually type names in
-/// a turbofish/generic context (`collect::<Vec<u8>>` would need `>>` follow
-/// by ident to match at all, but belt and braces).
-fn is_type_name(s: &str) -> bool {
-    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
 }
 
 /// UNSAFE01 — every `unsafe` needs an adjacent `// SAFETY:` comment, and
@@ -391,10 +388,11 @@ fn unsafe01(ctx: &FileCtx, out: &mut Vec<Finding>) {
                     rule: "UNSAFE01",
                     path: ctx.path.clone(),
                     line: t.line,
+                    call_path: Vec::new(),
                     message: "`unsafe` without an adjacent `// SAFETY: <invariant>` comment \
                               (within the two lines above)"
                         .into(),
-                });
+                                });
             }
         }
         // Intrinsic call sites: `_mm*`/`_mm256*` idents or `std::arch` /
@@ -409,10 +407,56 @@ fn unsafe01(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 rule: "UNSAFE01",
                 path: ctx.path.clone(),
                 line: t.line,
+                call_path: Vec::new(),
                 message: "std::arch intrinsic without a dispatch guard in this file: gate \
                           behind `#[cfg(target_arch = …)]`/`#[target_feature]` plus an \
                           `is_x86_feature_detected!`-style runtime check"
                     .into(),
+                        });
+        }
+    }
+}
+
+/// Escape-hatch markers ANN01 audits for staleness. (`// SAFETY:` is not
+/// listed: it is documentation UNSAFE01 *requires*, not a finding
+/// suppressor, so an extra one is harmless.)
+const ANN_MARKERS: &[&str] = &["DET-OK:", "SWAR-OK:", "PANIC-OK:", "LOCK-OK:"];
+
+/// ANN01 — stale escape-hatch annotations.
+///
+/// An annotation that no longer suppresses anything is a lie in the source:
+/// it claims a hazard was reviewed where none exists (the code changed, or
+/// the marker never matched a pattern). Runs after every other rule — a
+/// marker comment in non-test code that no rule consumed while deciding a
+/// finding is reported. Fix: delete the marker (keep the prose if it still
+/// explains something) or re-attach it to the statement it was meant for.
+pub fn ann01(ctxs: &[FileCtx], out: &mut Vec<Finding>) {
+    for ctx in ctxs {
+        if ctx.is_test_code {
+            continue;
+        }
+        let used = ctx.used_annotations.borrow();
+        for (i, c) in ctx.lexed.comments.iter().enumerate() {
+            if used.contains(&i) || ctx.in_test(c.line) {
+                continue;
+            }
+            let Some(marker) = ANN_MARKERS
+                .iter()
+                .find(|m| c.text.trim_start().starts_with(*m))
+            else {
+                continue;
+            };
+            out.push(Finding {
+                rule: "ANN01",
+                path: ctx.path.clone(),
+                line: c.line,
+                call_path: Vec::new(),
+                message: format!(
+                    "stale `{marker}` annotation: no enabled rule consumed it at this \
+                     position, so it suppresses nothing and misdocuments the code as a \
+                     reviewed hazard; delete the marker (keep any still-true prose) or \
+                     move it onto the statement it was written for"
+                ),
             });
         }
     }
@@ -447,6 +491,7 @@ fn panic01(ctx: &FileCtx, out: &mut Vec<Finding>) {
             rule: "PANIC01",
             path: ctx.path.clone(),
             line: t.line,
+            call_path: Vec::new(),
             message: format!(
                 "`.{}()` in library code: a panic here aborts the whole replay (and poisons \
                  sharded workers); handle the failure, return it, or annotate \

@@ -1,0 +1,247 @@
+//! Workspace symbol table: every `fn` in every (non-excluded) crate, with
+//! its crate, enclosing `impl` type, token span, and test status, plus each
+//! file's `use`-imports resolved at *crate* granularity.
+//!
+//! Deliberate imprecision (see docs/INVARIANTS.md): there is no type
+//! inference and no module tree — a method is identified by `(type name,
+//! method name)` and a free fn by `(crate, name)`. That is exactly enough
+//! for a conservative call graph over this workspace and nothing more.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::file::FileCtx;
+use crate::lexer::{Token, TokenKind};
+
+/// Index into [`SymbolTable::fns`].
+pub type FnId = usize;
+
+/// One function (free fn, method, or trait-default method).
+#[derive(Debug)]
+pub struct FnSym {
+    /// Index into the `FileCtx` slice the table was built from.
+    pub file: usize,
+    /// Token index span (inclusive) of `fn` keyword through closing brace.
+    pub span: (usize, usize),
+    pub name: String,
+    /// The `impl` type this fn is a method of (`impl Type` or
+    /// `impl Trait for Type`), if any.
+    pub impl_type: Option<String>,
+    pub crate_name: String,
+    pub path: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// True for fns in test files or under `#[cfg(test)]`.
+    pub is_test: bool,
+}
+
+impl FnSym {
+    /// `crate::[Type::]name` — the display form used in witness call paths.
+    pub fn display(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{}::{}::{}", self.crate_name, t, self.name),
+            None => format!("{}::{}", self.crate_name, self.name),
+        }
+    }
+}
+
+/// The workspace symbol table.
+pub struct SymbolTable {
+    pub fns: Vec<FnSym>,
+    /// Free fns (no impl type) by name.
+    pub free_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Methods (impl fns) by bare name.
+    pub methods_by_name: BTreeMap<String, Vec<FnId>>,
+    /// Methods by `(type name, method name)`.
+    pub by_type_method: BTreeMap<(String, String), Vec<FnId>>,
+    /// Per file (same indexing as the `FileCtx` slice): crate names brought
+    /// into scope by `use` declarations.
+    pub imports: Vec<BTreeSet<String>>,
+    /// All crate names that contributed symbols.
+    pub crates: BTreeSet<String>,
+}
+
+impl SymbolTable {
+    /// Build the table over `ctxs`, skipping `cfg.sema_exclude_crates`.
+    pub fn build(ctxs: &[FileCtx], cfg: &Config) -> SymbolTable {
+        let mut fns = Vec::new();
+        let mut imports = Vec::with_capacity(ctxs.len());
+        let mut crates = BTreeSet::new();
+        for (fi, ctx) in ctxs.iter().enumerate() {
+            imports.push(file_imports(&ctx.lexed.tokens));
+            if cfg.sema_exclude_crates.contains(&ctx.crate_name) {
+                continue;
+            }
+            crates.insert(ctx.crate_name.clone());
+            let impls = impl_blocks(&ctx.lexed.tokens);
+            for &(s, e, ref name) in &ctx.fn_spans {
+                // Innermost enclosing impl block, if any.
+                let impl_type = impls
+                    .iter()
+                    .filter(|&&(is_, ie, _)| s > is_ && e <= ie)
+                    .min_by_key(|&&(is_, ie, _)| ie - is_)
+                    .map(|(_, _, ty)| ty.clone());
+                let line = ctx.lexed.tokens[s].line;
+                fns.push(FnSym {
+                    file: fi,
+                    span: (s, e),
+                    name: name.clone(),
+                    impl_type,
+                    crate_name: ctx.crate_name.clone(),
+                    path: ctx.path.clone(),
+                    line,
+                    is_test: ctx.is_test_code || ctx.in_test(line),
+                });
+            }
+        }
+        let mut free_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<String, Vec<FnId>> = BTreeMap::new();
+        let mut by_type_method: BTreeMap<(String, String), Vec<FnId>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            match &f.impl_type {
+                Some(ty) => {
+                    methods_by_name.entry(f.name.clone()).or_default().push(id);
+                    by_type_method
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                None => free_by_name.entry(f.name.clone()).or_default().push(id),
+            }
+        }
+        SymbolTable {
+            fns,
+            free_by_name,
+            methods_by_name,
+            by_type_method,
+            imports,
+            crates,
+        }
+    }
+
+    /// Token indices inside fn `id`'s span that belong to a *nested* fn —
+    /// scans over a fn's own body must skip these.
+    pub fn nested_spans(&self, ctxs: &[FileCtx], id: FnId) -> Vec<(usize, usize)> {
+        let f = &self.fns[id];
+        ctxs[f.file]
+            .fn_spans
+            .iter()
+            .filter(|&&(s, e, _)| s > f.span.0 && e <= f.span.1)
+            .map(|&(s, e, _)| (s, e))
+            .collect()
+    }
+}
+
+fn is(t: &Token, s: &str) -> bool {
+    t.text == s
+}
+
+/// Crate names imported by `use`/`pub use` declarations in this token
+/// stream. `std`/`core`/`alloc` and the `self`/`super`/`crate` forms are
+/// not recorded (the own crate is always in scope).
+fn file_imports(tokens: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if !(t.kind == TokenKind::Ident && t.text == "use") {
+            continue;
+        }
+        let Some(first) = tokens.get(i + 1) else {
+            continue;
+        };
+        if first.kind != TokenKind::Ident {
+            continue;
+        }
+        if matches!(
+            first.text.as_str(),
+            "std" | "core" | "alloc" | "self" | "super" | "crate"
+        ) {
+            continue;
+        }
+        // Only a path (`use foo::…`) imports a crate; `use foo;` too.
+        out.insert(first.text.clone());
+    }
+    out
+}
+
+/// `impl` blocks as (body start token, body end token, type name): for
+/// `impl Trait for Type` the type is the one after `for`; lifetimes and
+/// reference sigils are skipped (`impl<'a> IntoIterator for &'a Trace`).
+fn impl_blocks(tokens: &[Token]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].kind == TokenKind::Ident && is(&tokens[i], "impl")) {
+            i += 1;
+            continue;
+        }
+        // Skip the generic parameter list, if any.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| is(t, "<")) {
+            let mut depth = 0i32;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Header runs to the body `{` (or a `;`, for weird cases).
+        let mut header_end = j;
+        while header_end < tokens.len()
+            && !is(&tokens[header_end], "{")
+            && !is(&tokens[header_end], ";")
+        {
+            header_end += 1;
+        }
+        if header_end >= tokens.len() || !is(&tokens[header_end], "{") {
+            i = header_end + 1;
+            continue;
+        }
+        let header = &tokens[j..header_end];
+        // `impl Trait for Type`: take the first type ident after the last
+        // `for`; otherwise the first type ident of the header.
+        let after_for = header
+            .iter()
+            .rposition(|t| t.kind == TokenKind::Ident && is(t, "for"))
+            .map(|p| &header[p + 1..]);
+        let seg = after_for.unwrap_or(header);
+        let Some(ty) = seg
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+        else {
+            i = header_end + 1;
+            continue;
+        };
+        // Brace-match the body.
+        let mut depth = 0usize;
+        let mut k = header_end;
+        let mut end = None;
+        while k < tokens.len() {
+            if is(&tokens[k], "{") {
+                depth += 1;
+            } else if is(&tokens[k], "}") {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(k);
+                    break;
+                }
+            }
+            k += 1;
+        }
+        let Some(end) = end else {
+            break;
+        };
+        out.push((header_end, end, ty));
+        i = header_end + 1;
+    }
+    out
+}

@@ -153,14 +153,55 @@ fn doc_comment_markers_are_stripped() {
 }
 
 #[test]
-fn nested_generics_shift_never_matches_swar_shape() {
-    // `Vec<Vec<u8>>` lexes `>>` as one token (documented approximation), but
-    // the SWAR01 operand-shape requirement (next token = lowercase ident)
-    // cannot match: `>>` here is followed by punctuation or EOF.
-    let toks = lex("let v: Vec<Vec<u8>> = Vec::new();").tokens;
-    let pos = toks.iter().position(|t| t.text == ">>").expect(">> token");
-    assert!(toks[pos + 1].kind != TokenKind::Ident || toks[pos + 1].text == "=");
-    assert_eq!(toks[pos + 1].text, "=");
+fn nested_generics_close_as_single_angle_tokens() {
+    // The angle-bracket depth tracker splits the `>>` closing nested
+    // generics into two `>` tokens — no fused shift token appears anywhere.
+    let toks = token_texts("let v: Vec<Vec<u8>> = Vec::new();");
+    assert!(!toks.iter().any(|t| t == ">>"), "{toks:?}");
+    assert_eq!(toks.iter().filter(|t| *t == ">").count(), 2);
+    assert_eq!(
+        toks,
+        ["let", "v", ":", "Vec", "<", "Vec", "<", "u8", ">", ">", "=", "Vec", "::", "new", "(",
+         ")", ";"]
+    );
+}
+
+#[test]
+fn turbofish_nested_generics_split_too() {
+    let toks = token_texts("x.collect::<Vec<Vec<u64>>>();");
+    assert!(!toks.iter().any(|t| t == ">>" || t == ">>>"), "{toks:?}");
+    assert_eq!(toks.iter().filter(|t| *t == ">").count(), 3);
+}
+
+#[test]
+fn genuine_shifts_still_fuse_after_generic_statements() {
+    // The tracker resets at statement boundaries: a generic type in one
+    // statement must not eat the `>>` of a real shift in the next.
+    let toks = token_texts("let v: Vec<Vec<u8>> = d; let y = x >> n;");
+    assert_eq!(toks.iter().filter(|t| *t == ">>").count(), 1);
+    assert_eq!(toks.iter().filter(|t| *t == ">").count(), 2);
+}
+
+#[test]
+fn shift_assign_at_depth_zero_stays_fused() {
+    // `a <<= 1` / `b >>= 2` carry no generic context — fused operators.
+    let toks = token_texts("impl Foo { fn f(&self) { self.a <<= 1; } }");
+    assert!(toks.iter().any(|t| t == "<<="), "{toks:?}");
+}
+
+#[test]
+fn comparison_then_shift_is_not_generic_context() {
+    // `a < b` between lowercase idents must not open a generic depth (the
+    // following `>>` is a genuine shift and must stay fused).
+    let toks = token_texts("let c = a < b; let d = x >> k;");
+    assert!(toks.iter().any(|t| t == ">>"), "{toks:?}");
+}
+
+#[test]
+fn fn_generic_params_open_tracking() {
+    // `fn name<…>` opens generic context via the fn-name heuristic.
+    let toks = token_texts("fn pick<T: Into<Vec<u8>>>(t: T) {}");
+    assert!(!toks.iter().any(|t| t == ">>"), "{toks:?}");
 }
 
 #[test]

@@ -295,6 +295,185 @@ fn oracle01_accepts_live_markers() {
     assert_clean(&findings);
 }
 
+// ---------------------------------------------------------------- DET03
+
+#[test]
+fn det03_flags_sources_reachable_from_sinks() {
+    let findings = lint_files(
+        vec![(
+            "crates/workload/src/stats.rs".to_string(),
+            include_str!("../fixtures/det03_bad.rs").to_string(),
+        )],
+        &Config::default(),
+    );
+    assert_eq!(rules_of(&findings), ["DET03", "DET03"], "{findings:?}");
+    // Every finding carries a witnessing call path rooted at the sink.
+    for f in &findings {
+        assert!(
+            f.call_path.iter().any(|s| s.contains("merge")),
+            "witness path should name the sink: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn det03_accepts_annotated_and_unreachable_sources() {
+    let findings = lint_files(
+        vec![(
+            "crates/workload/src/stats.rs".to_string(),
+            include_str!("../fixtures/det03_ok.rs").to_string(),
+        )],
+        &Config::default(),
+    );
+    assert_clean(&findings);
+}
+
+#[test]
+fn det03_defers_hash_sources_to_det01_in_scoped_crates() {
+    // In a DET01-scoped crate the hash-iteration source is DET01's finding;
+    // DET03 still reports the wall-clock source it alone can see.
+    let cfg = Config {
+        det01_crates: vec!["workload".into()],
+        ..Config::default()
+    };
+    let findings = lint_files(
+        vec![(
+            "crates/workload/src/stats.rs".to_string(),
+            include_str!("../fixtures/det03_bad.rs").to_string(),
+        )],
+        &cfg,
+    );
+    assert_eq!(rules_of(&findings), ["DET01", "DET03"], "{findings:?}");
+}
+
+// ---------------------------------------------------------------- LOCK01
+
+#[test]
+fn lock01_flags_both_orders_including_cross_fn() {
+    let cfg = Config {
+        lock01_crates: vec!["engine".into()],
+        ..Config::default()
+    };
+    let findings = lint_files(
+        vec![(
+            "crates/engine/src/pair.rs".to_string(),
+            include_str!("../fixtures/lock01_bad.rs").to_string(),
+        )],
+        &cfg,
+    );
+    assert_eq!(rules_of(&findings), ["LOCK01"], "{findings:?}");
+    let f = &findings[0];
+    assert!(
+        f.message.contains("engine::Pair::a") && f.message.contains("engine::Pair::b"),
+        "{f:?}"
+    );
+    // The witness shows both acquisition orders.
+    assert!(!f.call_path.is_empty(), "{f:?}");
+}
+
+#[test]
+fn lock01_accepts_consistent_order_and_lock_ok() {
+    let cfg = Config {
+        lock01_crates: vec!["engine".into()],
+        ..Config::default()
+    };
+    let findings = lint_files(
+        vec![(
+            "crates/engine/src/pair.rs".to_string(),
+            include_str!("../fixtures/lock01_ok.rs").to_string(),
+        )],
+        &cfg,
+    );
+    assert_clean(&findings);
+}
+
+#[test]
+fn lock01_is_scoped_to_configured_crates() {
+    let cfg = Config {
+        lock01_crates: vec!["service".into()],
+        ..Config::default()
+    };
+    let findings = lint_files(
+        vec![(
+            "crates/engine/src/pair.rs".to_string(),
+            include_str!("../fixtures/lock01_bad.rs").to_string(),
+        )],
+        &cfg,
+    );
+    assert_clean(&findings);
+}
+
+// ---------------------------------------------------------------- PANIC02
+
+#[test]
+fn panic02_flags_sites_reachable_from_catch_unwind() {
+    let cfg = Config {
+        panic02_crates: vec!["engine".into()],
+        ..Config::default()
+    };
+    let findings = lint_files(
+        vec![(
+            "crates/engine/src/sup.rs".to_string(),
+            include_str!("../fixtures/panic02_bad.rs").to_string(),
+        )],
+        &cfg,
+    );
+    assert_eq!(rules_of(&findings), ["PANIC02", "PANIC02"], "{findings:?}");
+    // Witness chains start at the supervision boundary.
+    for f in &findings {
+        assert!(
+            f.call_path.iter().any(|s| s.contains("supervise")),
+            "{f:?}"
+        );
+    }
+}
+
+#[test]
+fn panic02_accepts_annotated_and_unsupervised_sites() {
+    let cfg = Config {
+        panic02_crates: vec!["engine".into()],
+        ..Config::default()
+    };
+    let findings = lint_files(
+        vec![(
+            "crates/engine/src/sup.rs".to_string(),
+            include_str!("../fixtures/panic02_ok.rs").to_string(),
+        )],
+        &cfg,
+    );
+    assert_clean(&findings);
+}
+
+// ---------------------------------------------------------------- ANN01
+
+#[test]
+fn ann01_flags_stale_markers() {
+    let findings = lint_files(
+        vec![(
+            "crates/workload/src/ann.rs".to_string(),
+            include_str!("../fixtures/ann01_bad.rs").to_string(),
+        )],
+        &Config::default(),
+    );
+    assert_eq!(rules_of(&findings), ["ANN01", "ANN01"], "{findings:?}");
+}
+
+#[test]
+fn ann01_accepts_consumed_prose_and_test_markers() {
+    let cfg = Config {
+        det01_crates: vec!["engine".into()],
+        ..Config::default()
+    };
+    let findings = lint_files(
+        vec![(
+            "crates/engine/src/tally.rs".to_string(),
+            include_str!("../fixtures/ann01_ok.rs").to_string(),
+        )],
+        &cfg,
+    );
+    assert_clean(&findings);
+}
+
 // ------------------------------------------------------------ end to end
 
 /// The workspace itself must lint clean with its own `detlint.toml` — the
@@ -318,7 +497,9 @@ fn binary_exits_nonzero_on_seeded_violations() {
         root.join("detlint.toml"),
         "[det01]\ncrates = [\"engine\"]\n\
          [det02]\ncrates = [\"engine\"]\n\
-         [swar01]\npaths = [\"crates/engine/src/row.rs\"]\n",
+         [swar01]\npaths = [\"crates/engine/src/row.rs\"]\n\
+         [lock01]\ncrates = [\"engine\"]\n\
+         [panic02]\ncrates = [\"engine\"]\n",
     )
     .expect("write config");
     std::fs::write(
@@ -343,6 +524,30 @@ fn binary_exits_nonzero_on_seeded_violations() {
         include_str!("../fixtures/panic01_bad.rs"),
     )
     .expect("write fixture");
+    std::fs::write(
+        src.join("pair.rs"),
+        include_str!("../fixtures/lock01_bad.rs"),
+    )
+    .expect("write fixture");
+    std::fs::write(
+        src.join("sup.rs"),
+        include_str!("../fixtures/panic02_bad.rs"),
+    )
+    .expect("write fixture");
+    // DET03's hash source defers to DET01 inside det01-scoped crates, so its
+    // seeded fixture lives in a second (unscoped) crate; ANN01 rides along.
+    let wsrc = root.join("crates/workload/src");
+    std::fs::create_dir_all(&wsrc).expect("mkdir");
+    std::fs::write(
+        wsrc.join("stats.rs"),
+        include_str!("../fixtures/det03_bad.rs"),
+    )
+    .expect("write fixture");
+    std::fs::write(
+        wsrc.join("ann.rs"),
+        include_str!("../fixtures/ann01_bad.rs"),
+    )
+    .expect("write fixture");
 
     let out = std::process::Command::new(env!("CARGO_BIN_EXE_detlint"))
         .args(["check", "--json", "--root"])
@@ -351,7 +556,9 @@ fn binary_exits_nonzero_on_seeded_violations() {
         .expect("run detlint binary");
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let json = String::from_utf8(out.stdout).expect("utf8 json");
-    for rule in ["DET01", "DET02", "SWAR01", "UNSAFE01", "PANIC01"] {
+    for rule in [
+        "DET01", "DET02", "SWAR01", "UNSAFE01", "PANIC01", "DET03", "LOCK01", "PANIC02", "ANN01",
+    ] {
         assert!(
             json.contains(&format!("\"{rule}\"")),
             "JSON report missing {rule}:\n{json}"

@@ -423,6 +423,7 @@ impl ShardedEngine {
     }
 
     /// The shard owning a byte (line) address.
+    // PANIC-OK: indexes `shards[0]`; construction guarantees at least one shard.
     pub fn shard_of_line(&self, line_addr: u64) -> usize {
         let row = self.shards[0].memory().config().row_of_byte_addr(line_addr);
         self.shard_of_row(row)
@@ -475,12 +476,14 @@ impl ShardedEngine {
 
     /// Routes a single write-back to its owning shard (sequential; handy
     /// for incremental use, tests and warm-up).
+    // PANIC-OK: the shard index is row % shard-count, in bounds by construction.
     pub fn write_back(&mut self, wb: &WriteBack) -> LineReport {
         let shard = self.shard_of_line(wb.line_addr);
         self.shards[shard].write_back(wb)
     }
 
     /// Partitions a trace into per-shard work queues by row address.
+    // PANIC-OK: indexes `shards[0]`; construction guarantees at least one shard.
     pub fn partition(&self, trace: &Trace) -> Vec<TraceShard> {
         let config = self.shards[0].memory().config().clone();
         let shards = self.config.shards;
@@ -519,6 +522,7 @@ impl ShardedEngine {
     /// # Panics
     ///
     /// Panics if `target_failures` is zero.
+    // PANIC-OK: the failure-ordinal index is guarded by the `len() >= target_failures` check beside it.
     pub fn lifetime_replay(
         &mut self,
         trace: &Trace,
@@ -586,6 +590,7 @@ impl ShardedEngine {
     ///
     /// Discard accounting uses the shard's `lines_written` delta, which is
     /// exact for the replay closures (one line write per trace event).
+    // PANIC-OK: per-shard indices come from zip/enumerate and the entry assert pins parts.len() == shards.len(); a panic here is a supervisor logic bug, not shard work, and should surface.
     fn run_shards<T, F>(&mut self, parts: &[TraceShard], run: F) -> Vec<Option<T>>
     where
         T: Send,

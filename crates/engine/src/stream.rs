@@ -301,6 +301,7 @@ struct ShardedReader<'a> {
 }
 
 impl MemoryReader for ShardedReader<'_> {
+    // PANIC-OK: the shard index is row % shard-count, in bounds by construction.
     fn read_line(&mut self, line_addr: u64) -> Option<LineData> {
         let shard = (self.config.row_of_byte_addr(line_addr) % self.queues.len() as u64) as usize;
         self.queues[shard].push(ShardCmd::Read(line_addr), self.gauge);
@@ -328,6 +329,7 @@ impl ShardedEngine {
     /// # Panics
     ///
     /// Panics if `queue_capacity` is zero.
+    // PANIC-OK: per-shard indices come from enumerate over vectors this fn builds with matching lengths; the supervised jobs are the closures, not this driver.
     pub fn stream_replay_with(
         &mut self,
         source: &mut dyn TraceSource,

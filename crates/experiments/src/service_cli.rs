@@ -33,7 +33,7 @@ const ARRAY_SEED: u64 = 0xA11CE;
 /// offending label is the intended behavior).
 pub fn technique_pipeline(ctx: &TenantCtx<'_>, scale: Scale) -> WritePipeline {
     let technique = Technique::from_cli(ctx.technique)
-        // PANIC-OK: CLI front-end; abort naming the unknown label.
+        // Deliberate abort in the CLI front-end, naming the unknown label.
         .unwrap_or_else(|| panic!("unknown technique label {:?}", ctx.technique));
     technique.pipeline(
         scale.pcm_config(ARRAY_SEED),
@@ -88,7 +88,7 @@ impl Default for ServeArgs {
 fn parse_flag<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
     args.get(i + 1)
         .and_then(|s| s.parse().ok())
-        // PANIC-OK: CLI front-end; abort with a usage message.
+        // Deliberate abort in the CLI front-end with a usage message.
         .unwrap_or_else(|| panic!("{flag} needs a value"))
 }
 
@@ -135,12 +135,12 @@ pub fn parse_serve_args(args: &[String]) -> ServeArgs {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "paper" => Scale::Paper,
-                    // PANIC-OK: CLI front-end; abort with a usage message.
+                    // Deliberate abort in the CLI front-end with a usage message.
                     other => panic!("unknown scale {other:?}"),
                 };
                 i += 2;
             }
-            // PANIC-OK: CLI front-end; abort with a usage message.
+            // Deliberate abort in the CLI front-end with a usage message.
             other => panic!("unknown serve flag {other:?}"),
         }
     }
@@ -207,7 +207,7 @@ pub fn technique_pipeline_at(
     issue_interval_cycles: u64,
 ) -> WritePipeline {
     let technique = Technique::from_cli(ctx.technique)
-        // PANIC-OK: CLI front-end; abort naming the unknown label.
+        // Deliberate abort in the CLI front-end, naming the unknown label.
         .unwrap_or_else(|| panic!("unknown technique label {:?}", ctx.technique));
     technique
         .pipeline(
@@ -256,12 +256,12 @@ pub fn loadgen_main(args: &[String]) {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "paper" => Scale::Paper,
-                    // PANIC-OK: CLI front-end; abort with a usage message.
+                    // Deliberate abort in the CLI front-end with a usage message.
                     other => panic!("unknown scale {other:?}"),
                 };
                 i += 2;
             }
-            // PANIC-OK: CLI front-end; abort with a usage message.
+            // Deliberate abort in the CLI front-end with a usage message.
             other => panic!("unknown loadgen flag {other:?}"),
         }
     }

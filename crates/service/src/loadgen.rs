@@ -76,8 +76,8 @@ impl Scenario {
             .map(|t| {
                 let name = &self.profiles[t % self.profiles.len()];
                 let profile = spec_like::profile_by_name(name)
-                    // PANIC-OK: a scenario naming an unknown profile is a
-                    // configuration bug; fail loudly with the name.
+                    // Deliberate panic: a scenario naming an unknown profile
+                    // is a configuration bug; fail loudly with the name.
                     .unwrap_or_else(|| panic!("unknown spec_like profile {name:?}"))
                     .scaled_down(self.working_set_divisor);
                 let seed = engine::mix_shard_seed(self.seed ^ WORKLOAD_DOMAIN_TAG, t as u64);

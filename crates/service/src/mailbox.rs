@@ -134,6 +134,7 @@ impl ShardMailbox {
     /// Panics if the consuming worker died (fail-fast instead of a silent
     /// producer deadlock; the worker's own panic is re-raised at scope
     /// join), or on a closed lane (producer bug).
+    // PANIC-OK: `lanes[tenant]` — tenant ids are assigned densely at service construction; out-of-bounds is a wiring bug that should fail loudly.
     pub(crate) fn push(&self, tenant: usize, cmd: Cmd, gauge: &InFlightGauge) {
         let n = cmd.events();
         debug_assert!(n <= self.capacity, "command exceeds the lane bound");
@@ -167,6 +168,7 @@ impl ShardMailbox {
     /// The returned `depth` is the number of events the served lane held
     /// when the worker turned to it (popped command included) — the queue
     /// occupancy sample the p50 depth statistics are built from.
+    // PANIC-OK: `lanes[t]` with t = turn % lanes.len(), in bounds by construction.
     pub(crate) fn pop_round_robin(
         &self,
         cursor: &mut usize,
@@ -212,6 +214,7 @@ impl ShardMailbox {
 
     /// Events currently queued in one tenant's lane (live gauge for the
     /// stats snapshot).
+    // PANIC-OK: `lanes[tenant]` — tenant ids are dense by construction.
     pub(crate) fn lane_depth(&self, tenant: usize) -> usize {
         relock(&self.state).lanes[tenant].events
     }

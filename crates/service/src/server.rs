@@ -260,6 +260,7 @@ impl MemoryService {
     /// Panics if `sources.len()` differs from the admitted tenant count, or
     /// if a worker or producer thread panics (the panic is propagated at
     /// scope join after the fail-fast markers unblock the other threads).
+    // PANIC-OK: per-tenant and per-shard vectors are built in this fn with matching lengths; every index is enumerate-derived.
     pub fn serve<C: ControlPlane>(
         &mut self,
         sources: Vec<Box<dyn TraceSource + Send + '_>>,
@@ -288,6 +289,9 @@ impl MemoryService {
                 .collect(),
             capacity,
         };
+        // DET-OK: wall-clock feeds only the advisory `wall_secs` field of
+        // the report (human observability); every replayed statistic and
+        // percentile is cycle-domain and independent of real time.
         let started = Instant::now();
         std::thread::scope(|scope| {
             for (shard, row) in self.pipelines.iter_mut().enumerate() {
@@ -318,6 +322,7 @@ impl MemoryService {
     /// Builds the final report from the quiesced pipelines (authoritative
     /// for the determinism contract) plus the run's queue-depth histograms
     /// and producer counters.
+    // PANIC-OK: iterates parallel per-tenant/per-shard vectors of equal length built by `serve`; indices are enumerate-derived.
     fn report(&self, shared: &RunShared, wall_secs: f64) -> ServiceReport {
         let mut tenants = Vec::with_capacity(self.tenants.len());
         let mut events_total = 0u64;
@@ -429,6 +434,7 @@ impl Drop for WorkerGuard<'_> {
     }
 }
 
+// PANIC-OK: `row` and the shared vectors are sized per-shard/per-tenant by `serve`; a panic here quarantines the bank worker, which is the supervised degradation path.
 fn worker_loop(shard: usize, row: &mut [WritePipeline], shared: &RunShared) {
     let _guard = WorkerGuard { shard, shared };
     let mut cursor = 0usize;
@@ -542,6 +548,7 @@ impl Producer<'_> {
         (self.mem_config.row_of_byte_addr(line_addr) % self.shards as u64) as usize
     }
 
+    // PANIC-OK: `s` is a shard id < shard count; the batch buffers are sized at construction.
     fn flush_shard(&mut self, s: usize) {
         if self.pending[s].is_empty() {
             return;
@@ -561,6 +568,7 @@ impl Producer<'_> {
         }
     }
 
+    // PANIC-OK: the shard index is row % shard-count, in bounds by construction.
     fn push(&mut self, wb: WriteBack) {
         let s = self.shard_of(wb.line_addr);
         self.pending[s].push(wb);
@@ -571,6 +579,7 @@ impl Producer<'_> {
 }
 
 impl MemoryReader for Producer<'_> {
+    // PANIC-OK: the shard index is row % shard-count, in bounds by construction.
     fn read_line(&mut self, line_addr: u64) -> Option<LineData> {
         let s = self.shard_of(line_addr);
         // FIFO lane + flush-before-read: the read observes every earlier
@@ -586,6 +595,7 @@ impl MemoryReader for Producer<'_> {
     }
 }
 
+// PANIC-OK: per-shard buffers are sized by the mailbox count this fn reads; a panic aborts one producer and closes its lanes, the supervised degradation path.
 fn producer_loop(
     tenant: usize,
     mut source: Box<dyn TraceSource + Send + '_>,
@@ -594,6 +604,9 @@ fn producer_loop(
     cutoff: Option<u64>,
     shared: &RunShared,
 ) {
+    // DET-OK: wall-clock feeds only the producer's advisory `active_secs`
+    // observability field; admission, batching and all replayed stats are
+    // driven by the cycle-domain clock, not real time.
     let started = Instant::now();
     let shards = shared.mailboxes.len();
     let _closer = LaneCloser { tenant, shared };
@@ -658,6 +671,7 @@ impl ServiceHandle<'_> {
     /// cell is internally consistent (the worker publishes it under a
     /// lock after each command), but cells are read at slightly different
     /// instants.
+    // PANIC-OK: snapshot vectors mirror the per-tenant/per-shard layout fixed at construction; indices are enumerate-derived.
     pub fn snapshot(&self) -> ServiceSnapshot {
         let mut tenants = Vec::with_capacity(self.tenants.len());
         for (t, meta) in self.tenants.iter().enumerate() {

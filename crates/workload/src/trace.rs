@@ -78,6 +78,8 @@ impl Trace {
             ones += wb.data.iter().map(|w| w.count_ones() as u64).sum::<u64>();
         }
         let unique = per_line.len();
+        // DET-OK: `max` over the values is order-independent — the same
+        // maximum comes out whatever order the hash map yields entries.
         let max = per_line.values().copied().max().unwrap_or(0);
         let total_bits = (self.writebacks.len() as u64).max(1) * 512;
         TraceStats {
